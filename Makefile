@@ -1,0 +1,26 @@
+# Anception reproduction — developer entry points.
+
+PYTHON ?= python
+
+.PHONY: test bench examples all-experiments lint clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/exploit_walkthrough.py
+	$(PYTHON) examples/security_study.py
+	$(PYTHON) examples/secure_storage.py
+	$(PYTHON) examples/media_pipeline.py
+	$(PYTHON) examples/reproduce_paper.py
+
+all-experiments:
+	$(PYTHON) -m repro.cli all
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info

@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+numbers that matter are *simulated* latencies (deterministic, attached to
+each benchmark as ``extra_info``); pytest-benchmark's wall-clock timing
+additionally tracks how long the simulation itself takes to run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # benchmarks are ordered by experiment id for readable output
+    items.sort(key=lambda item: item.fspath.basename)

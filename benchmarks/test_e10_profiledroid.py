@@ -1,0 +1,48 @@
+"""E10 — Section VI-A: ProfileDroid-style popular-app syscall profiling.
+
+Paper: 58.7%-80.1% (avg 73.7%) of popular apps' syscalls are ioctls;
+81.35% of those are UI-related and hence run at native speed.
+"""
+
+import pytest
+
+from repro.perf.profiledroid import run_profiledroid
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return run_profiledroid()
+
+
+def test_profiledroid_regenerates(benchmark, capsys):
+    report = benchmark.pedantic(run_profiledroid, rounds=1, iterations=1)
+    benchmark.extra_info["ioctl_avg"] = report["ioctl_fraction_avg"]
+    benchmark.extra_info["ui_share"] = report["ui_share_overall"]
+    with capsys.disabled():
+        print()
+        for app in report["apps"]:
+            print(
+                f"  {app['app']:<10} {app['total_syscalls']:>5} calls, "
+                f"{app['ioctl_fraction']:>5.1f}% ioctl, "
+                f"{app['ui_share_of_ioctls']:>6.2f}% of those UI"
+            )
+        print(
+            f"  range {report['ioctl_fraction_min']}-"
+            f"{report['ioctl_fraction_max']}%, "
+            f"avg {report['ioctl_fraction_avg']}%, "
+            f"UI share {report['ui_share_overall']}% "
+            f"(paper: 58.7-80.1, avg 73.7, UI 81.35)"
+        )
+
+
+def test_range_matches_paper(profile):
+    assert profile["ioctl_fraction_min"] == pytest.approx(58.7, abs=1.0)
+    assert profile["ioctl_fraction_max"] == pytest.approx(80.1, abs=1.0)
+
+
+def test_average_matches_paper(profile):
+    assert profile["ioctl_fraction_avg"] == pytest.approx(73.7, abs=1.0)
+
+
+def test_ui_share_matches_paper(profile):
+    assert profile["ui_share_overall"] == pytest.approx(81.35, abs=1.0)

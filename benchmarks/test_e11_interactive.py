@@ -1,0 +1,24 @@
+"""E11b — interactive macrobenchmark latency.
+
+"the performance hit was ... negligible on graphical and interactive
+macrobenchmarks" (Section I): per-interaction latency of a live UI
+session, native vs Anception.
+"""
+
+import pytest
+
+from repro.perf.interactive import run_interactive_comparison
+
+
+def test_interactive_session_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_interactive_comparison, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    with capsys.disabled():
+        print()
+        print(
+            f"  per-interaction: native {result['native_us']:.2f} us, "
+            f"anception {result['anception_us']:.2f} us "
+            f"({result['overhead_percent']}% overhead)"
+        )
+    assert result["overhead_percent"] < 1.0

@@ -1,0 +1,54 @@
+"""E1 — Table I: ASIM latency microbenchmarks.
+
+Regenerates both columns of Table I and asserts the reproduction lands on
+the paper's measurements (native exactly, Anception within 2%).
+"""
+
+import pytest
+
+from repro.perf.micro import PAPER_TABLE1, format_table1, run_full_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_full_table1()
+
+
+def test_table1_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_full_table1, rounds=1, iterations=1)
+    for configuration in ("native", "anception"):
+        for key, value in result["measured"][configuration].items():
+            benchmark.extra_info[f"{configuration}.{key}"] = value
+    with capsys.disabled():
+        print()
+        print(format_table1(result))
+
+
+@pytest.mark.parametrize("key,paper_value,tolerance", [
+    ("getpid_us", 0.76, 0.01),
+    ("write_4096_us", 28.61, 0.01),
+    ("read_4096_us", 6.51, 0.01),
+    ("binder_128_ms", 12.0, 0.01),
+    ("binder_256_ms", 12.0, 0.01),
+])
+def test_native_column_matches_paper(table1, key, paper_value, tolerance):
+    assert table1["measured"]["native"][key] == pytest.approx(
+        paper_value, rel=tolerance
+    )
+
+
+@pytest.mark.parametrize("key,paper_value,tolerance", [
+    ("getpid_us", 0.76, 0.01),
+    ("write_4096_us", 384.45, 0.02),
+    ("read_4096_us", 305.03, 0.02),
+    ("binder_128_ms", 31.0, 0.02),
+    ("binder_256_ms", 31.3, 0.02),
+])
+def test_anception_column_matches_paper(table1, key, paper_value, tolerance):
+    assert table1["measured"]["anception"][key] == pytest.approx(
+        paper_value, rel=tolerance
+    )
+
+
+def test_paper_reference_values_recorded(table1):
+    assert table1["paper"] == PAPER_TABLE1

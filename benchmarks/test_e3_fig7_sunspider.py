@@ -1,0 +1,45 @@
+"""E3 — Figure 7: SunSpider execution times, native vs Anception.
+
+Paper shape: "essentially indistinguishable from native Android" — pure
+userspace computation is never intercepted.
+"""
+
+import pytest
+
+from repro.perf.macro import format_sunspider, run_sunspider
+from repro.workloads.sunspider import SUITES
+
+
+@pytest.fixture(scope="module")
+def sunspider():
+    return run_sunspider()
+
+
+def test_fig7_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_sunspider, rounds=1, iterations=1)
+    for suite in SUITES:
+        benchmark.extra_info[f"native.{suite}_ms"] = (
+            result["times_ms"]["native"][suite]
+        )
+        benchmark.extra_info[f"anception.{suite}_ms"] = (
+            result["times_ms"]["anception"][suite]
+        )
+    with capsys.disabled():
+        print()
+        print(format_sunspider(result))
+
+
+def test_indistinguishable(sunspider):
+    assert sunspider["max_overhead_percent"] < 0.5
+
+
+def test_every_suite_within_measurement_noise(sunspider):
+    for suite in SUITES:
+        native = sunspider["times_ms"]["native"][suite]
+        anception = sunspider["times_ms"]["anception"][suite]
+        assert anception == pytest.approx(native, rel=0.005), suite
+
+
+def test_absolute_times_plausible_for_2012_tablet(sunspider):
+    for suite, ms in sunspider["times_ms"]["native"].items():
+        assert 25 < ms < 1000, suite

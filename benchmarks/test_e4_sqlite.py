@@ -1,0 +1,50 @@
+"""E4 — Section VI-B: the 10,000-row SQLite transaction benchmark.
+
+Paper: 86.67 us/row (Anception) vs 86.55 us/row (native) — virtually
+indistinguishable thanks to page-cache write-back.
+"""
+
+import pytest
+
+from repro.perf.sqlite_bench import PAPER_SQLITE, run_full_sqlite_bench
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return run_full_sqlite_bench()
+
+
+def test_sqlite_bench_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_full_sqlite_bench, rounds=1,
+                                iterations=1)
+    benchmark.extra_info["native_us"] = result["measured"]["native"]["mean_us"]
+    benchmark.extra_info["anception_us"] = (
+        result["measured"]["anception"]["mean_us"]
+    )
+    with capsys.disabled():
+        print()
+        for configuration in ("native", "anception"):
+            measured = result["measured"][configuration]
+            paper = result["paper"][configuration]
+            print(
+                f"  {configuration:<10} {measured['mean_us']:.2f} us/row "
+                f"(paper: {paper['mean_us']} us)"
+            )
+
+
+def test_native_matches_paper(bench):
+    assert bench["measured"]["native"]["mean_us"] == pytest.approx(
+        PAPER_SQLITE["native"]["mean_us"], rel=0.02
+    )
+
+
+def test_anception_matches_paper(bench):
+    assert bench["measured"]["anception"]["mean_us"] == pytest.approx(
+        PAPER_SQLITE["anception"]["mean_us"], rel=0.02
+    )
+
+
+def test_overhead_fraction_of_a_percent(bench):
+    native = bench["measured"]["native"]["mean_us"]
+    anception = bench["measured"]["anception"]["mean_us"]
+    assert 0 <= (anception - native) / native < 0.01

@@ -1,0 +1,49 @@
+"""E5 — Section VI-C: memory overhead of the container VM.
+
+Paper: 64 MB assigned; 25,460 KB +/- 524.54 KB active out of 49,228 KB
+available; a proxy is far smaller than the app it mirrors.
+"""
+
+import pytest
+
+from repro.perf.memory import (
+    headless_vs_full_footprint,
+    run_memory_overhead,
+)
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return run_memory_overhead()
+
+
+def test_memory_overhead_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_memory_overhead, rounds=1, iterations=1)
+    benchmark.extra_info["active_mean_kb"] = result["active_mean_kb"]
+    benchmark.extra_info["active_sd_kb"] = result["active_sd_kb"]
+    with capsys.disabled():
+        print()
+        print(
+            f"  active {result['active_mean_kb']} KB "
+            f"+/- {result['active_sd_kb']} KB of "
+            f"{result['available_kb']} KB available "
+            f"(paper: 25460 +/- 524.54 of 49228)"
+        )
+
+
+def test_active_mean_matches_paper(memory):
+    assert memory["active_mean_kb"] == pytest.approx(25_460, rel=0.005)
+
+
+def test_sd_same_magnitude(memory):
+    assert memory["active_sd_kb"] == pytest.approx(524.54, rel=0.15)
+
+
+def test_roughly_half_remains_for_proxies(memory):
+    assert memory["free_fraction_at_mean"] == pytest.approx(48.3, abs=2.0)
+
+
+def test_headless_design_saves_the_ui_footprint(benchmark_off=None):
+    footprints = headless_vs_full_footprint()
+    assert footprints["fits_in_guest_window"]
+    assert footprints["ui_savings_kb"] > 20_000

@@ -1,0 +1,60 @@
+"""E6 — Section V-B: the 25-CVE vulnerability study.
+
+Paper headline: 23 of 25 blocked sufficiently (15 fail completely, 8 CVM
+root only); the remaining 2 are detectable at the syscall interface.
+Natively, all 25 root the device.
+"""
+
+import pytest
+
+from repro.security.vuln_study import (
+    PAPER_EXPECTED,
+    format_study_table,
+    run_vulnerability_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_vulnerability_study()
+
+
+def test_vuln_study_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_vulnerability_study, rounds=1,
+                                iterations=1)
+    for configuration, summary in result["summary"].items():
+        for outcome, count in summary["outcomes"].items():
+            benchmark.extra_info[f"{configuration}.{outcome}"] = count
+    with capsys.disabled():
+        print()
+        print(format_study_table(result))
+
+
+def test_native_histogram_matches_paper(study):
+    assert study["summary"]["native"]["outcomes"] == PAPER_EXPECTED["native"]
+
+
+def test_anception_histogram_matches_paper(study):
+    assert (
+        study["summary"]["anception"]["outcomes"]
+        == PAPER_EXPECTED["anception"]
+    )
+
+
+def test_23_of_25_blocked_sufficiently(study):
+    outcomes = study["summary"]["anception"]["outcomes"]
+    blocked = outcomes.get("failed", 0) + outcomes.get("cvm-root", 0)
+    assert blocked == 23
+
+
+def test_all_50_rows_match_paper(study):
+    assert all(row.matches_paper for row in study["rows"])
+
+
+def test_confidentiality_probes(study):
+    """Under Anception, no CVM-confined exploit reads app memory or UI."""
+    anception = study["summary"]["anception"]
+    assert anception["memory_reads"] == 2   # only the 2 host-root cases
+    assert anception["input_sniffs"] == 2
+    native = study["summary"]["native"]
+    assert native["memory_reads"] == 25

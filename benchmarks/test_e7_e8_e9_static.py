@@ -1,0 +1,62 @@
+"""E7 + E8 + E9 — the Section V-D static analyses.
+
+* E7: 324 syscalls -> 70.7% redirected / 20.4% host / 6.5% split /
+  2.1% blocked.
+* E8: 108,718 of 181,260 framework lines (60%) + ~1.2M kernel lines
+  deprivileged.
+* E9: the Anception runtime is 5,219 lines, 46.7% of it marshaling.
+"""
+
+import pytest
+
+from repro.security.attack_surface import attack_surface_report
+from repro.security.loc_accounting import loc_report
+from repro.security.tcb import tcb_report
+
+
+def test_e7_attack_surface(benchmark, capsys):
+    report = benchmark.pedantic(attack_surface_report, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(report["percentages"])
+    with capsys.disabled():
+        print()
+        print(f"  counts: {report['counts']}")
+        print(f"  percentages: {report['percentages']}")
+    assert report["total_syscalls"] == 324
+    assert report["percentages"]["redirect"] == 70.7
+    assert report["percentages"]["host"] == 20.4
+    assert report["percentages"]["split"] == 6.5
+    assert report["counts"]["blocked"] == 7
+
+
+def test_e8_loc_accounting(benchmark, capsys):
+    report = benchmark.pedantic(loc_report, rounds=1, iterations=1)
+    benchmark.extra_info["framework_deprivileged"] = (
+        report["framework"]["deprivileged"]
+    )
+    benchmark.extra_info["kernel_deprivileged"] = (
+        report["kernel"]["deprivileged"]
+    )
+    with capsys.disabled():
+        print()
+        print(f"  framework: {report['framework']}")
+        print(f"  kernel: {report['kernel']}")
+    assert report["matches_paper"]
+    assert report["framework"]["deprivileged_fraction"] == 60.0
+    assert report["kernel"]["deprivileged_millions"] == 1.2
+
+
+def test_e9_tcb(benchmark, capsys):
+    report = benchmark.pedantic(tcb_report, rounds=1, iterations=1)
+    benchmark.extra_info["runtime_lines"] = report["runtime"]["total_lines"]
+    benchmark.extra_info["marshaling_fraction"] = (
+        report["runtime"]["marshaling_fraction"]
+    )
+    with capsys.disabled():
+        print()
+        print(f"  runtime: {report['runtime']}")
+        print(f"  trusted-base reduction: "
+              f"{report['comparison']['reduction_fraction']}%")
+    assert report["runtime"]["total_lines"] == 5_219
+    assert report["runtime"]["marshaling_fraction"] == 46.7
+    assert report["comparison"]["reduction_fraction"] > 35

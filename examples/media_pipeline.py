@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""A producer/consumer media pipeline over shared memory + unix sockets.
+
+Two cooperating apps — a camera-style producer and a filter-style
+consumer — move frames the way real Android media stacks do: bulk pixels
+through a System V shared-memory segment, control messages over a unix
+domain socket.  Under Anception the *control plane* lives in the CVM
+(redirected socket calls) while the *frame pixels* stay in host memory:
+the container coordinates the pipeline without ever being able to read a
+frame.
+
+Run:  python examples/media_pipeline.py
+"""
+
+from repro.android.app import App, AppManifest
+from repro.kernel.net import AF_UNIX, SOCK_STREAM
+from repro.kernel.sysv_shm import IPC_CREAT
+from repro.world import AnceptionWorld, NativeWorld
+
+
+SHM_KEY = 0x5EED
+CONTROL_SOCKET = "/data/local/tmp/media-ctl"
+FRAME_SIZE = 4096
+FRAMES = 4
+
+
+class ProducerApp(App):
+    manifest = AppManifest("com.media.producer")
+
+    def main(self, ctx):
+        self.shmid = ctx.libc.syscall("shmget", SHM_KEY, FRAME_SIZE,
+                                      IPC_CREAT)
+        self.buffer = ctx.libc.syscall("shmat", self.shmid)
+        self.ctl = ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        ctx.libc.bind(self.ctl, CONTROL_SOCKET)
+        ctx.libc.syscall("listen", self.ctl)
+        return {"shmid": self.shmid}
+
+    def produce(self, ctx, conn_fd, frame_index):
+        pixels = bytes([0x40 + frame_index]) * 64 + b"FRAME%d" % frame_index
+        ctx.task.address_space.write(self.buffer, pixels)
+        ctx.libc.send(conn_fd, b"frame-ready")
+
+
+class ConsumerApp(App):
+    manifest = AppManifest("com.media.consumer")
+
+    def main(self, ctx):
+        self.shmid = ctx.libc.syscall("shmget", SHM_KEY, FRAME_SIZE, 0)
+        self.buffer = ctx.libc.syscall("shmat", self.shmid)
+        self.ctl = ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        ctx.libc.connect(self.ctl, CONTROL_SOCKET)
+        return {"attached": True}
+
+    def consume(self, ctx):
+        signal = ctx.libc.recv(self.ctl, 32)
+        assert signal == b"frame-ready", signal
+        frame = ctx.task.address_space.read(self.buffer, 71)
+        return frame
+
+
+def run_pipeline(world, label):
+    print(f"\n--- {label} ---")
+    producer = ProducerApp()
+    consumer = ConsumerApp()
+    producer_run = world.install_and_launch(producer)
+    producer_run.run()
+    consumer_run = world.install_and_launch(consumer)
+    consumer_run.run()
+    conn_fd = producer_run.ctx.libc.syscall("accept", producer.ctl)
+
+    for index in range(FRAMES):
+        producer.produce(producer_run.ctx, conn_fd, index)
+        frame = consumer.consume(consumer_run.ctx)
+        print(f"  frame {index}: consumer saw {frame[64:]!r}")
+
+    if world.anception is not None:
+        cvm = world.cvm
+        cvm_segment = cvm.kernel.shm.require(producer.shmid)
+        leaked = any(
+            b"FRAME" in cvm.machine.physical.read_frame(
+                f, cvm.hypervisor.guest_window
+            )
+            for f in cvm_segment.frames
+        )
+        print(f"  control socket in CVM : "
+              f"{CONTROL_SOCKET in cvm.kernel.network._unix_listeners}")
+        print(f"  pixels visible to CVM : {leaked}")
+
+
+def main():
+    run_pipeline(NativeWorld(), "stock Android")
+    run_pipeline(AnceptionWorld(), "Anception")
+    print("\nThe pipeline is unmodified in both runs; under Anception the "
+          "CVM relays\nevery control message yet never holds a pixel.")
+
+
+if __name__ == "__main__":
+    main()

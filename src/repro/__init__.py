@@ -1,0 +1,33 @@
+"""Anception reproduction: decomposable trust for Android applications.
+
+Reproduction of Fernandes, Aluri, Crowell & Prakash, *"Decomposable Trust
+for Android Applications"* (DSN 2015) as a deterministic whole-stack
+simulation.  The public entry points:
+
+* :class:`repro.world.NativeWorld` / :class:`repro.world.AnceptionWorld`
+  — boot a stock or Anception-protected device,
+* :class:`repro.android.app.App` — write apps against the simulated
+  Android API,
+* :mod:`repro.exploits` — the 25-CVE corpus and scripted exploits,
+* :mod:`repro.security` — the attack-surface / LoC / TCB analytics,
+* :mod:`repro.perf` — the Table I / Figure 6 / Figure 7 benchmark
+  harness.
+
+Quickstart::
+
+    from repro.world import AnceptionWorld
+    from repro.workloads.apps import BankingApp
+
+    world = AnceptionWorld()
+    running = world.install_and_launch(BankingApp())
+    world.focus(running)
+    world.type_text("alice", password=False)
+    world.type_text("hunter2", password=True)
+    running.run()
+"""
+
+from repro.world import AnceptionWorld, ClassicalVmWorld, NativeWorld
+
+__version__ = "1.0.0"
+
+__all__ = ["AnceptionWorld", "ClassicalVmWorld", "NativeWorld", "__version__"]

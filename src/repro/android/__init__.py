@@ -1,0 +1,19 @@
+"""Android userspace substrate.
+
+Everything above the kernel that the paper's threat model touches:
+
+* :mod:`repro.android.binder` — the binder driver and IPC transactions,
+* :mod:`repro.android.services` — privileged system services (vold with
+  the GingerBreak flaw, WindowManager, InputManager, Location, ...),
+* :mod:`repro.android.ui` — the UI/Input stack (framebuffer surfaces,
+  input routing, soft keyboard),
+* :mod:`repro.android.app` / ``installer`` / ``zygote`` — the app model:
+  per-app UIDs, `/data/data` directories, install and launch,
+* :mod:`repro.android.framework` — system boot, full or headless,
+* :mod:`repro.android.sqlite` — a small embedded DB for the macrobenchmarks,
+* :mod:`repro.android.logcat` — the log daemon GingerBreak manipulates.
+"""
+
+from repro.android.framework import AndroidSystem
+
+__all__ = ["AndroidSystem"]

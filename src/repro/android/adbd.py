@@ -1,0 +1,97 @@
+"""adbd — the Android debug bridge daemon, with the RATC flaw.
+
+adbd starts as root and *drops* to the shell UID (2000) during startup.
+On GingerBread-era builds the ``setuid`` return value was not checked:
+RageAgainstTheCage fork-bombs the shell UID to its RLIMIT_NPROC, forces
+an adbd restart, and the failing (EAGAIN) privilege drop is silently
+ignored — the next ``adb shell`` is root.
+
+The daemon answers a FrameworkListener-style command socket:
+
+* ``shell``   — spawn a shell process with adbd's *current* credentials;
+* ``restart`` — tear down and re-run the (buggy) startup sequence;
+* ``whoami``  — report the daemon's current uid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyscallError
+from repro.events import record_compromise
+from repro.kernel.process import Credentials, ROOT_UID
+
+
+SHELL_UID = 2000
+"""AID_SHELL."""
+
+ADBD_SOCKET = "/dev/socket/adbd"
+
+
+class AdbDaemon:
+    """The debug bridge daemon (root at exec, shell-uid after drop)."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.task = kernel.spawn_task("adbd", Credentials(ROOT_UID))
+        self.task.exe_path = "/system/bin/adbd"
+        self.drop_failures = 0
+        self.spawned_shells = []
+        kernel.network.unix_service(ADBD_SOCKET, self.handle_command)
+        self._drop_privileges()
+
+    def _drop_privileges(self):
+        """The buggy startup sequence: setuid's result is ignored."""
+        try:
+            self.kernel.execute_native(
+                self.task, "setuid", (SHELL_UID,), {}
+            )
+        except SyscallError:
+            # THE BUG (CVE-2010-EASY): the failure is swallowed and the
+            # daemon continues running as root.
+            self.drop_failures += 1
+
+    @property
+    def uid(self):
+        return self.task.credentials.uid
+
+    def handle_command(self, data):
+        command = bytes(data).decode(errors="replace").strip()
+        if command == "whoami":
+            return f"uid={self.uid}".encode()
+        if command == "shell":
+            return self._spawn_shell()
+        if command == "restart":
+            return self._restart()
+        return b"unknown-command"
+
+    def _spawn_shell(self):
+        """An adb shell runs with the daemon's current credentials."""
+        try:
+            self.kernel.check_nproc(self.task.credentials.uid)
+            shell = self.kernel.spawn_task(
+                "adb-shell", self.task.credentials, parent=self.task
+            )
+        except SyscallError as exc:
+            return f"error:{exc.errno}".encode()
+        self.spawned_shells.append(shell)
+        if shell.credentials.is_root():
+            record_compromise(
+                "adbd-root-shell", self.kernel, task=self.task,
+                shell=shell, got_root=True,
+            )
+        return f"shell:pid={shell.pid}:uid={shell.credentials.uid}".encode()
+
+    def _restart(self):
+        """Run the restart sequence: new instance up, old instance out.
+
+        The new adbd is exec'd (as root) and attempts its privilege drop
+        *while the old instance is still exiting* — the race window RATC
+        exploits: with the shell UID at its limit (old adbd + orphaned
+        adb shells), the drop fails and is ignored; only then does the
+        old instance disappear.
+        """
+        old_task = self.task
+        self.task = self.kernel.spawn_task("adbd", Credentials(ROOT_UID))
+        self.task.exe_path = "/system/bin/adbd"
+        self._drop_privileges()
+        self.kernel.reap_task(old_task)
+        return f"restarted:uid={self.uid}".encode()

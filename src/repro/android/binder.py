@@ -1,0 +1,140 @@
+"""Binder IPC: driver, transactions, service manager.
+
+Binder is Android's capability-based synchronous IPC.  Apps open
+``/dev/binder`` and drive it with ioctls — which is precisely why
+Anception can sort UI traffic from everything else *at the system call
+interface*: the transaction's target service is visible in the ioctl
+argument (Section III-B, "Isolating and securing the UI/Input").
+
+Two ioctls matter:
+
+* ``BINDER_WRITE_READ`` carrying a :class:`Transaction` — a synchronous
+  call into a system service, dispatched via the service manager.
+* ``IOC_WAIT_INPUT_EVT`` — the banking-app Listing 1 idiom: block until
+  the input subsystem delivers an event for the caller's window.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+
+
+BINDER_WRITE_READ = 0xC0186201
+IOC_WAIT_INPUT_EVT = 0xC0186F01
+
+
+class Transaction:
+    """One binder call: target service name, method code, payload."""
+
+    def __init__(self, target, method, payload=None):
+        self.target = target
+        self.method = method
+        self.payload = payload if payload is not None else {}
+        self.reply = None
+        self.sender_pid = None
+        self.sender_uid = None
+
+    @property
+    def payload_size(self):
+        """Approximate marshaled size in bytes (for latency accounting)."""
+        return len(repr(self.payload).encode())
+
+    def __repr__(self):
+        return f"Transaction({self.target}.{self.method})"
+
+
+class ServiceManager:
+    """Binder handle 0: the name -> service registry."""
+
+    def __init__(self):
+        self._services = {}
+
+    def register(self, service):
+        self._services[service.name] = service
+
+    def unregister(self, name):
+        self._services.pop(name, None)
+
+    def get(self, name):
+        return self._services.get(name)
+
+    def names(self):
+        return sorted(self._services)
+
+    def services(self):
+        return [self._services[name] for name in self.names()]
+
+
+class BinderDriver:
+    """The ``/dev/binder`` device node.
+
+    Each kernel (host and CVM) has its own driver instance bound to its
+    own service manager; transactions never cross kernels by themselves —
+    that bridging is Anception's job.
+    """
+
+    def __init__(self, kernel, service_manager, ui_stack=None):
+        self.kernel = kernel
+        self.service_manager = service_manager
+        self.ui_stack = ui_stack
+        self.transaction_log = []
+
+    def read(self, open_file, length):
+        raise SyscallError(errno.EINVAL, "binder supports only ioctl")
+
+    def write(self, open_file, data):
+        raise SyscallError(errno.EINVAL, "binder supports only ioctl")
+
+    def ioctl(self, task, open_file, request, arg):
+        if request == IOC_WAIT_INPUT_EVT:
+            if self.ui_stack is None:
+                raise SyscallError(errno.ENODEV, "no UI stack on this kernel")
+            self.kernel.clock.advance(
+                self.kernel.costs.ui_ioctl_ns, "binder:wait-input"
+            )
+            return self.ui_stack.wait_input(task)
+        if request == BINDER_WRITE_READ:
+            return self.transact(task, arg)
+        raise SyscallError(errno.EINVAL, f"binder ioctl {request:#x}")
+
+    def transact(self, task, transaction):
+        """Execute a transaction synchronously against a local service."""
+        if not isinstance(transaction, Transaction):
+            raise SyscallError(errno.EINVAL, "binder arg must be Transaction")
+        service = self.service_manager.get(transaction.target)
+        if service is None:
+            raise SyscallError(
+                errno.ENOENT, f"no service {transaction.target!r}"
+            )
+        transaction.sender_pid = task.pid
+        transaction.sender_uid = task.credentials.uid
+        cost = (
+            self.kernel.costs.ui_ioctl_ns
+            if service.ui_related
+            else self.kernel.costs.binder_transaction_ns
+        )
+        self.kernel.clock.advance(cost, f"binder:{transaction.target}")
+        self.transaction_log.append(
+            (task.pid, transaction.target, transaction.method)
+        )
+        transaction.reply = service.handle_transaction(
+            transaction.method, transaction.payload, task
+        )
+        return transaction.reply
+
+
+def is_ui_transaction(service_manager_names, request, arg):
+    """The redirection logic's UI test, run at the syscall interface.
+
+    UI/Input traffic is identifiable without trusting the app: either the
+    wait-for-input ioctl, or a BINDER_WRITE_READ whose target is one of the
+    well-known UI service names.  ``service_manager_names`` is the set of
+    UI-related service names registered on the host.
+    """
+    if request == IOC_WAIT_INPUT_EVT:
+        return True
+    if request == BINDER_WRITE_READ and isinstance(arg, Transaction):
+        return arg.target in service_manager_names
+    return False

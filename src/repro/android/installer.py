@@ -1,0 +1,121 @@
+"""App installation: UID allocation, code placement, data directories.
+
+Installation is performed by the system (root) and establishes the state
+Anception's first principle relies on:
+
+* the app's code lands in ``/data/app/<pkg>.apk`` — on the **host**
+  filesystem, readable but not writable by the app;
+* the app's private directory ``/data/data/<pkg>`` is created mode 0700,
+  owned by the app's fresh UID (>= 10000);
+* any initial data packaged with the APK is unpacked into that directory
+  (and copied to the CVM at enrollment, Section III-D "File I/O").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.kernel.loader import build_pseudo_elf
+from repro.kernel.process import Credentials, FIRST_APP_UID, ROOT_UID
+from repro.kernel.vfs import O_CREAT, O_TRUNC, O_WRONLY
+
+
+PERMISSION_GIDS = {
+    "INTERNET": 3003,       # AID_INET
+    "BLUETOOTH": 3001,      # AID_NET_BT
+    "WRITE_EXTERNAL_STORAGE": 1015,  # AID_SDCARD_RW
+}
+"""Android's permission -> supplementary-GID mapping (paranoid network)."""
+
+
+def permission_groups(manifest):
+    """Supplementary GIDs granted by the manifest's permissions."""
+    return tuple(
+        PERMISSION_GIDS[name]
+        for name in manifest.permissions
+        if name in PERMISSION_GIDS
+    )
+
+
+class InstalledApp:
+    """Install record for one package."""
+
+    def __init__(self, manifest, uid, code_path, data_dir):
+        self.manifest = manifest
+        self.uid = uid
+        self.code_path = code_path
+        self.data_dir = data_dir
+        self.groups = permission_groups(manifest)
+
+    @property
+    def package(self):
+        return self.manifest.package
+
+    def __repr__(self):
+        return f"InstalledApp({self.package!r}, uid={self.uid})"
+
+
+class Installer:
+    """The package-installer side of the system (runs as root)."""
+
+    def __init__(self, kernel, system):
+        self.kernel = kernel
+        self.system = system
+        self._next_uid = FIRST_APP_UID
+        self._shared_uids = {}
+        self.installed = {}
+        self._root = Credentials(ROOT_UID)
+
+    def _allocate_uid(self, manifest):
+        shared = getattr(manifest, "shared_user_id", None)
+        if shared is not None and shared in self._shared_uids:
+            return self._shared_uids[shared]
+        uid = self._next_uid
+        self._next_uid += 1
+        if shared is not None:
+            self._shared_uids[shared] = uid
+        return uid
+
+    def install(self, manifest):
+        """Install an app; returns its :class:`InstalledApp` record."""
+        if manifest.package in self.installed:
+            raise SimulationError(f"{manifest.package} already installed")
+        uid = self._allocate_uid(manifest)
+
+        code_path = f"/data/app/{manifest.package}.apk"
+        code = build_pseudo_elf(
+            name=manifest.package,
+            got_address=0x2_0000,
+            symbols={},
+            code_units=manifest.code_units,
+            payload=manifest.payload,
+        )
+        # World-readable + executable, never writable by apps: the runtime
+        # loads app code directly from this image.
+        self._write_as_root(code_path, code, mode=0o755)
+
+        data_dir = f"/data/data/{manifest.package}"
+        self.kernel.vfs.mkdir(data_dir, self._root, mode=0o700)
+        self.kernel.vfs.chown(data_dir, uid, uid, self._root)
+        for relative, content in manifest.initial_data.items():
+            self._write_as_root(f"{data_dir}/{relative}", content, mode=0o600)
+            self.kernel.vfs.chown(f"{data_dir}/{relative}", uid, uid, self._root)
+
+        record = InstalledApp(manifest, uid, code_path, data_dir)
+        self.installed[manifest.package] = record
+        if self.system is not None and self.system.has_service("package"):
+            self.system.service("package").register_package(
+                manifest.package, uid, code_path
+            )
+        return record
+
+    def uninstall(self, package):
+        record = self.installed.pop(package, None)
+        if record is None:
+            raise SimulationError(f"{package} not installed")
+        self.kernel.vfs.unlink(record.code_path, self._root)
+
+    def _write_as_root(self, path, data, mode):
+        open_file = self.kernel.vfs.open(
+            path, O_WRONLY | O_CREAT | O_TRUNC, self._root, mode
+        )
+        open_file.write(bytes(data))

@@ -1,0 +1,77 @@
+"""logcat: the log daemon GingerBreak kills and restarts.
+
+The real exploit brute-forces vold's negative index by (1) pointing a
+fresh logcat instance at a file it owns, (2) spraying candidate indexes,
+and (3) scanning the file for vold's SIGSEGV reports.  Under Anception
+each of those steps lands in the container: the exploit's file writes are
+redirected, the killed/restarted logcat is bound to the app's container,
+and the log device it drains is the CVM's.
+
+The logcat *binary* is a registered payload: exec'ing
+``/system/bin/logcat`` with an output path in ``argv`` runs
+:func:`logcat_payload` in whichever kernel serviced the exec.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import vfs
+from repro.kernel.libc import Libc
+from repro.kernel.loader import register_payload
+
+
+LOG_DEVICE_PATH = "/dev/log/main"
+
+
+@register_payload("logcat")
+def logcat_payload(kernel, task):
+    """The logcat program: drain the log device into an output file.
+
+    ``argv[0]`` (when present) selects the output file, mirroring
+    ``logcat -f <file>``.  All I/O goes through ordinary syscalls so the
+    redirection logic applies to it like to any other program.
+    """
+    libc = Libc(kernel, task)
+    output_path = task.argv[0] if task.argv else "/data/local/tmp/logcat.txt"
+    log_fd = libc.open(LOG_DEVICE_PATH, vfs.O_RDONLY)
+    out_fd = libc.open(
+        output_path, vfs.O_WRONLY | vfs.O_CREAT | vfs.O_APPEND, 0o644
+    )
+    total = 0
+    try:
+        while True:
+            chunk = libc.read(log_fd, 65536)
+            if not chunk:
+                break
+            libc.write(out_fd, chunk + b"\n")
+            total += len(chunk)
+    finally:
+        libc.close(log_fd)
+        libc.close(out_fd)
+    return total
+
+
+class LogcatDaemon:
+    """Bookkeeping wrapper for a running logcat instance."""
+
+    def __init__(self, kernel, task, output_path):
+        self.kernel = kernel
+        self.task = task
+        self.output_path = output_path
+
+    @property
+    def alive(self):
+        return self.task.is_alive()
+
+    def pump(self):
+        """Run one drain cycle of the daemon."""
+        return logcat_payload(self.kernel, self.task)
+
+
+def start_system_logcat(kernel, output_path="/data/system/logcat.txt"):
+    """Boot-time logcat started by init (runs as the log uid)."""
+    from repro.kernel.process import Credentials
+
+    task = kernel.spawn_task("logcat", Credentials(1007))  # AID_LOG
+    task.exe_path = "/system/bin/logcat"
+    task.argv = (output_path,)
+    return LogcatDaemon(kernel, task, output_path)

@@ -1,0 +1,12 @@
+"""Privileged Android system services.
+
+Each service declares its lines-of-code (used by the Section V-D
+deprivileging accounting) and whether it is UI/Input/lifecycle related
+(which decides the partition: UI-related services stay on the host, the
+rest are delegated to the CVM).
+"""
+
+from repro.android.services.base import Service, ServiceCatalog
+from repro.android.services.vold import VoldService
+
+__all__ = ["Service", "ServiceCatalog", "VoldService"]

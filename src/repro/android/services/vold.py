@@ -1,0 +1,154 @@
+"""vold — the volume daemon, with the GingerBreak flaw (CVE-2011-1823).
+
+vold runs as **root** and listens on a netlink socket whose permissions
+were misconfigured so any local process can deliver messages to it.  Its
+partition-added handler indexes an array with a *signed* integer taken
+from the message without a lower-bounds check: a crafted negative index
+writes through the Global Offset Table, redirecting vold's next library
+call into ``system(attacker_binary)`` — executed as root.
+
+The mechanics reproduced here (all observable through the simulation, not
+scripted):
+
+* wrong negative indexes crash the handler, and vold logs the fault —
+  which is what the real exploit brute-force watches logcat for;
+* the magic index is a deterministic function of vold's GOT address, which
+  the exploit learns by parsing ``/system/bin/vold`` (pseudo-ELF);
+* on a hit, vold forks/execs the path named in the message **as root, on
+  vold's own kernel** — which under Anception is the CVM, so the "root
+  shell" lands in the container.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.android.services.base import Service, ServiceCatalog
+from repro.errors import SyscallError
+from repro.kernel.loader import run_payload
+from repro.kernel.net import NETLINK_KOBJECT_UEVENT, SOCK_DGRAM, AF_NETLINK
+from repro.kernel.process import Credentials, ROOT_UID
+
+
+def gingerbreak_magic_index(got_address):
+    """The negative array index that lands the write on vold's GOT.
+
+    Deterministic in the binary layout, exactly like the real offset: the
+    exploit can compute it after parsing the ELF, or brute-force it.
+    """
+    return -((got_address >> 4) % 47 + 3)
+
+
+@ServiceCatalog.register
+class VoldService(Service):
+    """The volume daemon (root, netlink-driven)."""
+
+    name = "vold"
+    uid = ROOT_UID
+    lines_of_code = 8_432
+    ui_related = False
+    memory_kb = 1_280
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.task.exe_path = "/system/bin/vold"
+        self.task.name = "/system/bin/vold"
+        self.crash_count = 0
+        self.executed_binaries = []
+        self._netlink_socket = kernel.network.create_socket(
+            AF_NETLINK, SOCK_DGRAM, NETLINK_KOBJECT_UEVENT, self.task.pid
+        )
+        kernel.network.netlink_listen(self._netlink_socket, self.on_netlink)
+        self._magic_index = gingerbreak_magic_index(self._got_address())
+        # The framework command socket (libsysutils FrameworkListener)
+        # carries the zergRush (CVE-2011-3874) use-after-free.
+        kernel.network.unix_service(self.COMMAND_SOCKET, self.on_command)
+        self._dangling_buffer = False
+
+    def _got_address(self):
+        from repro.kernel.loader import parse_pseudo_elf
+
+        inode = self.kernel.vfs.resolve(
+            "/system/bin/vold", Credentials(ROOT_UID)
+        )
+        return parse_pseudo_elf(bytes(inode.data))["got"]
+
+    # -- binder interface (MountService relays through here too) ---------
+
+    def method_mount(self, payload, sender):
+        return {"status": "mounted", "path": payload.get("path", "/mnt/sdcard")}
+
+    def method_unmount(self, payload, sender):
+        return {"status": "unmounted"}
+
+    # -- the framework command socket (zergRush, CVE-2011-3874) -----------
+
+    COMMAND_SOCKET = "/dev/socket/vold"
+    ZERGRUSH_OVERFLOW_LEN = 128
+
+    def on_command(self, data):
+        """libsysutils command dispatch with the use-after-free.
+
+        An oversized argument frees the command buffer but leaves the
+        dispatcher holding the dangling pointer; the *next* command's
+        bytes are interpreted through it — crafted input redirects
+        execution into ``system(<attacker path>)`` as root.
+        """
+        command = bytes(data).decode(errors="replace")
+        if len(command) > self.ZERGRUSH_OVERFLOW_LEN:
+            self._dangling_buffer = True
+            self._log_crash("vold: CommandListener buffer overflow")
+            return b"500 Command too long"
+        if self._dangling_buffer:
+            self._dangling_buffer = False
+            if command.startswith("ZERG:"):
+                self._execute_as_root(command.split(":", 1)[1])
+                return b"200 zerg"
+            self._log_crash("vold: signal 11 (SIGSEGV), dangling command")
+            return b"500 fault"
+        if command.startswith("volume "):
+            return b"200 volume operation queued"
+        return b"500 Command not recognized"
+
+    # -- the vulnerable netlink handler -------------------------------------
+
+    def on_netlink(self, sender_socket, data):
+        """Partition-event handler with the signed-index flaw."""
+        try:
+            message = json.loads(bytes(data).decode())
+        except (UnicodeDecodeError, ValueError):
+            self._log_crash("malformed netlink message")
+            return
+        if message.get("action") != "add":
+            return
+        index = int(message.get("index", 0))
+        if index >= 0:
+            # In-bounds: normal (harmless) partition bookkeeping.
+            return
+        if index != self._magic_index:
+            # Out-of-bounds write missed the GOT: handler faults.
+            self._log_crash(f"vold: signal 11 (SIGSEGV), fault index {index}")
+            return
+        # GOT entry now points at system(); the "device path" argument is
+        # attacker-controlled: vold executes it as root.
+        target = message.get("path", "")
+        self._execute_as_root(target)
+
+    def _log_crash(self, text):
+        self.crash_count += 1
+        if self.kernel.log_device is not None:
+            self.kernel.log_device.append("vold", text)
+
+    def _execute_as_root(self, path):
+        """fork/exec ``path`` with vold's (root) credentials on this kernel."""
+        child = self.kernel.spawn_task(
+            "vold-child", Credentials(ROOT_UID), parent=self.task
+        )
+        try:
+            image = self.kernel.execute_native(child, "execve", (path,), {})
+        except SyscallError as exc:
+            self._log_crash(f"vold: exec {path} failed: {exc}")
+            self.kernel.reap_task(child)
+            return
+        self.executed_binaries.append(path)
+        run_payload(self.kernel, child, image)

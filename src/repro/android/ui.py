@@ -1,0 +1,146 @@
+"""The UI/Input stack: windows, focus, input routing, soft keyboard.
+
+This code only ever exists on the **host**.  A headless Android instance
+(the CVM) has no :class:`UIStack`, no framebuffer and no input device —
+the design decision that both protects interactive input (principle 2)
+and saves the memory the Section VI-C experiment measures.
+
+Input flow: hardware events are injected into the host's input device;
+the stack routes each event to the focused window; the owning app picks
+it up with the ``IOC_WAIT_INPUT_EVT`` binder ioctl.  At no point does
+event data transit any CVM-visible structure.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+
+
+class InputEvent:
+    """One user-input event (touch or key/text)."""
+
+    __slots__ = ("kind", "text", "x", "y", "is_password_field")
+
+    def __init__(self, kind, text="", x=0, y=0, is_password_field=False):
+        self.kind = kind
+        self.text = text
+        self.x = x
+        self.y = y
+        self.is_password_field = is_password_field
+
+    def __repr__(self):
+        shown = "*" * len(self.text) if self.is_password_field else self.text
+        return f"InputEvent({self.kind}, {shown!r})"
+
+
+class Window:
+    """A window surface owned by one app task."""
+
+    _next_id = [1]
+
+    def __init__(self, owner_task, title):
+        self.window_id = Window._next_id[0]
+        Window._next_id[0] += 1
+        self.owner_task = owner_task
+        self.title = title
+        self.frames_submitted = 0
+        self.event_queue = []
+
+
+class UIStack:
+    """Host-only display and input management."""
+
+    def __init__(self, input_device=None, framebuffer=None):
+        self.input_device = input_device
+        self.framebuffer = framebuffer
+        self.windows = {}
+        self.focused_window = None
+        self.keyboard_visible = False
+        self.delivered_events = []
+
+    # -- window management ---------------------------------------------------
+
+    def create_window(self, owner_task, title=""):
+        window = Window(owner_task, title)
+        self.windows[window.window_id] = window
+        if self.focused_window is None:
+            self.focused_window = window
+        return window
+
+    def set_focus_by_window(self, window_id):
+        window = self.windows.get(window_id)
+        if window is None:
+            raise SyscallError(errno.ENOENT, f"window {window_id}")
+        self.focused_window = window
+
+    def set_focus_by_task(self, task):
+        for window in self.windows.values():
+            if window.owner_task is task:
+                self.focused_window = window
+                return window
+        raise SyscallError(errno.ENOENT, f"no window for pid {task.pid}")
+
+    def window_of(self, task):
+        for window in self.windows.values():
+            if window.owner_task is task:
+                return window
+        return None
+
+    def destroy_windows_of(self, task):
+        for window_id in [
+            wid for wid, w in self.windows.items() if w.owner_task is task
+        ]:
+            window = self.windows.pop(window_id)
+            if self.focused_window is window:
+                self.focused_window = None
+
+    def submit_frame(self, task, pixels):
+        window = self.window_of(task)
+        if window is None:
+            raise SyscallError(errno.ENOENT, f"no window for pid {task.pid}")
+        window.frames_submitted += 1
+        if self.framebuffer is not None:
+            # Composition writes into the real framebuffer device.
+            data = bytes(pixels)[:4096]
+            if data:
+                self.framebuffer._buffer[: len(data)] = data
+
+    # -- input routing ---------------------------------------------------------
+
+    def inject_text(self, text, is_password_field=False):
+        """Hardware/soft-keyboard text entry aimed at the focused window."""
+        event = InputEvent(
+            "text", text=text, is_password_field=is_password_field
+        )
+        self._route(event)
+        return event
+
+    def inject_touch(self, x, y):
+        event = InputEvent("touch", x=x, y=y)
+        self._route(event)
+        return event
+
+    def _route(self, event):
+        if self.input_device is not None:
+            self.input_device.inject(event)
+        if self.focused_window is None:
+            return
+        self.focused_window.event_queue.append(event)
+
+    def wait_input(self, task):
+        """The IOC_WAIT_INPUT_EVT implementation: pop one event."""
+        window = self.window_of(task)
+        if window is None:
+            raise SyscallError(errno.ENOENT, f"no window for pid {task.pid}")
+        if not window.event_queue:
+            return None
+        event = window.event_queue.pop(0)
+        self.delivered_events.append((task.pid, event))
+        return event
+
+    @property
+    def memory_kb(self):
+        """Resident cost of the UI stack itself (framebuffers, queues)."""
+        return 8_000

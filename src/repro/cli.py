@@ -1,0 +1,155 @@
+"""Command-line entry point: run any experiment from the shell.
+
+Usage (installed as the ``anception`` script)::
+
+    anception table1              # Table I microbenchmarks
+    anception antutu              # Figure 6
+    anception sunspider           # Figure 7
+    anception sqlite              # Section VI-B sqlite benchmark
+    anception memory              # Section VI-C memory overhead
+    anception vuln-study          # Section V-B, all 25 CVEs
+    anception attack-surface      # Section V-D syscall partition
+    anception loc                 # Section V-D lines-of-code accounting
+    anception tcb                 # Section V-D Anception TCB
+    anception profiledroid        # Section VI-A app profiling
+    anception all                 # everything, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _print_json(data):
+    print(json.dumps(data, indent=2, default=str))
+
+
+def cmd_table1(_args):
+    from repro.perf.micro import format_table1, run_full_table1
+
+    print(format_table1(run_full_table1()))
+
+
+def cmd_antutu(_args):
+    from repro.perf.macro import format_antutu, run_antutu
+
+    print(format_antutu(run_antutu()))
+
+
+def cmd_sunspider(_args):
+    from repro.perf.macro import format_sunspider, run_sunspider
+
+    print(format_sunspider(run_sunspider()))
+
+
+def cmd_sqlite(_args):
+    from repro.perf.sqlite_bench import run_full_sqlite_bench
+
+    _print_json(run_full_sqlite_bench())
+
+
+def cmd_memory(_args):
+    from repro.perf.memory import headless_vs_full_footprint, run_memory_overhead
+
+    report = run_memory_overhead()
+    report["footprints"] = headless_vs_full_footprint()
+    _print_json(report)
+
+
+def cmd_vuln_study(_args):
+    from repro.security.vuln_study import (
+        format_study_table,
+        run_vulnerability_study,
+    )
+
+    result = run_vulnerability_study()
+    print(format_study_table(result))
+    _print_json(result["summary"])
+
+
+def cmd_attack_surface(_args):
+    from repro.security.attack_surface import attack_surface_report
+
+    _print_json(attack_surface_report())
+
+
+def cmd_loc(_args):
+    from repro.security.loc_accounting import loc_report
+
+    _print_json(loc_report())
+
+
+def cmd_tcb(_args):
+    from repro.security.tcb import tcb_report
+
+    _print_json(tcb_report())
+
+
+def cmd_profiledroid(_args):
+    from repro.perf.profiledroid import run_profiledroid
+
+    _print_json(run_profiledroid())
+
+
+def cmd_interactive(_args):
+    from repro.perf.interactive import run_interactive_comparison
+
+    _print_json(run_interactive_comparison())
+
+
+def cmd_alternatives(_args):
+    from repro.core.alternatives import (
+        interception_comparison,
+        transport_comparison,
+    )
+
+    _print_json({
+        "interception": interception_comparison(),
+        "transport_4kb": transport_comparison(),
+    })
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "antutu": cmd_antutu,
+    "sunspider": cmd_sunspider,
+    "sqlite": cmd_sqlite,
+    "memory": cmd_memory,
+    "vuln-study": cmd_vuln_study,
+    "attack-surface": cmd_attack_surface,
+    "loc": cmd_loc,
+    "tcb": cmd_tcb,
+    "profiledroid": cmd_profiledroid,
+    "interactive": cmd_interactive,
+    "alternatives": cmd_alternatives,
+}
+
+
+def cmd_all(args):
+    for name, command in COMMANDS.items():
+        print(f"\n===== {name} =====")
+        command(args)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="anception",
+        description="Anception (DSN 2015) reproduction experiments",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["all"],
+        help="experiment to run",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        cmd_all(args)
+    else:
+        COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Deterministic simulated clock.
+
+All latency numbers in the reproduction are *simulated*: the kernel, the
+Anception layer, and the workloads charge costs (in nanoseconds) to a shared
+:class:`SimClock`.  Benchmarks then read elapsed simulated time instead of
+wall-clock time, which makes every experiment deterministic and independent
+of the machine running the test suite.
+"""
+
+from __future__ import annotations
+
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+class SimClock:
+    """A monotonically increasing nanosecond counter.
+
+    The clock only moves when a component charges time to it; there is no
+    background tick.  ``advance`` is the single mutation point so that a
+    test can wrap it to trace where time goes.
+    """
+
+    def __init__(self, start_ns=0):
+        self._now_ns = int(start_ns)
+        self._charges = []
+        self._trace_enabled = False
+
+    @property
+    def now_ns(self):
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_us(self):
+        """Current simulated time in microseconds (float)."""
+        return self._now_ns / NSEC_PER_USEC
+
+    def advance(self, delta_ns, reason=""):
+        """Move time forward by ``delta_ns`` nanoseconds.
+
+        Args:
+            delta_ns: non-negative duration to add.
+            reason: short label recorded when tracing is enabled.
+        """
+        delta_ns = int(delta_ns)
+        if delta_ns < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ns} ns)")
+        self._now_ns += delta_ns
+        if self._trace_enabled and delta_ns:
+            self._charges.append((reason or "unlabelled", delta_ns))
+
+    def enable_trace(self):
+        """Start recording (reason, delta) pairs for every advance."""
+        self._trace_enabled = True
+        self._charges = []
+
+    def disable_trace(self):
+        self._trace_enabled = False
+
+    def drain_trace(self):
+        """Return and clear the recorded charges."""
+        charges, self._charges = self._charges, []
+        return charges
+
+    def measure(self):
+        """Return a context manager measuring elapsed simulated time.
+
+        Example::
+
+            with clock.measure() as span:
+                run_workload()
+            print(span.elapsed_us)
+        """
+        return _Span(self)
+
+    def __repr__(self):
+        return f"SimClock(now={self._now_ns} ns)"
+
+
+class _Span:
+    """Context manager capturing a [start, end] window on a SimClock."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.start_ns = None
+        self.end_ns = None
+
+    def __enter__(self):
+        self.start_ns = self._clock.now_ns
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.end_ns = self._clock.now_ns
+        return False
+
+    @property
+    def elapsed_ns(self):
+        end = self.end_ns if self.end_ns is not None else self._clock.now_ns
+        return end - self.start_ns
+
+    @property
+    def elapsed_us(self):
+        return self.elapsed_ns / NSEC_PER_USEC
+
+    @property
+    def elapsed_ms(self):
+        return self.elapsed_ns / NSEC_PER_MSEC

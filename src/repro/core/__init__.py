@@ -1,0 +1,18 @@
+"""Anception: the paper's primary contribution.
+
+* :mod:`repro.core.policy` — the redirection logic (Section III-D),
+* :mod:`repro.core.marshal` — argument marshaling and fd translation,
+* :mod:`repro.core.channel` — the remapped-pages host<->guest channel,
+* :mod:`repro.core.proxy` — per-app CVM proxy processes,
+* :mod:`repro.core.cvm` — the container VM (hypervisor + headless Android),
+* :mod:`repro.core.exec_cache` — the host-side execution cache,
+* :mod:`repro.core.anception` — the interposition layer tying it together,
+* :mod:`repro.core.crypto_fs` — the Section VII transparent-encryption
+  extension.
+"""
+
+from repro.core.anception import AnceptionLayer
+from repro.core.cvm import ContainerVM
+from repro.core.policy import Decision, RedirectionPolicy
+
+__all__ = ["AnceptionLayer", "ContainerVM", "Decision", "RedirectionPolicy"]

@@ -1,0 +1,180 @@
+"""The roads not taken: Anception's abandoned prototype designs.
+
+Section IV records two graveyards:
+
+* **Interception** — "Anception's first prototype used UML and ptrace but
+  the overhead was grievous (upwards of 60x).  kprobes is not ideal for
+  our use-case because we are only interested in specific processes'
+  system calls and not the whole system."  ASIM (the RE byte + alternate
+  table) won.
+* **Transport** — "Our previous prototypes investigated other forms of
+  communication such as sockets and virtio but they exhibited high
+  overhead due to unnecessary data copy operations."  The kmap-remapped
+  shared pages won.
+
+This module models each alternative's cost structure on the same
+calibrated constants so the ablation benchmark can regenerate the
+design-space comparison that justified the published design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costs import DEFAULT_COSTS, PAGE_SIZE
+
+
+# ---------------------------------------------------------------------------
+# interception mechanisms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InterceptionModel:
+    """Per-trap cost of one syscall-interception mechanism.
+
+    ``per_call_ns`` is the *added* cost of deciding whether/where to
+    redirect one system call, before any forwarding work.
+    ``whole_system`` marks mechanisms that tax every process on the
+    device rather than only enrolled apps.
+    """
+
+    name: str
+    per_call_ns: int
+    whole_system: bool
+    note: str
+
+    def slowdown_on(self, base_ns):
+        """Multiplier over an uninstrumented trap of ``base_ns``."""
+        return (base_ns + self.per_call_ns) / base_ns
+
+
+def asim_model(costs=DEFAULT_COSTS):
+    """The shipped design: one byte compared in the trap path."""
+    return InterceptionModel(
+        name="asim",
+        per_call_ns=costs.asim_check_ns,
+        whole_system=False,
+        note="redirection-entry byte indexes an alternate syscall table",
+    )
+
+
+def ptrace_model(costs=DEFAULT_COSTS):
+    """The UML/ptrace prototype.
+
+    Every syscall becomes two tracer round trips (entry + exit stop),
+    each costing a wakeup, two context switches and a register fetch —
+    the classic ~60x getpid penalty the paper measured.
+    """
+    stop_cost = 2 * costs.context_switch_ns + 6_500  # wakeup + PTRACE_GETREGS
+    return InterceptionModel(
+        name="ptrace",
+        per_call_ns=2 * stop_cost,
+        whole_system=False,
+        note="two tracer stops per call (entry + exit)",
+    )
+
+
+def kprobes_model(costs=DEFAULT_COSTS):
+    """kprobes on the syscall entry path.
+
+    The probe itself is cheap-ish (breakpoint + handler), but it fires
+    for *every process on the system*, not just enrolled apps.
+    """
+    return InterceptionModel(
+        name="kprobes",
+        per_call_ns=1_200,  # int3 + single-step + handler
+        whole_system=True,
+        note="fires system-wide; cannot scope to enrolled apps",
+    )
+
+
+def interception_comparison(costs=DEFAULT_COSTS):
+    """getpid slowdown per mechanism — the paper's design table."""
+    base = costs.syscall_base_ns
+    rows = {}
+    for model in (asim_model(costs), ptrace_model(costs),
+                  kprobes_model(costs)):
+        rows[model.name] = {
+            "per_call_us": round(model.per_call_ns / 1000, 3),
+            "getpid_slowdown": round(model.slowdown_on(base), 2),
+            "whole_system": model.whole_system,
+            "note": model.note,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# transport mechanisms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransportModel:
+    """Cost of moving one marshaled payload host <-> guest.
+
+    ``copies`` counts full payload traversals of memory; ``per_chunk_ns``
+    is fixed protocol overhead per 4096-byte unit; ``per_call_ns`` is
+    per-message setup (syscalls, vring descriptors, ...).
+    """
+
+    name: str
+    copies: int
+    per_chunk_ns: int
+    per_call_ns: int
+    note: str
+
+    def transfer_ns(self, nbytes, costs=DEFAULT_COSTS):
+        chunks = max(-(-nbytes // PAGE_SIZE), 1)
+        copy_ns = int(
+            self.copies * nbytes * costs.marshal_in_per_byte_ns
+        )
+        return self.per_call_ns + chunks * self.per_chunk_ns + copy_ns
+
+
+def shared_pages_transport(costs=DEFAULT_COSTS):
+    """The shipped design: guest pages kmap'ed into host kernel space."""
+    return TransportModel(
+        name="shared-pages",
+        copies=1,
+        per_chunk_ns=costs.chunk_fixed_ns,
+        per_call_ns=costs.marshal_fixed_ns,
+        note="single copy into remapped guest pages",
+    )
+
+
+def socket_transport(costs=DEFAULT_COSTS):
+    """The UML-era socket channel: user->kernel->wire->kernel->user."""
+    return TransportModel(
+        name="socket",
+        copies=4,
+        per_chunk_ns=costs.chunk_fixed_ns + 2 * costs.syscall_base_ns,
+        per_call_ns=2 * costs.socket_op_ns,
+        note="four copies plus send/recv syscalls per chunk",
+    )
+
+
+def virtio_transport(costs=DEFAULT_COSTS):
+    """virtio rings: better than sockets, still double-copying."""
+    return TransportModel(
+        name="virtio",
+        copies=2,
+        per_chunk_ns=costs.chunk_fixed_ns + 900,  # descriptor handling
+        per_call_ns=1_800,  # vring kick/interrupt amortisation
+        note="bounce buffer + descriptor ring",
+    )
+
+
+def transport_comparison(nbytes=PAGE_SIZE, costs=DEFAULT_COSTS):
+    """Per-transfer cost of each channel for an ``nbytes`` payload."""
+    rows = {}
+    for model in (shared_pages_transport(costs), virtio_transport(costs),
+                  socket_transport(costs)):
+        cost = model.transfer_ns(nbytes, costs)
+        rows[model.name] = {
+            "transfer_us": round(cost / 1000, 2),
+            "copies": model.copies,
+            "note": model.note,
+        }
+    baseline = rows["shared-pages"]["transfer_us"]
+    for row in rows.values():
+        row["relative"] = round(row["transfer_us"] / baseline, 2)
+    return rows

@@ -1,0 +1,629 @@
+"""The Anception interposition layer (ASIM + alternate syscall table).
+
+This is the host kernel module of the paper: it sits at the system-call
+interface, reads the one-byte redirection entry, and for flagged tasks
+routes each call per the :class:`~repro.core.policy.RedirectionPolicy` —
+executing it on the host, forwarding it through the channel to the app's
+CVM proxy, splitting it across both kernels, or blocking it.
+
+The real module is 5,219 lines of C of which 2,438 (46.7%) marshal and
+unmarshal data; those constants are exposed for the TCB experiment (E9).
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.core.channel import AnceptionChannel
+from repro.core.cvm import ContainerVM
+from repro.core.exec_cache import ExecutionCache
+from repro.core.marshal import (
+    FdTranslationTable,
+    RemoteFdStub,
+    marshal_call,
+    result_size,
+)
+from repro.core.policy import Decision, RedirectionPolicy
+from repro.core.proxy import ProxyManager
+from repro.errors import ProcessKilled, SimulationError, SyscallError
+from repro.kernel.kernel import KernelCrashed
+from repro.kernel.loader import run_payload
+from repro.kernel.memory import MAP_ANONYMOUS
+from repro.kernel.process import Credentials, ROOT_UID
+
+
+ANCEPTION_LINES_OF_CODE = 5_219
+ANCEPTION_MARSHALING_LINES = 2_438
+
+
+class AnceptionLayer:
+    """Host-side redirection layer plus its container VM."""
+
+    lines_of_code = ANCEPTION_LINES_OF_CODE
+    marshaling_lines = ANCEPTION_MARSHALING_LINES
+
+    def __init__(self, machine, host_system, guest_mb=64, channel_pages=8,
+                 file_io_on_host=False):
+        self.machine = machine
+        self.host_kernel = machine.kernel
+        self.host_system = host_system
+        self.cvm = ContainerVM(machine, guest_mb)
+        self.channel = AnceptionChannel(
+            self.cvm.hypervisor, machine.costs, channel_pages
+        )
+        self.proxies = ProxyManager(self.cvm)
+        self.policy = RedirectionPolicy(
+            host_system.ui_service_names(), file_io_on_host=file_io_on_host
+        )
+        self.exec_cache = ExecutionCache(self.host_kernel)
+        self.fd_tables = {}
+        self.blocked_calls = []
+        self.killed_apps = []
+        self.decision_log = []
+        self.crypto_fs = None
+        self.iago_verify = False
+        self._firewall_rule = None
+        self._shm_shadows = {}
+        self._shm_attach_map = {}
+        self._file_mappings = {}
+        """(host_pid, base) -> (host_fd, file_offset, length) for
+        file-backed split mmaps; consulted by the msync write-back."""
+        self._root = Credentials(ROOT_UID)
+        self.host_kernel.interposition = self
+        self.host_kernel.anception_build = True
+
+    # ------------------------------------------------------------------
+    # enrollment (Section III-D "File I/O": install-time data copy)
+    # ------------------------------------------------------------------
+
+    def enroll_task(self, task, install_record=None):
+        """Flag a task for redirection and build its CVM counterpart."""
+        task.redirection_entry = 1
+        self.proxies.create_proxy(task)
+        self.fd_tables[task.pid] = FdTranslationTable()
+        if install_record is not None:
+            self._copy_initial_data(task, install_record)
+
+    def _copy_initial_data(self, task, record):
+        """Copy packaged app data from the host image into the CVM."""
+        data_dir = record.data_dir
+        if not self.host_kernel.vfs.exists(data_dir, self._root):
+            return
+        for name in self.host_kernel.vfs.listdir(data_dir, self._root):
+            inode = self.host_kernel.vfs.resolve(
+                f"{data_dir}/{name}", self._root
+            )
+            if inode.data is None:
+                continue
+            self.cvm.copy_in_file(
+                f"{data_dir}/{name}", bytes(inode.data), record.uid
+            )
+
+    def _fd_table(self, task):
+        table = self.fd_tables.get(task.pid)
+        if table is None:
+            raise SimulationError(f"pid {task.pid} not enrolled")
+        return table
+
+    # ------------------------------------------------------------------
+    # the alternate syscall table
+    # ------------------------------------------------------------------
+
+    def dispatch(self, task, name, args, kwargs):
+        table = self._fd_table(task)
+        decision = self.policy.decide(task, name, args, table.remote_fds())
+        self.decision_log.append((task.pid, name, decision))
+        if decision is Decision.BLOCK:
+            self.blocked_calls.append((task.pid, name))
+            raise SyscallError(errno.EPERM, "blocked by Anception", call=name)
+        if decision is Decision.HOST:
+            return self.host_kernel.execute_native(task, name, args, kwargs)
+        if name == "shmdt":
+            # statically redirect-class, but the live attachment spans
+            # both kernels and must be torn down on both
+            return self._handle_shmdt(task, *args)
+        if decision is Decision.REDIRECT:
+            return self._redirect(task, name, args, kwargs)
+        return self._split(task, name, args, kwargs)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+
+    def _redirect(self, task, name, args, kwargs, translated=None):
+        """Marshal + forward one call to the task's proxy."""
+        if self.cvm.crashed:
+            raise SyscallError(errno.EIO, "container VM is down", call=name)
+        proxy = self.proxies.proxy_for(task)
+        table = self._fd_table(task)
+        call_args = translated if translated is not None else (
+            table.translate_args(name, args)
+        )
+        crypto_offset = None
+        if self.crypto_fs is not None and args:
+            call_args, crypto_offset = self._crypto_outbound(
+                task, name, args, call_args
+            )
+        wire, _size = marshal_call(name, call_args, kwargs)
+        self.machine.clock.advance(
+            self.machine.costs.marshal_fixed_ns, "anception:marshal"
+        )
+        self.machine.clock.advance(
+            self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
+        )
+        self.channel.send_to_guest(wire)
+        self.channel.signal_guest(name)
+        try:
+            result = self.proxies.execute(proxy, name, call_args, kwargs)
+        except KernelCrashed as crash:
+            raise SyscallError(
+                errno.EIO, f"container VM crashed: {crash.reason}", call=name
+            ) from crash
+        self.channel.send_to_host(b"\x00" * result_size(result))
+        self.channel.signal_host(name)
+        adopted = self._adopt_result(task, name, args, result)
+        if self.crypto_fs is not None:
+            adopted = self._crypto_inbound(
+                task, name, args, adopted, crypto_offset
+            )
+        return adopted
+
+    def _crypto_outbound(self, task, name, args, call_args):
+        """Encrypt write payloads before they cross into the CVM."""
+        fs = self.crypto_fs
+        offset = None
+        if name == "write":
+            host_fd, data = args[0], args[1]
+            offset = self._proxy_offset(task, host_fd)
+            ciphertext = fs.transform_write(task, host_fd, data, offset)
+            call_args = (call_args[0], ciphertext) + tuple(call_args[2:])
+        elif name == "pwrite64":
+            host_fd, data, offset = args[0], args[1], args[2]
+            ciphertext = fs.transform_write(task, host_fd, data, offset)
+            call_args = (call_args[0], ciphertext) + tuple(call_args[2:])
+        elif name == "read":
+            offset = self._proxy_offset(task, args[0])
+        elif name == "pread64":
+            offset = args[2]
+        return call_args, offset
+
+    def _crypto_inbound(self, task, name, args, result, offset):
+        """Decrypt read results after they return from the CVM."""
+        fs = self.crypto_fs
+        if name == "open" and isinstance(result, int):
+            fs.on_open(task, self._abs(task, args[0]), result)
+        elif name in ("read", "pread64") and isinstance(result, bytes):
+            result = fs.transform_read(
+                task, args[0], result, offset or 0,
+                verify_integrity=self.iago_verify,
+            )
+        return result
+
+    def _proxy_offset(self, task, host_fd):
+        """Current file offset of the proxy-side open file, if any."""
+        table = self._fd_table(task)
+        if not table.is_remote(host_fd):
+            return 0
+        proxy = self.proxies.proxy_for(task)
+        desc = proxy.guest_task.fd_table.get(table.to_proxy(host_fd))
+        return getattr(desc, "offset", 0)
+
+    def _adopt_result(self, task, name, args, result):
+        """Map resource-allocating results back into the host fd space."""
+        table = self._fd_table(task)
+        if name in ("open", "socket", "accept") and isinstance(result, int):
+            label = args[0] if name == "open" and args else name
+            host_fd = task.alloc_fd(RemoteFdStub(result, str(label)))
+            table.bind(host_fd, result)
+            return host_fd
+        if name == "pipe" and isinstance(result, tuple):
+            host_fds = []
+            for proxy_fd in result:
+                host_fd = task.alloc_fd(RemoteFdStub(proxy_fd, "pipe"))
+                table.bind(host_fd, proxy_fd)
+                host_fds.append(host_fd)
+            return tuple(host_fds)
+        return result
+
+    # ------------------------------------------------------------------
+    # split-execution handlers
+    # ------------------------------------------------------------------
+
+    def _split(self, task, name, args, kwargs):
+        handler = getattr(self, f"_split_{name}", None)
+        if handler is None:
+            # Split-class call with no dedicated handler in the prototype:
+            # run the host semantics (matching the paper's conservative
+            # default of trusting the host for ambiguous state).
+            return self.host_kernel.execute_native(task, name, args, kwargs)
+        return handler(task, *args, **kwargs)
+
+    def _split_close(self, task, fd):
+        table = self._fd_table(task)
+        if table.is_remote(fd):
+            proxy_fd = table.to_proxy(fd)
+            self._redirect(task, "close", (fd,), {},
+                           translated=(proxy_fd,))
+            table.unbind(fd)
+            task.remove_fd(fd)
+            if self.crypto_fs is not None:
+                self.crypto_fs.on_close(task, fd)
+            return 0
+        return self.host_kernel.execute_native(task, "close", (fd,), {})
+
+    def _split_dup(self, task, fd):
+        table = self._fd_table(task)
+        if table.is_remote(fd):
+            proxy_fd = table.to_proxy(fd)
+            new_proxy_fd = self._redirect(
+                task, "dup", (fd,), {}, translated=(proxy_fd,)
+            )
+            host_fd = task.alloc_fd(RemoteFdStub(new_proxy_fd, "dup"))
+            table.bind(host_fd, new_proxy_fd)
+            return host_fd
+        return self.host_kernel.execute_native(task, "dup", (fd,), {})
+
+    def _split_dup2(self, task, fd, newfd):
+        table = self._fd_table(task)
+        if table.is_remote(fd):
+            proxy_fd = table.to_proxy(fd)
+            new_proxy_fd = self._redirect(
+                task, "dup", (fd,), {}, translated=(proxy_fd,)
+            )
+            if newfd in task.fd_table:
+                self._split_close(task, newfd)
+            task.install_fd(newfd, RemoteFdStub(new_proxy_fd, "dup2"))
+            table.bind(newfd, new_proxy_fd)
+            return newfd
+        return self.host_kernel.execute_native(task, "dup2", (fd, newfd), {})
+
+    def _split_fcntl(self, task, fd, cmd, arg=0):
+        table = self._fd_table(task)
+        if table.is_remote(fd):
+            proxy_fd = table.to_proxy(fd)
+            result = self._redirect(
+                task, "fcntl", (fd, cmd, arg), {},
+                translated=(proxy_fd, cmd, arg),
+            )
+            if cmd == 0 and isinstance(result, int):  # F_DUPFD
+                host_fd = task.alloc_fd(RemoteFdStub(result, "fcntl-dup"))
+                table.bind(host_fd, result)
+                return host_fd
+            return result
+        return self.host_kernel.execute_native(
+            task, "fcntl", (fd, cmd, arg), {}
+        )
+
+    def _split_fcntl64(self, task, fd, cmd, arg=0):
+        return self._split_fcntl(task, fd, cmd, arg)
+
+    def _split_ioctl(self, task, fd, request, arg=None):
+        table = self._fd_table(task)
+        if table.is_remote(fd):
+            return self._redirect(task, "ioctl", (fd, request, arg), {})
+        # Host fd: binder traffic gets the UI inspection.
+        if self.policy.ioctl_is_ui(request, arg):
+            return self.host_kernel.execute_native(
+                task, "ioctl", (fd, request, arg), {}
+            )
+        if self.policy.binder_target_is_app(arg):
+            return self.host_kernel.execute_native(
+                task, "ioctl", (fd, request, arg), {}
+            )
+        from repro.android.binder import BINDER_WRITE_READ, Transaction
+
+        if request == BINDER_WRITE_READ and isinstance(arg, Transaction):
+            return self._forward_binder(task, fd, request, arg)
+        # Non-binder ioctl on a host fd (e.g. a /system file): host.
+        return self.host_kernel.execute_native(
+            task, "ioctl", (fd, request, arg), {}
+        )
+
+    def _forward_binder(self, task, fd, request, transaction):
+        """Non-UI binder transaction: full cross-VM round trip.
+
+        The proxy opens the CVM's /dev/binder lazily and replays the
+        transaction against the CVM's service instances.  Cost: the fixed
+        cross-VM binder latency plus per-byte payload (the channel's world
+        switches are charged by the generic forward path).
+        """
+        costs = self.machine.costs
+        self.machine.clock.advance(
+            costs.binder_cvm_fixed_ns, "anception:binder-cvm"
+        )
+        self.machine.clock.advance(
+            int(costs.binder_cvm_per_byte_ns * transaction.payload_size),
+            "anception:binder-bytes",
+        )
+        proxy = self.proxies.proxy_for(task)
+        proxy_binder_fd = self._ensure_proxy_binder(proxy)
+        return self._redirect(
+            task, "ioctl", (fd, request, transaction), {},
+            translated=(proxy_binder_fd, request, transaction),
+        )
+
+    def _ensure_proxy_binder(self, proxy):
+        guest_task = proxy.guest_task
+        for fd, desc in guest_task.fd_table.items():
+            if getattr(desc, "path", "") == "/dev/binder":
+                return fd
+        open_file = self.cvm.kernel.vfs.open(
+            "/dev/binder", 0x2, guest_task.credentials
+        )
+        return guest_task.alloc_fd(open_file)
+
+    def _split_mmap(self, task, length, prot, flags, addr=None, fd=None,
+                    offset=0):
+        return self._split_mmap2(task, length, prot, flags, addr, fd, offset)
+
+    def _split_mmap2(self, task, length, prot, flags, addr=None, fd=None,
+                     offset=0):
+        """Split mmap (Section III-D "Memory-mapped files").
+
+        File-backed mappings of CVM files: the proxy maps + pins pages in
+        the container, the data is copied across once, and the host maps
+        it into the app — so later faults never cross the boundary.  All
+        mappings are mirrored as zero-filled reservations in the proxy so
+        address-space shapes agree; *content* stays host-side (the
+        sock_sendpage shellcode never reaches the CVM).
+        """
+        table = self._fd_table(task)
+        if fd is not None and table.is_remote(fd):
+            proxy = self.proxies.proxy_for(task)
+            proxy_fd = table.to_proxy(fd)
+            # Proxy-side mapping with forced read faults (pinning).
+            data = self._redirect(
+                task, "pread64", (fd, length, offset), {},
+                translated=(proxy_fd, length, offset),
+            )
+            base = task.address_space.mmap(length, prot, flags, addr)
+            if data:
+                task.address_space.write(base, data, need_prot=0)
+            self._mirror_reservation(task, length, prot, flags,
+                                     addr if flags & 0x10 else base)
+            self._file_mappings[(task.pid, base)] = (fd, offset, length)
+            return base
+        # Anonymous (or host-file) mapping: host executes; mirror shape.
+        result = self.host_kernel.execute_native(
+            task, "mmap2", (length, prot, flags, addr, fd, offset), {}
+        )
+        if isinstance(result, int):
+            self._mirror_reservation(task, length, prot, flags, result)
+        return result
+
+    def _mirror_reservation(self, task, length, prot, flags, addr):
+        if addr is None:
+            return
+        from repro.kernel.memory import MAP_FIXED
+
+        proxy = self.proxies.proxy_for(task)
+        space = proxy.guest_task.address_space
+        try:
+            space.mmap(length, prot, flags | MAP_ANONYMOUS | MAP_FIXED, addr)
+        except SyscallError:
+            pass  # overlapping reservation: shape already present
+
+    def _split_msync(self, task, addr, length, flags=0):
+        """Write-back: synchronise host page content with the CVM file.
+
+        For file-backed split mappings the modified host bytes are
+        pwritten back through the proxy; anonymous regions just cross
+        the channel (nothing to persist).
+        """
+        mapping = self._find_file_mapping(task, addr)
+        if mapping is not None:
+            base, (host_fd, file_offset, map_length) = mapping
+            sync_offset = addr - base
+            sync_length = min(length, map_length - sync_offset)
+            data = task.address_space.read(addr, sync_length, need_prot=0)
+            self._redirect(
+                task, "pwrite64",
+                (host_fd, data, file_offset + sync_offset), {},
+            )
+            return 0
+        data = task.address_space.read(addr, length, need_prot=0)
+        self.channel.send_to_guest(data)
+        self.channel.signal_guest("msync")
+        self.channel.signal_host("msync-ack")
+        return 0
+
+    def _find_file_mapping(self, task, addr):
+        for (pid, base), info in self._file_mappings.items():
+            if pid == task.pid and base <= addr < base + info[2]:
+                return base, info
+        return None
+
+    def _split_shmat(self, task, shmid):
+        """Split shmat: content frames on the host, id from the CVM.
+
+        ``shmid`` names a CVM-registry segment (shmget was redirected).
+        The layer keeps one host-side shadow segment per CVM id; every
+        enrolled app attaching that id maps the *same host frames* — so
+        apps share memory at native speed while the CVM only ever holds
+        the (empty) bookkeeping segment.
+        """
+        cvm_segment = self.cvm.kernel.shm.require(shmid)
+        shadow = self._shm_shadows.get(shmid)
+        if shadow is None:
+            shadow = self.host_kernel.shm.shmget(
+                task, 0, cvm_segment.size, 0o1000
+            )
+            self._shm_shadows[shmid] = shadow
+        base = self.host_kernel.execute_native(task, "shmat", (shadow,), {})
+        self._shm_attach_map[(task.pid, base)] = shmid
+        # The proxy attaches the CVM segment too, keeping the container's
+        # attach counts honest (its frames stay zero-filled).
+        proxy = self.proxies.proxy_for(task)
+        self.cvm.kernel.shm.shmat(proxy.guest_task, shmid)
+        return base
+
+    def _handle_shmdt(self, task, addr):
+        """Detach both sides of a split shared-memory attachment."""
+        result = self.host_kernel.execute_native(task, "shmdt", (addr,), {})
+        shmid = self._shm_attach_map.pop((task.pid, addr), None)
+        if shmid is not None:
+            proxy = self.proxies.proxy_for(task)
+            guest_shm = self.cvm.kernel.shm
+            for (pid, guest_addr), sid in list(guest_shm._attached.items()):
+                if pid == proxy.guest_task.pid and sid == shmid:
+                    guest_shm.shmdt(proxy.guest_task, guest_addr)
+                    break
+        return result
+
+    def _split_fork(self, task, flags=0):
+        # Host fork; the on_fork hook mirrors the child into the CVM.
+        return self.host_kernel.execute_native(task, "fork", (flags,), {})
+
+    def _split_clone(self, task, flags=0):
+        return self._split_fork(task, flags)
+
+    def _split_execve(self, task, path, argv=()):
+        """Exec: host copy for system binaries, exec-cache for user code."""
+        if self.policy.is_code_path(task, path) or path.startswith("/system"):
+            return self.host_kernel.execute_native(
+                task, "execve", (path, argv), {}
+            )
+        # User-generated code lives in the CVM: copy out, stage, exec.
+        try:
+            data = self.cvm.read_out_file(self._abs(task, path))
+        except SyscallError as exc:
+            raise SyscallError(exc.errno, f"exec source {path}",
+                               call="execve") from exc
+        cache_path = self.exec_cache.stage(path, data)
+        return self.host_kernel.execute_native(
+            task, "execve", (cache_path, argv), {}
+        )
+
+    @staticmethod
+    def _abs(task, path):
+        import posixpath
+
+        if not path.startswith("/"):
+            path = posixpath.join(task.cwd, path)
+        return posixpath.normpath(path)
+
+    # ------------------------------------------------------------------
+    # host-controlled firewalling of the container
+    # ------------------------------------------------------------------
+
+    def set_firewall(self, allow=None, rule=None):
+        """Install host-side firewall rules on the CVM's network stack.
+
+        Either pass ``allow`` — an iterable of permitted remote addresses
+        (everything else refused) — or ``rule``, a callable
+        ``address -> bool``.  Passing neither clears the firewall.
+        """
+        if rule is not None:
+            self._firewall_rule = rule
+        elif allow is not None:
+            allowed = set(allow)
+            self._firewall_rule = lambda address: address in allowed
+        else:
+            self._firewall_rule = None
+        self.cvm.kernel.network.firewall = self._firewall_rule
+
+    # ------------------------------------------------------------------
+    # container reboot (recovery from a crashed CVM)
+    # ------------------------------------------------------------------
+
+    def reboot_cvm(self):
+        """Restart a dead (or live) container and re-enroll survivors.
+
+        App data survives on the virtual disk; open CVM descriptors do
+        not — their host-side stubs are dropped (subsequent use gets
+        EBADF, like any fd whose backing object died) and every enrolled
+        app gets a fresh proxy in the new container.
+        """
+        self.cvm.reboot()
+        self.channel = AnceptionChannel(
+            self.cvm.hypervisor, self.machine.costs,
+            len(self.channel.shared.frames),
+        )
+        self.cvm.kernel.network.firewall = self._firewall_rule
+        old_tables = self.fd_tables
+        self.fd_tables = {}
+        survivors = [
+            task for task in self.host_kernel.pids.all_tasks()
+            if task.redirection_entry and task.is_alive()
+        ]
+        self.proxies = ProxyManager(self.cvm)
+        for task in survivors:
+            task.proxy = None
+            self.proxies.create_proxy(task)
+            self.fd_tables[task.pid] = FdTranslationTable()
+            stale = old_tables.get(task.pid)
+            if stale is None:
+                continue
+            for host_fd in stale.remote_fds():
+                task.fd_table.pop(host_fd, None)
+        return len(survivors)
+
+    # ------------------------------------------------------------------
+    # kernel hooks
+    # ------------------------------------------------------------------
+
+    def on_fork(self, parent, child):
+        """Extend the sandbox to forked children (GingerBreak step: the
+        restarted logcat stays bound to the app's container)."""
+        if not parent.redirection_entry:
+            return
+        child.redirection_entry = parent.redirection_entry
+        child.launch_uid = parent.launch_uid
+        self.proxies.create_proxy(child)
+        child_table = FdTranslationTable()
+        self.fd_tables[child.pid] = child_table
+        parent_table = self.fd_tables.get(parent.pid)
+        if parent_table is None:
+            return
+        parent_proxy = self.proxies.proxy_for(parent)
+        child_proxy = self.proxies.proxy_for(child)
+        for host_fd in parent_table.remote_fds():
+            proxy_fd = parent_table.to_proxy(host_fd)
+            desc = parent_proxy.guest_task.fd_table.get(proxy_fd)
+            if desc is None:
+                continue
+            dup = desc.dup() if hasattr(desc, "dup") else desc
+            child_proxy.guest_task.install_fd(proxy_fd, dup)
+            child_table.bind(host_fd, proxy_fd)
+
+    def on_credentials_changed(self, task):
+        """Kill any app whose UID changed after launch (footnote 3)."""
+        if task.launch_uid is None or not task.redirection_entry:
+            return
+        if task.credentials.uid != task.launch_uid:
+            self.killed_apps.append(task.pid)
+            self.host_kernel.reap_task(task, exit_code=-9)
+            raise ProcessKilled(
+                task.pid,
+                f"UID changed after launch ({task.launch_uid} -> "
+                f"{task.credentials.uid})",
+            )
+
+    # ------------------------------------------------------------------
+    # program helper
+    # ------------------------------------------------------------------
+
+    def spawn_program(self, task, path, argv=()):
+        """fork + execve + run: how enrolled apps launch helpers."""
+        child_pid = self.host_kernel.syscall(task, "fork")
+        child = self.host_kernel.pids.require(child_pid)
+        image = self.host_kernel.syscall(child, "execve", path, argv)
+        result = run_payload(self.host_kernel, child, image)
+        return child, result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        decisions = {}
+        for _pid, _name, decision in self.decision_log:
+            decisions[decision.value] = decisions.get(decision.value, 0) + 1
+        return {
+            "decisions": decisions,
+            "proxies": self.proxies.count,
+            "blocked_calls": len(self.blocked_calls),
+            "killed_apps": len(self.killed_apps),
+            "channel": self.channel.stats(),
+            "cvm_crashed": self.cvm.crashed,
+        }

@@ -1,0 +1,46 @@
+"""The host-side execution cache for user-generated code.
+
+``exec`` of a system binary simply runs the host's identical copy.  But
+code an app *generated* lives in the CVM (its writes were redirected);
+executing it requires copying it out to a host-side cache directory that
+the untrusted app cannot reach — "we don't want the app to trick the
+system into copying an executable to a restricted location" (Section
+III-D, Fork/Clone and exec).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.process import Credentials, ROOT_UID
+from repro.kernel.vfs import O_CREAT, O_TRUNC, O_WRONLY
+
+
+CACHE_DIR = "/data/anception-exec-cache"
+
+
+class ExecutionCache:
+    """Copies guest executables into a root-only host directory."""
+
+    def __init__(self, host_kernel):
+        self.kernel = host_kernel
+        self._root = Credentials(ROOT_UID)
+        self._counter = 0
+        if not self.kernel.vfs.exists(CACHE_DIR, self._root):
+            self.kernel.vfs.mkdir(CACHE_DIR, self._root, mode=0o711)
+
+    def stage(self, source_path, data):
+        """Place ``data`` into the cache; returns the host path to exec.
+
+        The cache path is system-chosen — the app's requested path plays
+        no part in where the copy lands, by design.
+        """
+        self._counter += 1
+        name = source_path.strip("/").replace("/", "_")
+        cache_path = f"{CACHE_DIR}/{self._counter:04d}-{name}"
+        open_file = self.kernel.vfs.open(
+            cache_path, O_WRONLY | O_CREAT | O_TRUNC, self._root, 0o755
+        )
+        open_file.write(bytes(data))
+        return cache_path
+
+    def entries(self):
+        return self.kernel.vfs.listdir(CACHE_DIR, self._root)

@@ -1,0 +1,65 @@
+"""Error types shared across the Anception reproduction.
+
+The simulated kernel reports failures the way a Unix kernel does: system
+calls return negative errno values or raise :class:`SyscallError` carrying an
+errno.  Structural violations of the simulation itself (bugs in *our* code,
+or invariant violations such as a guest mapping host memory) raise dedicated
+exception types so tests can tell "the exploit failed with EPERM" apart from
+"the simulator is broken".
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SyscallError(ReproError):
+    """A system call failed with a Unix errno.
+
+    Attributes:
+        errno: positive errno value (e.g. ``errno.EPERM``).
+        call: name of the failing system call, when known.
+    """
+
+    def __init__(self, errno_value, message="", call=None):
+        self.errno = errno_value
+        self.call = call
+        name = _errno.errorcode.get(errno_value, str(errno_value))
+        detail = f" ({message})" if message else ""
+        origin = f" in {call}" if call else ""
+        super().__init__(f"{name}{origin}{detail}")
+
+
+class SecurityViolation(ReproError):
+    """An operation was denied for security-policy reasons.
+
+    Distinct from :class:`SyscallError` with EPERM: this is raised when an
+    enforcement layer (hypervisor memory windows, Anception blocked-call
+    policy, UID-change kill rule) stops an action dead, rather than when a
+    normal permission check fails.
+    """
+
+
+class HypervisorViolation(SecurityViolation):
+    """The guest attempted to access memory outside its assigned window."""
+
+
+class SimulationError(ReproError):
+    """The simulation itself was misused (a bug in driver code or tests)."""
+
+
+class ProcessKilled(ReproError):
+    """Raised inside a simulated program when its task is force-killed.
+
+    Anception kills any app that changes its UID after launch; the kill is
+    delivered to the running program as this exception so drivers unwind.
+    """
+
+    def __init__(self, pid, reason=""):
+        self.pid = pid
+        self.reason = reason
+        super().__init__(f"pid {pid} killed: {reason}")

@@ -1,0 +1,38 @@
+"""Global compromise-event log.
+
+When attacker-controlled code starts running inside some privileged
+context — vold execs a planted binary, the hotplug helper fires, a root
+process's memory is overwritten — the component that *mechanically* did
+it records an event here.  Exploit drivers drain the log to learn what
+they achieved (standing in for the real back-channels: dropped setuid
+shells, connect-back payloads).
+
+This is simulation bookkeeping, deliberately outside the simulated
+security boundary: recording an event grants nothing; the event carries
+the task objects whose existence *is* the privilege.
+"""
+
+from __future__ import annotations
+
+COMPROMISE_EVENTS = []
+
+
+def record_compromise(kind, kernel, task=None, shell=None, got_root=False,
+                      **extra):
+    """Log one compromise event; returns the record."""
+    record = {
+        "kind": kind,
+        "kernel": kernel.label,
+        "task": task,
+        "shell": shell,
+        "got_root": got_root,
+    }
+    record.update(extra)
+    COMPROMISE_EVENTS.append(record)
+    return record
+
+
+def drain_compromises():
+    """Return and clear all recorded events."""
+    events, COMPROMISE_EVENTS[:] = list(COMPROMISE_EVENTS), []
+    return events

@@ -1,0 +1,5 @@
+"""lguest-style hypervisor substrate (Section IV of the paper)."""
+
+from repro.hypervisor.lguest import LguestHypervisor, SharedPages
+
+__all__ = ["LguestHypervisor", "SharedPages"]

@@ -1,0 +1,189 @@
+"""The lguest-style hypervisor.
+
+The paper uses Rusty Russell's lguest as its virtualization layer: the CVM
+kernel runs deprivileged, is assigned a fixed physical-memory window, and
+talks to the host through **hypercalls** (guest -> host) and **injected
+interrupts** (host -> guest).  Anception's communication channel remaps a
+set of guest kernel pages into host kernel space with ``kmap`` so marshaled
+syscall data moves without extra copies (Figure 4).
+
+We reproduce each of those primitives:
+
+* :meth:`LguestHypervisor.launch_guest` carves the guest window out of the
+  host allocator and builds a guest :class:`~repro.kernel.kernel.Kernel`
+  whose ``frame_window`` *is* that window — the enforcement point for
+  "the guest cannot map memory outside the assigned region".
+* :meth:`LguestHypervisor.kmap_guest_pages` returns a :class:`SharedPages`
+  buffer backed by guest frames but writable from the host side.
+* :meth:`hypercall` / :meth:`inject_interrupt` are the two signalling
+  directions; each charges one world switch to the simulated clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HypervisorViolation, SimulationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.memory import FrameAllocator
+from repro.perf.costs import PAGE_SIZE
+
+
+class SharedPages:
+    """Guest kernel pages remapped into host kernel space.
+
+    Both sides read/write the same frames.  The *guest* side goes through
+    its frame window as usual; the *host* side uses hypervisor privilege
+    (no window) — which is safe because the host is trusted.
+    """
+
+    def __init__(self, physical, frames, guest_window):
+        self.physical = physical
+        self.frames = list(frames)
+        self.guest_window = guest_window
+        for frame in self.frames:
+            if frame not in guest_window:
+                raise SimulationError(
+                    "kmap target must be a guest frame (host pages are "
+                    "never exposed to the guest)"
+                )
+
+    @property
+    def capacity(self):
+        return len(self.frames) * PAGE_SIZE
+
+    def write(self, data, offset=0, from_guest=False):
+        """Write ``data`` starting at byte ``offset`` of the buffer."""
+        window = self.guest_window if from_guest else None
+        if offset + len(data) > self.capacity:
+            raise SimulationError("shared-pages overflow")
+        view = memoryview(bytes(data))
+        while view.nbytes:
+            frame_index, frame_offset = divmod(offset, PAGE_SIZE)
+            chunk = min(view.nbytes, PAGE_SIZE - frame_offset)
+            self.physical.write_frame(
+                self.frames[frame_index], bytes(view[:chunk]),
+                frame_offset, window,
+            )
+            offset += chunk
+            view = view[chunk:]
+
+    def read(self, length, offset=0, from_guest=False):
+        window = self.guest_window if from_guest else None
+        if offset + length > self.capacity:
+            raise SimulationError("shared-pages overread")
+        out = bytearray()
+        while length:
+            frame_index, frame_offset = divmod(offset, PAGE_SIZE)
+            chunk = min(length, PAGE_SIZE - frame_offset)
+            page = self.physical.read_frame(self.frames[frame_index], window)
+            out += page[frame_offset : frame_offset + chunk]
+            offset += chunk
+            length -= chunk
+        return bytes(out)
+
+
+class LguestHypervisor:
+    """Deprivileged-container virtualization for one machine."""
+
+    def __init__(self, machine, guest_mb=64):
+        self.machine = machine
+        self.guest_mb = guest_mb
+        self.guest_allocator = None
+        self.guest_kernel = None
+        self.hypercall_count = 0
+        self.interrupt_count = 0
+
+    @property
+    def guest_window(self):
+        if self.guest_allocator is None:
+            raise SimulationError("guest not launched")
+        return self.guest_allocator.window
+
+    def launch_guest(self, label="cvm", data_fs=None):
+        """Assign the guest its memory window and boot a guest kernel."""
+        if self.guest_kernel is not None:
+            raise SimulationError("guest already launched")
+        frames = self.guest_mb * 1024 * 1024 // PAGE_SIZE
+        self.guest_allocator = self.machine.allocator.carve_subwindow(
+            frames, label
+        )
+        self.guest_kernel = Kernel(
+            label,
+            self.guest_allocator,
+            self.machine.clock,
+            self.machine.internet,
+            self.machine.costs,
+            frame_window=self.guest_allocator.window,
+            data_fs=data_fs,
+        )
+        return self.guest_kernel
+
+    def relaunch_guest(self, label="cvm", data_fs=None):
+        """Reboot the guest: scrub its RAM, boot a fresh kernel.
+
+        The memory window is fixed at machine partitioning time and is
+        reused; everything the old kernel held is gone — persistence
+        comes only from host-held state such as the virtual data disk.
+        """
+        if self.guest_kernel is None:
+            raise SimulationError("no guest to relaunch")
+        window = self.guest_allocator.window
+        if not self.guest_kernel.crashed:
+            # an orderly reboot still tears the old instance down
+            try:
+                self.guest_kernel.panic("reboot requested")
+            except Exception:
+                pass
+        self.machine.physical.scrub_window(window)
+        self.guest_allocator = FrameAllocator(
+            self.machine.physical, window, label
+        )
+        self.guest_kernel = Kernel(
+            label,
+            self.guest_allocator,
+            self.machine.clock,
+            self.machine.internet,
+            self.machine.costs,
+            frame_window=window,
+            data_fs=data_fs,
+        )
+        return self.guest_kernel
+
+    def kmap_guest_pages(self, num_pages):
+        """Remap ``num_pages`` guest frames into host kernel space."""
+        frames = [
+            self.guest_allocator.allocate(owner="anception-channel")
+            for _ in range(num_pages)
+        ]
+        return SharedPages(self.machine.physical, frames, self.guest_window)
+
+    def hypercall(self, reason=""):
+        """Guest signals the host (one world switch)."""
+        self.hypercall_count += 1
+        self.machine.clock.advance(
+            self.machine.costs.world_switch_ns, f"hypercall:{reason}"
+        )
+
+    def inject_interrupt(self, reason=""):
+        """Host signals the guest (one world switch)."""
+        self.interrupt_count += 1
+        self.machine.clock.advance(
+            self.machine.costs.world_switch_ns, f"irq:{reason}"
+        )
+
+    def guest_map_frame(self, frame):
+        """A guest attempt to map an arbitrary physical frame.
+
+        This is the attack a compromised CVM kernel would try; the
+        hypervisor refuses anything outside the window.
+        """
+        if frame not in self.guest_window:
+            raise HypervisorViolation(
+                f"guest attempted to map host frame {frame}"
+            )
+        return frame
+
+    def guest_memory_stats(self):
+        """(assigned_kb, used_kb, free_kb) for the guest window."""
+        assigned = len(self.guest_window) * PAGE_SIZE // 1024
+        used = self.guest_allocator.used_frames * PAGE_SIZE // 1024
+        return assigned, used, assigned - used

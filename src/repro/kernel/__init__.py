@@ -1,0 +1,22 @@
+"""Simulated Linux-like kernel substrate.
+
+This package is the stand-in for the Linux 3.4 kernel the paper modified.
+It models exactly the abstractions Anception's security argument rests on:
+
+* tasks with credentials and the one-byte redirection entry
+  (:mod:`repro.kernel.process`),
+* page-based virtual memory whose frames belong to a machine
+  (:mod:`repro.kernel.memory`),
+* a VFS with permissions, device nodes, procfs and an ext4-like ramfs
+  (:mod:`repro.kernel.vfs`, :mod:`repro.kernel.filesystems`,
+  :mod:`repro.kernel.devices`),
+* sockets including the netlink family that GingerBreak abuses
+  (:mod:`repro.kernel.net`),
+* and a 324-entry system-call table with per-call dispatch and the ASIM
+  hook point (:mod:`repro.kernel.syscalls`, :mod:`repro.kernel.kernel`).
+"""
+
+from repro.kernel.kernel import Kernel, Machine
+from repro.kernel.process import Credentials, Task, TaskState
+
+__all__ = ["Kernel", "Machine", "Credentials", "Task", "TaskState"]

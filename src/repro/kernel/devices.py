@@ -1,0 +1,157 @@
+"""Character devices: framebuffer, input, log, null/zero.
+
+The framebuffer device is security-critical: CVE-2013-2596 (kernelchopper /
+motochopper) mapped ``/dev/graphics/fb0`` — whose permissions were
+misconfigured world-RW on the affected devices — and used an integer
+overflow in the driver's mmap path to map *kernel* memory into userspace,
+then injected code.  We reproduce the vulnerable mmap hook, and reproduce
+Anception's defence structurally: the CVM's devfs simply has no framebuffer
+node (the CVM is headless), so the redirected ``open`` fails with ENODEV.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+from repro.perf.costs import PAGE_SIZE
+
+
+class NullDevice:
+    """/dev/null."""
+
+    def read(self, open_file, length):
+        return b""
+
+    def write(self, open_file, data):
+        return len(data)
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "/dev/null")
+
+
+class ZeroDevice:
+    """/dev/zero."""
+
+    def read(self, open_file, length):
+        return b"\x00" * length
+
+    def write(self, open_file, data):
+        return len(data)
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "/dev/zero")
+
+
+FBIOGET_VSCREENINFO = 0x4600
+FBIO_MAP_KERNEL = 0x46FF
+"""The vulnerable private ioctl/mmap path kernelchopper abuses: an integer
+overflow lets the caller map physical kernel frames."""
+
+
+class FramebufferDevice:
+    """``/dev/graphics/fb0`` with the CVE-2013-2596 class of flaw.
+
+    ``map_kernel_memory`` models the driver bug: the offset check can be
+    bypassed with a negative length, after which the returned "mapping"
+    grants the caller read/write over kernel frames of the kernel that owns
+    this device.  The effect object is interpreted by the exploit harness.
+    """
+
+    def __init__(self, kernel, width=1280, height=800):
+        self.kernel = kernel
+        self.width = width
+        self.height = height
+        self._buffer = bytearray(64 * PAGE_SIZE)
+
+    def read(self, open_file, length):
+        start = open_file.offset
+        data = bytes(self._buffer[start : start + length])
+        open_file.offset += len(data)
+        return data
+
+    def write(self, open_file, data):
+        start = open_file.offset
+        end = start + len(data)
+        if end > len(self._buffer):
+            raise SyscallError(errno.ENOSPC, "fb0 overflow")
+        self._buffer[start:end] = data
+        open_file.offset = end
+        return len(data)
+
+    def ioctl(self, task, open_file, request, arg):
+        if request == FBIOGET_VSCREENINFO:
+            return {"xres": self.width, "yres": self.height, "bpp": 32}
+        raise SyscallError(errno.ENOTTY, f"fb0 ioctl {request:#x}")
+
+    def map_kernel_memory(self, task, offset, length):
+        """The vulnerable mmap path (integer overflow on ``length``).
+
+        A *negative* length wraps the bounds check exactly as in the CVE;
+        the caller is handed control of the owning kernel.
+        """
+        if length >= 0 and offset + length <= len(self._buffer):
+            return {"kind": "framebuffer", "offset": offset, "length": length}
+        if length < 0:
+            # Overflowed check "offset + length <= size" passes; the driver
+            # then maps kernel pages. Compromise of the owning kernel.
+            return {"kind": "kernel_memory", "kernel": self.kernel}
+        raise SyscallError(errno.EINVAL, "fb0 mmap out of range")
+
+
+class InputDevice:
+    """``/dev/input/event0``: queue of raw input events.
+
+    Only the host has one; the UI stack drains it and routes events to the
+    focused window.  A root attacker *on the host* can read it directly —
+    that is the UI-sniffing attack Anception blocks by never giving the CVM
+    an input device.
+    """
+
+    def __init__(self):
+        self._queue = []
+
+    def inject(self, event):
+        self._queue.append(event)
+
+    def read(self, open_file, length):
+        if not self._queue:
+            return b""
+        event = self._queue.pop(0)
+        return repr(event).encode()[:length]
+
+    def drain(self):
+        events, self._queue = self._queue, []
+        return events
+
+    def write(self, open_file, data):
+        raise SyscallError(errno.EINVAL, "input device is read-only")
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "input ioctl")
+
+
+class LogDevice:
+    """``/dev/log/main``: the logcat ring buffer backing store."""
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self.entries = []
+
+    def append(self, tag, message):
+        self.entries.append((tag, message))
+        if len(self.entries) > self.capacity:
+            self.entries.pop(0)
+
+    def read(self, open_file, length):
+        text = "\n".join(f"{tag}: {msg}" for tag, msg in self.entries)
+        data = text.encode()[open_file.offset : open_file.offset + length]
+        open_file.offset += len(data)
+        return data
+
+    def write(self, open_file, data):
+        self.append("raw", data.decode(errors="replace"))
+        return len(data)
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "log ioctl")

@@ -1,0 +1,381 @@
+"""Concrete filesystems: Android disk layout, procfs.
+
+``build_android_rootfs`` assembles the disk image both worlds boot from:
+a writable rootfs with ``/data`` (ext4 stand-in), a read-only ``/system``
+partition carrying the binaries the exploits parse (vold, libc), and device
+nodes under ``/dev``.
+
+:class:`ProcFS` generates ``/proc`` entries from live kernel state, which is
+how GingerBreak locates vold (procfs scan), reads ``/proc/self/exe`` and
+``/proc/net/netlink``, and how mempdroid-style attacks reach
+``/proc/<pid>/mem``.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+from repro.kernel import vfs
+from repro.kernel.loader import build_pseudo_elf
+from repro.kernel.process import SYSTEM_UID
+from repro.kernel.vfs import Filesystem, make_device, make_dir, make_file
+
+
+class AndroidRootFS(Filesystem):
+    """The writable root filesystem (/, /data, /dev, /cache)."""
+
+    def __init__(self):
+        super().__init__("rootfs", readonly=False)
+
+
+class SystemFS(Filesystem):
+    """The read-only /system partition."""
+
+    def __init__(self):
+        super().__init__("systemfs", readonly=True)
+
+
+def _ensure_dirs(fs, path_parts, mode=0o755, uid=0, gid=0):
+    inode = fs.root
+    for part in path_parts:
+        child = inode.children.get(part)
+        if child is None:
+            child = make_dir(mode, uid, gid)
+            inode.children[part] = child
+        inode = child
+    return inode
+
+
+def add_file(fs, path, content=b"", mode=0o644, uid=0, gid=0):
+    """Create a file at ``path`` inside ``fs``, making parents as needed."""
+    parts = [p for p in path.split("/") if p]
+    parent = _ensure_dirs(fs, parts[:-1])
+    inode = make_file(content, mode, uid, gid)
+    parent.children[parts[-1]] = inode
+    return inode
+
+
+def add_device(fs, path, device, mode=0o600, uid=0, gid=0):
+    parts = [p for p in path.split("/") if p]
+    parent = _ensure_dirs(fs, parts[:-1])
+    inode = make_device(device, mode, uid, gid)
+    parent.children[parts[-1]] = inode
+    return inode
+
+
+def add_dir(fs, path, mode=0o755, uid=0, gid=0):
+    parts = [p for p in path.split("/") if p]
+    return _ensure_dirs(fs, parts, mode, uid, gid)
+
+
+VOLD_GOT_ADDRESS = 0x0001_4B20
+"""GOT base baked into the pseudo-ELF vold binary (GingerBreak step 4)."""
+
+LIBC_SYSTEM_ADDRESS = 0x4002_1330
+LIBC_STRCMP_ADDRESS = 0x4002_8844
+
+
+def build_system_image():
+    """Build the read-only /system partition content."""
+    system = SystemFS()
+    add_dir(system, "bin", mode=0o755)
+    add_dir(system, "lib", mode=0o755)
+    add_dir(system, "framework", mode=0o755)
+    add_file(
+        system,
+        "bin/vold",
+        content=build_pseudo_elf(
+            name="vold",
+            got_address=VOLD_GOT_ADDRESS,
+            symbols={"main": 0x8F00, "handlePartitionAdded": 0x9C40},
+            managed_device="/dev/block/vold/179:0",
+        ),
+        mode=0o755,
+    )
+    add_file(
+        system,
+        "lib/libc.so",
+        content=build_pseudo_elf(
+            name="libc.so",
+            got_address=0x4000_0000,
+            symbols={
+                "system": LIBC_SYSTEM_ADDRESS,
+                "strcmp": LIBC_STRCMP_ADDRESS,
+                "memcpy": 0x4002_9000,
+            },
+        ),
+        mode=0o755,
+    )
+    add_file(system, "lib/libbinder.so", content=b"\x7fELF-binder-stub", mode=0o755)
+    add_file(
+        system, "framework/framework.jar", content=b"PK-framework", mode=0o644
+    )
+    add_file(
+        system,
+        "bin/logcat",
+        content=build_pseudo_elf(
+            name="logcat", got_address=0x1_0000, symbols={}, payload="logcat"
+        ),
+        mode=0o755,
+    )
+    for tool in ("sh", "app_process", "toolbox", "ping"):
+        add_file(
+            system,
+            f"bin/{tool}",
+            content=build_pseudo_elf(name=tool, got_address=0x1_0000, symbols={}),
+            mode=0o755,
+        )
+    return system
+
+
+class DataFS(Filesystem):
+    """The /data partition (ext4 on a real device).
+
+    Kept as a distinct filesystem so it can be backed by a host-held
+    virtual disk: a CVM reboot builds a fresh guest kernel but remounts
+    the *same* DataFS, which is how app data survives container crashes
+    (the Section IV-5 virtual storage device).
+    """
+
+    def __init__(self):
+        super().__init__("datafs", readonly=False)
+
+
+def build_data_fs():
+    """Build an empty /data partition with the standard Android layout."""
+    data = DataFS()
+    add_dir(data, "app", mode=0o771, uid=SYSTEM_UID, gid=SYSTEM_UID)
+    add_dir(data, "data", mode=0o771, uid=SYSTEM_UID, gid=SYSTEM_UID)
+    add_dir(data, "local", mode=0o777)
+    add_dir(data, "local/tmp", mode=0o777)
+    # Fix the partition root's permissions to match /data on-device.
+    data.root.mode = 0o771
+    data.root.uid = SYSTEM_UID
+    data.root.gid = SYSTEM_UID
+    return data
+
+
+def build_android_rootfs():
+    """Build the writable rootfs skeleton (without device nodes)."""
+    root = AndroidRootFS()
+    add_dir(root, "data", mode=0o771, uid=SYSTEM_UID, gid=SYSTEM_UID)
+    add_dir(root, "cache", mode=0o770, uid=SYSTEM_UID, gid=SYSTEM_UID)
+    add_dir(root, "dev", mode=0o755)
+    add_dir(root, "dev/block", mode=0o755)
+    add_dir(root, "dev/block/vold", mode=0o755)
+    add_dir(root, "dev/graphics", mode=0o755)
+    add_dir(root, "dev/input", mode=0o755)
+    add_dir(root, "mnt", mode=0o755)
+    add_dir(root, "mnt/sdcard", mode=0o777)
+    add_dir(root, "sys", mode=0o755)
+    add_dir(root, "sys/kernel", mode=0o755)
+    # The Exploid-era misconfiguration: the usermode-helper path is
+    # world-writable.
+    add_file(root, "sys/kernel/uevent_helper", content=b"", mode=0o666)
+    add_dir(root, "proc", mode=0o555)
+    return root
+
+
+class ProcMemDevice:
+    """``/proc/<pid>/mem``: byte-level access to a task's address space.
+
+    Access control matches Linux: the reader must be root or have the same
+    UID as the target.  Reads are performed with the *servicing kernel's*
+    frame window, so a compromised CVM kernel cannot use its own procfs to
+    reach host-resident app pages — it only ever sees proxy memory.
+    """
+
+    def __init__(self, kernel, target_task):
+        self.kernel = kernel
+        self.target = target_task
+
+    def _authorize(self, task):
+        creds = task.credentials
+        if creds.is_root():
+            return
+        if creds.euid != self.target.credentials.euid:
+            raise SyscallError(errno.EACCES, "mem access denied")
+
+    def read(self, open_file, length):
+        task = self.kernel.current
+        self._authorize(task)
+        space = self.target.address_space
+        if space is None:
+            raise SyscallError(errno.ESRCH, "no address space")
+        data = space.read(
+            open_file.offset, length, window=self.kernel.frame_window
+        )
+        open_file.offset += len(data)
+        return data
+
+    def write(self, open_file, data):
+        task = self.kernel.current
+        if "mem_write_bypass" not in self.kernel.quirks:
+            self._authorize(task)
+        space = self.target.address_space
+        if space is None:
+            raise SyscallError(errno.ESRCH, "no address space")
+        space.write(
+            open_file.offset, data, window=self.kernel.frame_window,
+            need_prot=0,
+        )
+        open_file.offset += len(data)
+        self._maybe_hijack(task, data)
+        return len(data)
+
+    def _maybe_hijack(self, writer, data):
+        """Shellcode written into a root process = code exec as root.
+
+        This is the CVE-2012-0056 (mempdroid) endgame: the overwritten
+        privileged process starts running attacker code on whichever
+        kernel hosts it.
+        """
+        if not bytes(data).startswith(b"SHELLCODE:"):
+            return
+        target_creds = self.target.credentials
+        if not target_creds.is_root() or not self.target.is_alive():
+            return
+        if writer is not None and writer.credentials.is_root():
+            return  # nothing gained
+        from repro.events import record_compromise
+
+        shell = self.kernel.spawn_task("mem-hijack-shell", target_creds)
+        record_compromise(
+            "proc-mem-hijack", self.kernel, task=self.target, shell=shell,
+            got_root=True,
+        )
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "/proc/pid/mem")
+
+
+class ProcFS(Filesystem):
+    """Kernel-state-backed /proc.
+
+    Entries are synthesised on lookup; nothing is stored.  Supported:
+
+    * ``/proc/<pid>/{cmdline,exe,status,mem}``
+    * ``/proc/self`` (symlink to the current task's pid)
+    * ``/proc/net/netlink``
+    * top-level directory listing of live pids
+    """
+
+    def __init__(self, kernel):
+        super().__init__("procfs", readonly=False)
+        self.kernel = kernel
+        self.root = make_dir(mode=0o555)
+
+    def lookup(self, inode, component, creds):
+        if inode is self.root:
+            return self._lookup_top(component)
+        tag = getattr(inode, "_proc_tag", None)
+        if tag is None:
+            return super().lookup(inode, component, creds)
+        kind, arg = tag
+        if kind == "pid":
+            return self._lookup_pid_entry(arg, component)
+        if kind == "net":
+            return self._lookup_net_entry(component)
+        raise SyscallError(errno.ENOENT, component)
+
+    def _lookup_top(self, component):
+        if component == "self":
+            current = self.kernel.current
+            if current is None:
+                raise SyscallError(errno.ENOENT, "self")
+            return vfs.make_symlink(f"/proc/{current.pid}")
+        if component == "net":
+            node = make_dir(mode=0o555)
+            node._proc_tag = ("net", None)
+            return node
+        if component.isdigit():
+            task = self.kernel.pids.get(int(component))
+            if task is None or not task.is_alive():
+                raise SyscallError(errno.ENOENT, component)
+            node = make_dir(mode=0o555, uid=task.credentials.uid)
+            node._proc_tag = ("pid", task)
+            return node
+        raise SyscallError(errno.ENOENT, component)
+
+    def _lookup_pid_entry(self, task, component):
+        if component == "cmdline":
+            return make_file(task.name.encode() + b"\x00", mode=0o444)
+        if component == "exe":
+            if task.exe_path is None:
+                raise SyscallError(errno.ENOENT, "exe")
+            return vfs.make_symlink(task.exe_path)
+        if component == "status":
+            text = (
+                f"Name:\t{task.name}\n"
+                f"State:\t{task.state.value}\n"
+                f"Pid:\t{task.pid}\n"
+                f"Uid:\t{task.credentials.uid}\t{task.credentials.euid}\n"
+            )
+            return make_file(text.encode(), mode=0o444)
+        if component == "maps":
+            return make_file(self._render_maps(task), mode=0o444,
+                             uid=task.credentials.uid)
+        if component == "mem":
+            # The CVE-2012-0056 kernels effectively let any process open
+            # another's mem node (the write-permission check was the
+            # broken part); patched kernels pin it to the owner.
+            broken = "mem_write_bypass" in self.kernel.quirks
+            return make_device(
+                ProcMemDevice(self.kernel, task),
+                mode=0o666 if broken else 0o600,
+                uid=task.credentials.uid,
+            )
+        raise SyscallError(errno.ENOENT, component)
+
+    @staticmethod
+    def _render_maps(task):
+        """/proc/<pid>/maps: the mapping list exploits mine for layout."""
+        space = task.address_space
+        if space is None:
+            return b""
+        lines = []
+        for vpn in sorted(space.pages):
+            mapping = space.pages[vpn]
+            start = vpn * 4096
+            perms = "".join((
+                "r" if mapping.prot & 0x1 else "-",
+                "w" if mapping.prot & 0x2 else "-",
+                "x" if mapping.prot & 0x4 else "-",
+                "p",
+            ))
+            label = task.exe_path or ""
+            lines.append(
+                f"{start:08x}-{start + 4096:08x} {perms} 00000000 "
+                f"00:00 0          {label}"
+            )
+        return ("\n".join(lines) + "\n").encode()
+
+    def _lookup_net_entry(self, component):
+        if component == "netlink":
+            lines = ["sk       Eth Pid    Groups   Rmem     Wmem     Dump     Locks"]
+            for sock in self.kernel.network.netlink_sockets():
+                lines.append(
+                    f"{id(sock) & 0xffffffff:08x} {sock.protocol:<3d} "
+                    f"{sock.owner_pid:<6d} 00000000 0        0        "
+                    f"(null)   2"
+                )
+            return make_file("\n".join(lines).encode() + b"\n", mode=0o444)
+        raise SyscallError(errno.ENOENT, component)
+
+    def list_children(self, inode):
+        if inode is self.root:
+            entries = [str(pid) for pid in sorted(self.listdir_pids())]
+            entries.extend(["net", "self"])
+            return entries
+        tag = getattr(inode, "_proc_tag", None)
+        if tag is not None:
+            kind, _arg = tag
+            if kind == "pid":
+                return ["cmdline", "exe", "maps", "mem", "status"]
+            if kind == "net":
+                return ["netlink"]
+        return sorted(inode.children)
+
+    def listdir_pids(self):
+        return [t.pid for t in self.kernel.pids.all_tasks() if t.is_alive()]

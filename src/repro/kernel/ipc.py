@@ -1,0 +1,93 @@
+"""Pipes and signals.
+
+Kept intentionally small: the paper's argument does not hinge on rich IPC
+semantics beyond binder (which lives in :mod:`repro.android.binder`), but
+traditional pipes/signals are part of the app execution environment and the
+GingerBreak walkthrough kills and restarts logcat with signals.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+
+
+SIGKILL = 9
+SIGTERM = 15
+SIGSEGV = 11
+
+
+class Pipe:
+    """An anonymous pipe; read end and write end share the buffer."""
+
+    def __init__(self, capacity=65536):
+        self.capacity = capacity
+        self._buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+
+    def push(self, data):
+        if not self.read_open:
+            raise SyscallError(errno.EPIPE, "read end closed")
+        if len(self._buffer) + len(data) > self.capacity:
+            data = data[: self.capacity - len(self._buffer)]
+        self._buffer.extend(data)
+        return len(data)
+
+    def pull(self, length):
+        data = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return data
+
+    @property
+    def pending(self):
+        return len(self._buffer)
+
+
+class PipeEnd:
+    """One end of a pipe, pluggable into the fd table."""
+
+    def __init__(self, pipe, writable):
+        self.pipe = pipe
+        self.writable = writable
+        self.readable = not writable
+
+    def read(self, open_file, length):
+        if not self.readable:
+            raise SyscallError(errno.EBADF, "write end of pipe")
+        return self.pipe.pull(length)
+
+    def write(self, open_file, data):
+        if not self.writable:
+            raise SyscallError(errno.EBADF, "read end of pipe")
+        return self.pipe.push(data)
+
+    def ioctl(self, task, open_file, request, arg):
+        raise SyscallError(errno.ENOTTY, "pipe ioctl")
+
+    def release(self, open_file):
+        if self.writable:
+            self.pipe.write_open = False
+        else:
+            self.pipe.read_open = False
+
+
+def deliver_signal(kernel, sender, target, signum):
+    """Deliver ``signum`` to ``target`` with standard permission rules.
+
+    A non-root sender may only signal tasks of its own UID.  SIGKILL and
+    unhandled SIGTERM terminate the task (the kernel reaps it); handled
+    signals invoke the registered callback synchronously.
+    """
+    creds = sender.credentials
+    if not creds.is_root() and creds.euid != target.credentials.euid:
+        raise SyscallError(errno.EPERM, f"signal {signum} to pid {target.pid}")
+    handler = target.signal_handlers.get(signum)
+    if signum == SIGKILL or (handler is None and signum in (SIGTERM, SIGSEGV)):
+        kernel.reap_task(target, exit_code=-signum)
+        return
+    if handler is not None:
+        handler(signum)
+    else:
+        target.pending_signals.append(signum)

@@ -1,0 +1,127 @@
+"""Pseudo-ELF binaries and the program loader.
+
+Real exploit chains parse ELF images (GingerBreak reads vold's GOT address
+and libc symbol addresses through the ELF-32 API).  We encode the metadata
+those steps need into a compact, deterministic pseudo-ELF: the 4-byte magic
+``\\x7fELF`` followed by a JSON document.  ``parse_pseudo_elf`` is the
+"ELF-32 API" exploits call after reading the binary through normal file
+system calls — so whether they see the host's copy or the CVM's copy is
+decided by the redirection logic, exactly as in the paper's walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SimulationError
+
+
+ELF_MAGIC = b"\x7fELF"
+
+
+def build_pseudo_elf(name, got_address, symbols, managed_device=None,
+                     code_units=1000, payload=None):
+    """Serialise a pseudo-ELF image.
+
+    Args:
+        name: soname / binary name.
+        got_address: virtual address of the Global Offset Table.
+        symbols: mapping symbol name -> virtual address.
+        managed_device: for daemons like vold, the block device it manages.
+        code_units: abstract size of the text segment (for loader cost).
+        payload: name of a registered payload program embedded in the
+            binary's text (see :func:`register_payload`); ``None`` for
+            binaries with no executable behaviour in the simulation.
+    """
+    document = {
+        "name": name,
+        "got": got_address,
+        "symbols": dict(symbols),
+        "managed_device": managed_device,
+        "code_units": code_units,
+        "payload": payload,
+    }
+    return ELF_MAGIC + json.dumps(document, sort_keys=True).encode()
+
+
+def parse_pseudo_elf(data):
+    """Parse a pseudo-ELF image; returns a dict of its metadata.
+
+    Raises :class:`SimulationError` on a non-ELF input, mirroring how a
+    real parser would reject the file.
+    """
+    if not data.startswith(ELF_MAGIC):
+        raise SimulationError("not a pseudo-ELF image")
+    return json.loads(data[len(ELF_MAGIC):].decode())
+
+
+class LoadedImage:
+    """Result of loading a binary into an address space."""
+
+    def __init__(self, path, base_address, metadata, text_pages):
+        self.path = path
+        self.base_address = base_address
+        self.metadata = metadata
+        self.text_pages = text_pages
+
+    @property
+    def got_address(self):
+        return self.metadata.get("got", 0)
+
+    def symbol(self, name):
+        return self.metadata["symbols"][name]
+
+
+PAYLOAD_REGISTRY = {}
+"""Maps payload names embedded in pseudo-ELF binaries to callables.
+
+A payload callable receives ``(kernel, task)`` and represents the machine
+code of the binary: it runs in the context of whichever kernel exec'ed the
+file.  This is the hinge of the GingerBreak reproduction — where the copy
+of the exploit binary *lives* determines which kernel executes it.
+"""
+
+
+def register_payload(name, fn=None):
+    """Register a payload program; usable as a decorator."""
+    if fn is None:
+        def decorator(func):
+            PAYLOAD_REGISTRY[name] = func
+            return func
+        return decorator
+    PAYLOAD_REGISTRY[name] = fn
+    return fn
+
+
+def run_payload(kernel, task, image):
+    """Execute the payload embedded in a loaded image, if any.
+
+    Returns the payload's result, or ``None`` when the binary carries no
+    simulated behaviour.
+    """
+    payload_name = image.metadata.get("payload")
+    if not payload_name:
+        return None
+    fn = PAYLOAD_REGISTRY.get(payload_name)
+    if fn is None:
+        raise SimulationError(f"payload {payload_name!r} not registered")
+    return fn(kernel, task)
+
+
+def load_image(address_space, path, data, prot):
+    """Map a binary's text into ``address_space`` and return the image.
+
+    The text occupies ``code_units // 256`` pages (min 1); contents are the
+    raw pseudo-ELF bytes so that later reads of memory (e.g. a debugger or
+    a /proc/pid/mem scan) see plausible data.
+    """
+    try:
+        metadata = parse_pseudo_elf(bytes(data))
+    except (SimulationError, ValueError):
+        metadata = {"name": path, "got": 0, "symbols": {}, "code_units": 256}
+    pages = max(1, metadata.get("code_units", 256) // 256)
+    base = address_space.mmap(pages * 4096, prot, flags=0x02)  # MAP_PRIVATE
+    chunk = bytes(data)[: pages * 4096]
+    if chunk:
+        address_space.write(base, chunk, need_prot=0)
+    return LoadedImage(path, base, metadata, pages)

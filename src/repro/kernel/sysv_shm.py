@@ -1,0 +1,137 @@
+"""System V shared memory (shmget / shmat / shmdt / shmctl).
+
+The paper's bridged-IPC claim covers shared memory (Section III,
+"our implementation supports shared memory and Android's custom Binder
+IPC"), and the syscall catalogue splits it the same way the paper's
+table does: ``shmget``/``shmdt``/``shmctl`` are **redirected** (segment
+bookkeeping is not security-critical) while ``shmat`` is **split** — the
+mapping itself must land in host frames because segment *contents* are
+app memory, which principle 3 forbids the CVM from ever holding.
+
+Natively everything lives on one kernel: two apps attaching the same id
+share physical frames.  Under Anception the id comes from the CVM's
+registry but the layer backs each attached segment with host frames (see
+``AnceptionLayer._split_shmat``); the CVM sees the segment exist and
+never sees a byte of it.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+from repro.kernel.memory import PROT_READ, PROT_WRITE, page_count
+
+
+IPC_PRIVATE = 0
+IPC_CREAT = 0o1000
+IPC_RMID = 0
+
+
+class ShmSegment:
+    """One shared-memory segment: frames + attach bookkeeping."""
+
+    def __init__(self, shmid, key, size, owner_uid, frames):
+        self.shmid = shmid
+        self.key = key
+        self.size = size
+        self.owner_uid = owner_uid
+        self.frames = frames
+        self.attach_count = 0
+        self.marked_for_removal = False
+
+    @property
+    def pages(self):
+        return len(self.frames)
+
+
+class ShmRegistry:
+    """Per-kernel SysV shared-memory state."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._segments = {}
+        self._by_key = {}
+        self._attached = {}
+        self._next_id = 1
+
+    def shmget(self, task, key, size, flags):
+        """Create or look up a segment; returns its id."""
+        if key != IPC_PRIVATE and key in self._by_key:
+            segment = self._by_key[key]
+            if segment.size < size:
+                raise SyscallError(errno.EINVAL, "segment too small")
+            return segment.shmid
+        if key != IPC_PRIVATE and not flags & IPC_CREAT:
+            raise SyscallError(errno.ENOENT, f"shm key {key}")
+        npages = page_count(size)
+        if npages == 0:
+            raise SyscallError(errno.EINVAL, "zero-size segment")
+        frames = [
+            self.kernel.allocator.allocate(owner=f"shm:{self._next_id}")
+            for _ in range(npages)
+        ]
+        segment = ShmSegment(
+            self._next_id, key, size, task.credentials.uid, frames
+        )
+        self._segments[segment.shmid] = segment
+        if key != IPC_PRIVATE:
+            self._by_key[key] = segment
+        self._next_id += 1
+        return segment.shmid
+
+    def require(self, shmid):
+        segment = self._segments.get(shmid)
+        if segment is None:
+            raise SyscallError(errno.EINVAL, f"shmid {shmid}")
+        return segment
+
+    def shmat(self, task, shmid):
+        """Attach: map the segment's frames into the task's space."""
+        segment = self.require(shmid)
+        base_vpn = task.address_space._mmap_next - segment.pages
+        task.address_space._mmap_next = base_vpn
+        for i, frame in enumerate(segment.frames):
+            task.address_space.map_page(
+                base_vpn + i, PROT_READ | PROT_WRITE, frame=frame
+            )
+        segment.attach_count += 1
+        base_addr = base_vpn * 4096
+        self._attached[(task.pid, base_addr)] = shmid
+        return base_addr
+
+    def shmdt(self, task, addr):
+        shmid = self._attached.pop((task.pid, addr), None)
+        if shmid is None:
+            raise SyscallError(errno.EINVAL, f"no attachment at {addr:#x}")
+        segment = self.require(shmid)
+        base_vpn = addr // 4096
+        for i in range(segment.pages):
+            if base_vpn + i in task.address_space.pages:
+                task.address_space.unmap_page(base_vpn + i)
+        segment.attach_count -= 1
+        if segment.marked_for_removal and segment.attach_count <= 0:
+            self._destroy(segment)
+        return 0
+
+    def shmctl(self, task, shmid, cmd):
+        segment = self.require(shmid)
+        if cmd == IPC_RMID:
+            if (not task.credentials.is_root()
+                    and task.credentials.euid != segment.owner_uid):
+                raise SyscallError(errno.EPERM, "not segment owner")
+            segment.marked_for_removal = True
+            if segment.attach_count <= 0:
+                self._destroy(segment)
+            return 0
+        raise SyscallError(errno.EINVAL, f"shmctl cmd {cmd}")
+
+    def _destroy(self, segment):
+        self._segments.pop(segment.shmid, None)
+        if segment.key in self._by_key:
+            del self._by_key[segment.key]
+        for frame in segment.frames:
+            self.kernel.allocator.free(frame)
+
+    def segment_count(self):
+        return len(self._segments)

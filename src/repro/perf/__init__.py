@@ -1,0 +1,16 @@
+"""Performance harness: cost model, microbenchmarks, macrobenchmarks.
+
+Submodules map one-to-one onto the paper's evaluation artefacts:
+
+* :mod:`repro.perf.costs` — calibrated latency constants (Section VI setup).
+* :mod:`repro.perf.micro` — Table I (ASIM latency microbenchmarks).
+* :mod:`repro.perf.macro` — Figure 6 (AnTuTu) and Figure 7 (SunSpider).
+* :mod:`repro.perf.sqlite_bench` — the 10,000-row SQLite transaction bench.
+* :mod:`repro.perf.memory` — Section VI-C memory-overhead accounting.
+* :mod:`repro.perf.profiledroid` — Section VI-A ProfileDroid-style syscall
+  profiling of popular apps.
+"""
+
+from repro.perf.costs import CostModel
+
+__all__ = ["CostModel"]

@@ -1,0 +1,71 @@
+"""Interactive-session latency (the paper's 'negligible on ... interactive
+macrobenchmarks' claim, Section I / VI).
+
+Models a user session: touch events are injected into the host UI stack,
+the focused app consumes each with the wait-input binder ioctl, runs its
+handler (userspace compute), redraws, and occasionally persists state.
+The measured quantity is per-interaction latency — the thing a user
+feels — in both configurations.
+
+Everything on the interaction's critical path (input delivery, UI
+ioctls, handler compute) stays on the host under Anception; only the
+occasional state save crosses into the CVM, amortised across many
+interactions.
+"""
+
+from __future__ import annotations
+
+from repro.android.app import App, AppManifest
+from repro.world import AnceptionWorld, NativeWorld
+
+
+INTERACTIONS = 120
+HANDLER_UNITS = 30_000      # ~3 ms of handler + layout + render compute
+SAVE_EVERY = 30             # state persisted every N interactions
+
+
+class InteractiveApp(App):
+    """An app living its event loop."""
+
+    manifest = AppManifest("com.bench.interactive")
+
+    def main(self, ctx):
+        ctx.create_window("interactive")
+        return {"ready": True}
+
+    def handle_one_interaction(self, ctx, index):
+        event = ctx.wait_input()
+        assert event is not None
+        ctx.compute(HANDLER_UNITS)
+        ctx.submit_frame(b"frame")
+        if index % SAVE_EVERY == SAVE_EVERY - 1:
+            ctx.libc.write_file(
+                ctx.data_path("ui-state.bin"), b"s" * 128
+            )
+        return event
+
+
+def run_interactive_session(configuration, interactions=INTERACTIONS):
+    """Mean per-interaction latency (us) for one configuration."""
+    world = (
+        AnceptionWorld() if configuration == "anception" else NativeWorld()
+    )
+    app = InteractiveApp()
+    running = world.install_and_launch(app)
+    running.run()
+    world.focus(running)
+    with world.clock.measure() as span:
+        for index in range(interactions):
+            world.ui.inject_touch(40 + index % 600, 100)
+            app.handle_one_interaction(running.ctx, index)
+    return span.elapsed_us / interactions
+
+
+def run_interactive_comparison():
+    native = run_interactive_session("native")
+    anception = run_interactive_session("anception")
+    return {
+        "native_us": round(native, 2),
+        "anception_us": round(anception, 2),
+        "overhead_percent": round(100.0 * (anception - native) / native, 3),
+    }

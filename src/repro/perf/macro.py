@@ -1,0 +1,142 @@
+"""Macrobenchmark harness: Figure 6 (AnTuTu) and Figure 7 (SunSpider).
+
+Figure 6 paper shape: AnTuTu overall 2.8% under native; DB I/O ~3% under
+(masked by SQLite/page-cache buffering); 2D/3D close to native.
+Figure 7 paper shape: SunSpider essentially indistinguishable.
+
+Scores are work/time over the simulated clock; each benchmark runs the
+identical app workload in both worlds — the configured active-set of
+standard apps (23 on the paper's Galaxy Tab) is resident during all runs.
+"""
+
+from __future__ import annotations
+
+from repro.android.app import App, AppManifest
+from repro.workloads.antutu import ANTUTU_TESTS
+from repro.workloads.sunspider import SUITES, SunSpiderApp
+from repro.world import AnceptionWorld, NativeWorld
+
+
+ACTIVE_SET_SIZE = 23
+"""Standard apps resident during benchmarks (Section VI, 'Active-set')."""
+
+
+class _ActiveSetApp(App):
+    """A resident standard app (home screen, contacts, dialer, ...)."""
+
+    def __init__(self, index):
+        self._manifest = AppManifest(f"com.android.standard{index:02d}")
+
+    @property
+    def manifest(self):
+        return self._manifest
+
+    def main(self, ctx):
+        return {"resident": True}
+
+
+def boot_world(configuration, active_set=ACTIVE_SET_SIZE):
+    """Boot a world with the standard active-set resident."""
+    world = (
+        AnceptionWorld() if configuration == "anception" else NativeWorld()
+    )
+    for i in range(active_set):
+        world.install_and_launch(_ActiveSetApp(i)).run()
+    return world
+
+
+def run_workload(world, app):
+    """Run one workload app; returns elapsed simulated microseconds."""
+    running = world.install_and_launch(app)
+    with world.clock.measure() as span:
+        running.run()
+    return span.elapsed_us
+
+
+def run_antutu(configurations=("native", "anception")):
+    """Figure 6: per-test times, scores, and normalised scores."""
+    times = {c: {} for c in configurations}
+    for configuration in configurations:
+        world = boot_world(configuration)
+        for test_name, app_type in ANTUTU_TESTS.items():
+            times[configuration][test_name] = run_workload(world, app_type())
+    report = {"times_us": times, "normalized": {}, "overall": {}}
+    if "native" in times and "anception" in times:
+        ratios = {}
+        for test_name in ANTUTU_TESTS:
+            ratios[test_name] = round(
+                times["native"][test_name] / times["anception"][test_name], 4
+            )
+        report["normalized"] = ratios
+        native_total = sum(times["native"].values())
+        anception_total = sum(times["anception"].values())
+        report["overall"] = {
+            "score_ratio": round(native_total / anception_total, 4),
+            "overhead_percent": round(
+                100.0 * (anception_total - native_total) / native_total, 2
+            ),
+        }
+    return report
+
+
+PAPER_ANTUTU = {
+    "DatabaseIO": 0.97,       # "3% lower than with native Android"
+    "2DGraphics": 0.99,       # "close to native"
+    "3DGraphics": 0.99,
+    "overall": 0.972,         # "overall score is 2.8% less"
+}
+
+
+def run_sunspider(configurations=("native", "anception")):
+    """Figure 7: per-suite execution time (ms) per configuration."""
+    times = {c: {} for c in configurations}
+    for configuration in configurations:
+        world = boot_world(configuration)
+        for suite in SUITES:
+            result_us = run_workload(world, SunSpiderApp(suite))
+            times[configuration][suite] = round(result_us / 1000.0, 2)
+    report = {"times_ms": times}
+    if "native" in times and "anception" in times:
+        report["max_overhead_percent"] = round(
+            max(
+                100.0
+                * (times["anception"][s] - times["native"][s])
+                / times["native"][s]
+                for s in SUITES
+            ),
+            3,
+        )
+    return report
+
+
+def format_antutu(report):
+    lines = [f"{'test':<14} {'native us':>12} {'anception us':>13} {'norm':>7}",
+             "-" * 50]
+    for test_name in ANTUTU_TESTS:
+        lines.append(
+            f"{test_name:<14} "
+            f"{report['times_us']['native'][test_name]:>12.1f} "
+            f"{report['times_us']['anception'][test_name]:>13.1f} "
+            f"{report['normalized'][test_name]:>7.3f}"
+        )
+    lines.append(
+        f"overall score ratio {report['overall']['score_ratio']} "
+        f"(paper: ~0.972)"
+    )
+    return "\n".join(lines)
+
+
+def format_sunspider(report):
+    lines = [f"{'suite':<10} {'native ms':>10} {'anception ms':>13}",
+             "-" * 36]
+    for suite in SUITES:
+        lines.append(
+            f"{suite:<10} "
+            f"{report['times_ms']['native'][suite]:>10.2f} "
+            f"{report['times_ms']['anception'][suite]:>13.2f}"
+        )
+    lines.append(
+        f"max overhead: {report['max_overhead_percent']}% "
+        f"(paper: indistinguishable)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Section VI-A ProfileDroid-style syscall profiling of popular apps.
+
+Paper: "Using ProfileDroid, we found that approximately 58.7% to 80.1%
+(average = 73.7) of system calls made by popular apps are ioctl calls.
+After performing an additional custom profiling of only ioctl calls, we
+found that 81.35% of such calls are UI-related and thus will run at
+native speed."
+
+The profiler enables the kernel's syscall log, runs each popular-app
+workload, and computes the fractions from the recorded call stream — the
+profiles in :data:`repro.workloads.apps.POPULAR_APP_PROFILES` are the
+workload inputs; what is *reported* is measured.
+"""
+
+from __future__ import annotations
+
+from repro.android.binder import BINDER_WRITE_READ, IOC_WAIT_INPUT_EVT, Transaction
+from repro.workloads.apps import popular_apps
+from repro.world import NativeWorld
+
+
+def _is_ui_ioctl(ui_names, args):
+    if len(args) < 2:
+        return False
+    _fd, request = args[0], args[1]
+    arg = args[2] if len(args) > 2 else None
+    if request == IOC_WAIT_INPUT_EVT:
+        return True
+    if request == BINDER_WRITE_READ and isinstance(arg, Transaction):
+        return arg.target in ui_names
+    return False
+
+
+def profile_app(world, app):
+    """Run one app with syscall logging; return its call-mix stats."""
+    kernel = world.kernel
+    running = world.install_and_launch(app)
+    pid = running.pid
+    kernel.syscall_log = []
+    kernel.syscall_log_enabled = True
+    try:
+        running.run()
+    finally:
+        kernel.syscall_log_enabled = False
+    entries = [e for e in kernel.syscall_log if e[0] == pid]
+    total = len(entries)
+    ui_names = world.system.ui_service_names()
+    ioctls = [e for e in entries if e[1] == "ioctl"]
+    ui_ioctls = [e for e in ioctls if _is_ui_ioctl(ui_names, e[3])]
+    return {
+        "app": getattr(app, "app_name", app.package),
+        "total_syscalls": total,
+        "ioctls": len(ioctls),
+        "ui_ioctls": len(ui_ioctls),
+        "ioctl_fraction": round(100.0 * len(ioctls) / total, 1),
+        "ui_share_of_ioctls": round(
+            100.0 * len(ui_ioctls) / len(ioctls), 2
+        ) if ioctls else 0.0,
+    }
+
+
+def run_profiledroid():
+    """Profile all popular apps; aggregate like the paper."""
+    world = NativeWorld()
+    profiles = [profile_app(world, app) for app in popular_apps()]
+    fractions = [p["ioctl_fraction"] for p in profiles]
+    total_ioctls = sum(p["ioctls"] for p in profiles)
+    total_ui = sum(p["ui_ioctls"] for p in profiles)
+    return {
+        "apps": profiles,
+        "ioctl_fraction_min": min(fractions),
+        "ioctl_fraction_max": max(fractions),
+        "ioctl_fraction_avg": round(sum(fractions) / len(fractions), 1),
+        "ui_share_overall": round(100.0 * total_ui / total_ioctls, 2),
+        "paper": {
+            "ioctl_fraction_min": 58.7,
+            "ioctl_fraction_max": 80.1,
+            "ioctl_fraction_avg": 73.7,
+            "ui_share_overall": 81.35,
+        },
+    }

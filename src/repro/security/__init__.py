@@ -1,0 +1,19 @@
+"""Security analytics: the Section V experiments.
+
+* :mod:`repro.security.attack_surface` — E7: the 324-syscall partition.
+* :mod:`repro.security.loc_accounting` — E8: lines of code deprivileged.
+* :mod:`repro.security.tcb` — E9: Anception's own trusted base.
+* :mod:`repro.security.vuln_study` — E6: the 25-CVE outcome study.
+"""
+
+from repro.security.attack_surface import attack_surface_report
+from repro.security.loc_accounting import loc_report
+from repro.security.tcb import tcb_report
+from repro.security.vuln_study import run_vulnerability_study
+
+__all__ = [
+    "attack_surface_report",
+    "loc_report",
+    "tcb_report",
+    "run_vulnerability_study",
+]

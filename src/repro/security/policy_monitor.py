@@ -1,0 +1,132 @@
+"""Syscall-interface policy checks (the paper's detection story).
+
+Section V-B: the two vulnerabilities that still reach host root "would
+have been easily detectable and thus preventable with simple checks at
+the system call interface on both standard Android and Anception".
+
+This module is those simple checks.  A :class:`SyscallPolicyMonitor`
+hooks the kernel's dispatch path and inspects *arguments* — no exploit
+cooperation, no taint, just the malformed-call signatures the vectors
+cannot avoid:
+
+* **futex-requeue-to-self** (CVE-2014-3153 / Towelroot): a FUTEX_REQUEUE
+  whose source and target addresses are identical is never issued by
+  legitimate code;
+* **kernel-range pointer** (CVE-2013-6282 era): a userspace syscall
+  passing a pointer into the kernel's address range exploits missing
+  ``get_user``/``put_user`` checks.
+
+Modes: ``detect`` records alerts (the study uses this to classify the
+2/25); ``prevent`` additionally rejects the call with EPERM — turning
+both residual host-root exploits into failures on stock Android and
+Anception alike.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.errors import SyscallError
+
+
+KERNEL_ADDRESS_FLOOR = 0xC000_0000
+"""Start of the kernel's address range on 32-bit ARM (3G/1G split)."""
+
+
+class PolicyAlert:
+    """One detection event."""
+
+    __slots__ = ("rule", "pid", "syscall", "detail")
+
+    def __init__(self, rule, pid, syscall, detail):
+        self.rule = rule
+        self.pid = pid
+        self.syscall = syscall
+        self.detail = detail
+
+    def __repr__(self):
+        return (
+            f"PolicyAlert({self.rule}, pid={self.pid}, "
+            f"syscall={self.syscall}, {self.detail})"
+        )
+
+
+def rule_futex_requeue_to_self(name, args):
+    """FUTEX_REQUEUE with uaddr == uaddr2: the Towelroot signature."""
+    if name != "futex" or len(args) < 3:
+        return None
+    if args[0] != "requeue":
+        return None
+    if args[1] == args[2]:
+        return f"requeue to self at {args[1]:#x}" if isinstance(
+            args[1], int
+        ) else "requeue to self"
+    return None
+
+
+def rule_kernel_range_pointer(name, args):
+    """A pointer argument aimed into kernel space from userspace."""
+    if name in ("mmap", "mmap2", "ioctl"):
+        # mmap requests carry large address hints; ioctl's second
+        # argument is an _IOC-encoded request number, not a pointer.
+        return None
+    for arg in args:
+        if isinstance(arg, int) and arg >= KERNEL_ADDRESS_FLOOR:
+            return f"kernel-range pointer {arg:#x} in {name}"
+    return None
+
+
+DEFAULT_RULES = (
+    ("futex-requeue-to-self", rule_futex_requeue_to_self),
+    ("kernel-range-pointer", rule_kernel_range_pointer),
+)
+
+
+class SyscallPolicyMonitor:
+    """Argument-signature checks at the syscall trap.
+
+    Attach with :meth:`install`; the kernel calls :meth:`inspect` on
+    every trap before dispatch.
+    """
+
+    def __init__(self, mode="detect", rules=DEFAULT_RULES):
+        if mode not in ("detect", "prevent"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.rules = tuple(rules)
+        self.alerts = []
+
+    def install(self, kernel):
+        kernel.policy_monitor = self
+        return self
+
+    def install_everywhere(self, world):
+        """Attach to every kernel of a world (host, and CVM if present)."""
+        self.install(world.kernel)
+        if world.anception is not None:
+            self.install(world.anception.cvm.kernel)
+        return self
+
+    def inspect(self, kernel, task, name, args):
+        for rule_name, rule in self.rules:
+            detail = rule(name, args)
+            if detail is None:
+                continue
+            self.alerts.append(
+                PolicyAlert(rule_name, task.pid, name, detail)
+            )
+            if self.mode == "prevent":
+                raise SyscallError(
+                    errno.EPERM,
+                    f"policy check {rule_name}: {detail}",
+                    call=name,
+                )
+
+    def alerted_pids(self):
+        return {alert.pid for alert in self.alerts}
+
+    def alerts_for(self, pid):
+        return [a for a in self.alerts if a.pid == pid]
+
+    def clear(self):
+        self.alerts = []

@@ -1,0 +1,15 @@
+"""Application workloads: the paper's example apps and benchmark drivers.
+
+* :mod:`repro.workloads.apps` — the secure banking app (Listing 1 /
+  Figure 2), low-assurance apps, and the "popular app" syscall profiles
+  behind the ProfileDroid statistics.
+* :mod:`repro.workloads.servers` — simulated remote endpoints (the bank).
+* :mod:`repro.workloads.antutu` — the AnTuTu-like macrobenchmark
+  (DB I/O, 2D, 3D) behind Figure 6.
+* :mod:`repro.workloads.sunspider` — the SunSpider-like JS-compute
+  benchmark behind Figure 7.
+"""
+
+from repro.workloads.apps import BankingApp, run_banking_session
+
+__all__ = ["BankingApp", "run_banking_session"]

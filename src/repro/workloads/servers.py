@@ -1,0 +1,120 @@
+"""Simulated remote servers (the other end of the app's TLS sessions).
+
+The paper assumes well-designed apps speak end-to-end encrypted protocols
+so the CVM only ever relays ciphertext.  ``tls_seal``/``tls_open`` model
+that envelope: a keyed, byte-level transform plus MAC — not real TLS, but
+it preserves exactly the property the experiments check (plaintext never
+appears on the wire or in the container).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import SecurityViolation
+
+
+BANK_ADDRESS = ("bank.com", 443)
+
+BANK_CA_CERT = b"-----BEGIN CERT-----SIMUBANK-ROOT-CA-----END CERT-----"
+
+
+def derive_session_key(cert, client_nonce):
+    """The end-to-end handshake: both sides derive the same key."""
+    return hashlib.sha256(cert + client_nonce).digest()
+
+
+def _stream(key, data, offset=0):
+    out = bytearray(len(data))
+    block = b""
+    block_no = -1
+    for i, byte in enumerate(data):
+        pos = offset + i
+        if pos // 32 != block_no:
+            block_no = pos // 32
+            block = hashlib.sha256(
+                key + b"tls" + block_no.to_bytes(8, "little")
+            ).digest()
+        out[i] = byte ^ block[pos % 32]
+    return bytes(out)
+
+
+def tls_seal(key, plaintext):
+    """Encrypt-then-MAC envelope: ``TLS1|mac|ciphertext``."""
+    ciphertext = _stream(key, plaintext)
+    mac = hashlib.sha256(key + b"mac" + ciphertext).digest()[:16]
+    return b"TLS1|" + mac + b"|" + ciphertext
+
+
+def tls_open(key, envelope):
+    if not envelope.startswith(b"TLS1|"):
+        raise SecurityViolation("not a TLS envelope")
+    mac, ciphertext = envelope[5:21], envelope[22:]
+    expect = hashlib.sha256(key + b"mac" + ciphertext).digest()[:16]
+    if mac != expect:
+        raise SecurityViolation("TLS MAC failure (tampered in transit?)")
+    return _stream(key, ciphertext)
+
+
+class BankServer:
+    """The bank's backend: authenticates and serves balances."""
+
+    def __init__(self):
+        self.accounts = {"alice": "hunter2", "bob": "swordfish"}
+        self.balances = {"alice": 1_523_42, "bob": 87_19}
+        self.secure_storage = {}
+        self.sessions = {}
+        self.raw_log = []
+
+    def handle_connect(self, conn):
+        self.sessions[id(conn)] = None
+
+    def handle_data(self, conn, data):
+        """One request/response round; all payloads are TLS envelopes."""
+        self.raw_log.append(bytes(data))
+        if data.startswith(b"HELLO|"):
+            # Handshake: client sends its nonce in the clear (like a
+            # ClientHello); both sides derive the session key.
+            nonce = data.split(b"|", 1)[1]
+            self.sessions[id(conn)] = derive_session_key(BANK_CA_CERT, nonce)
+            return b"HELLO-OK"
+        key = self.sessions.get(id(conn))
+        if key is None:
+            return b"ERR|no-session"
+        try:
+            request = json.loads(tls_open(key, data).decode())
+        except (SecurityViolation, ValueError):
+            return b"ERR|bad-envelope"
+        reply = self._serve(request, conn)
+        return tls_seal(key, json.dumps(reply).encode())
+
+    def _serve(self, request, conn):
+        command = request.get("cmd")
+        user = request.get("user", "")
+        if command == "LOGIN_CMD":
+            if self.accounts.get(user) == request.get("password"):
+                return {"status": "ok", "balance": self.balances[user]}
+            return {"status": "denied"}
+        if command == "STORE":
+            self.secure_storage.setdefault(user, {}).update(
+                request.get("data", {})
+            )
+            return {"status": "stored"}
+        if command == "FETCH":
+            return {
+                "status": "ok",
+                "data": self.secure_storage.get(user, {}),
+            }
+        return {"status": "unknown-command"}
+
+    def saw_plaintext(self, secret):
+        """Did ``secret`` ever cross the wire unencrypted?"""
+        needle = secret.encode() if isinstance(secret, str) else secret
+        return any(needle in blob for blob in self.raw_log)
+
+
+def register_bank(internet):
+    server = BankServer()
+    internet.register_server(BANK_ADDRESS, server)
+    return server

@@ -1,0 +1,59 @@
+"""SunSpider-like JavaScript compute benchmark (Figure 7).
+
+SunSpider runs inside the browser's JS engine: virtually pure userspace
+computation, which Anception never intercepts — "when an app is not
+making a system call, i.e., only running user-level application code, it
+runs at native speed".  Figure 7's suites (3d, access, bitops, ctrlflow,
+math, string) therefore come out indistinguishable between native and
+Anception.
+
+Per-suite compute budgets approximate a 2012 ARM tablet's absolute
+SunSpider times (hundreds of ms per suite); each iteration also performs
+the browser's incidental UI work (a repaint ioctl), which stays on the
+host.
+"""
+
+from __future__ import annotations
+
+from repro.android.app import App, AppManifest
+
+
+SUITES = {
+    # suite -> (iterations, compute units per iteration)
+    "3d": (10, 680),
+    "access": (10, 540),
+    "bitops": (10, 445),
+    "ctrlflow": (10, 290),
+    "math": (10, 510),
+    "string": (10, 750),
+}
+"""Calibrated so suite times land in SunSpider's hundreds-of-ms range
+(1 unit = 100 ns => 680 units x 10 iterations = 0.68 ms of compute per
+100-iteration block; the driver runs 900 blocks, matching the
+figure-era benchmark repetition)."""
+
+BLOCKS = 900
+
+
+class SunSpiderApp(App):
+    """Runs one suite and reports its simulated execution time."""
+
+    def __init__(self, suite):
+        if suite not in SUITES:
+            raise ValueError(f"unknown suite {suite!r}")
+        self.suite = suite
+        self._manifest = AppManifest(f"com.bench.sunspider.{suite}")
+
+    @property
+    def manifest(self):
+        return self._manifest
+
+    def main(self, ctx):
+        ctx.create_window(f"sunspider-{self.suite}")
+        iterations, units = SUITES[self.suite]
+        with ctx.kernel.clock.measure() as span:
+            for _block in range(BLOCKS):
+                for _ in range(iterations):
+                    ctx.compute(units)
+                ctx.submit_frame(b"js")  # progress repaint (UI, host)
+        return {"suite": self.suite, "elapsed_ms": span.elapsed_ms}

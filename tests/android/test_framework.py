@@ -1,0 +1,98 @@
+"""AndroidSystem boot profiles: full, headless, ui_only."""
+
+import pytest
+
+from repro.android.framework import AndroidSystem
+from repro.errors import SimulationError
+from repro.kernel.kernel import Machine
+
+
+def boot(profile):
+    return AndroidSystem(Machine(total_mb=256).kernel, profile=profile)
+
+
+class TestProfiles:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SimulationError):
+            boot("exotic")
+
+    def test_full_has_everything(self):
+        system = boot("full")
+        assert system.has_service("window")
+        assert system.has_service("vold")
+        assert system.ui_stack is not None
+
+    def test_headless_has_no_ui(self):
+        system = boot("headless")
+        assert not system.has_service("window")
+        assert not system.has_service("input")
+        assert system.has_service("vold")
+        assert system.has_service("location")
+        assert system.ui_stack is None
+
+    def test_ui_only_has_no_delegated_services(self):
+        system = boot("ui_only")
+        assert system.has_service("window")
+        assert not system.has_service("vold")
+        assert not system.has_service("location")
+
+    def test_headless_has_no_framebuffer_node(self):
+        from repro.kernel.process import Credentials
+
+        system = boot("headless")
+        assert not system.kernel.vfs.exists(
+            "/dev/graphics/fb0", Credentials(0)
+        )
+
+    def test_headless_has_no_input_device(self):
+        system = boot("headless")
+        assert system.kernel.input_device is None
+
+    def test_full_has_framebuffer_world_rw(self):
+        from repro.kernel.process import Credentials
+
+        system = boot("full")
+        inode = system.kernel.vfs.resolve(
+            "/dev/graphics/fb0", Credentials(0)
+        )
+        assert inode.mode & 0o666 == 0o666  # the CVE-2013-2596 mode
+
+    def test_binder_node_exists_in_all_profiles(self):
+        from repro.kernel.process import Credentials
+
+        for profile in ("full", "headless", "ui_only"):
+            system = boot(profile)
+            assert system.kernel.vfs.exists("/dev/binder", Credentials(0))
+
+    def test_log_device_wired(self):
+        system = boot("headless")
+        assert system.kernel.log_device is not None
+
+    def test_service_lookup_raises_for_wrong_profile(self):
+        system = boot("headless")
+        with pytest.raises(SimulationError):
+            system.service("window")
+
+
+class TestUiServiceNames:
+    def test_full_reports_ui_names(self):
+        names = boot("full").ui_service_names()
+        assert names == {"window", "input", "activity", "surfaceflinger"}
+
+    def test_headless_reports_none(self):
+        assert boot("headless").ui_service_names() == set()
+
+
+class TestMemoryAccounting:
+    def test_headless_smaller_than_full(self):
+        assert boot("headless").memory_kb() < boot("full").memory_kb()
+
+    def test_proxies_add_footprint(self):
+        system = boot("headless")
+        assert (
+            system.memory_kb(proxy_count=10)
+            == system.memory_kb() + 10 * 96
+        )
+
+    def test_headless_fits_in_cvm_window(self):
+        assert boot("headless").memory_kb() < 64 * 1024

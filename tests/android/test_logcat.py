@@ -1,0 +1,59 @@
+"""logcat: the payload-backed log pump."""
+
+import pytest
+
+from repro.android.logcat import LOG_DEVICE_PATH, start_system_logcat
+from repro.kernel.kernel import Machine
+from repro.kernel.libc import Libc
+from repro.kernel.process import Credentials
+from repro.world import NativeWorld
+
+
+@pytest.fixture
+def world():
+    return NativeWorld()
+
+
+class TestLogcatPayload:
+    def test_pump_copies_log_to_file(self, world):
+        world.kernel.log_device.append("vold", "signal 11, fault index -7")
+        daemon = start_system_logcat(world.kernel, "/data/local/tmp/out.log")
+        daemon.pump()
+        libc = Libc(world.kernel, daemon.task)
+        content = libc.read_file("/data/local/tmp/out.log").decode()
+        assert "fault index -7" in content
+
+    def test_pump_appends_across_calls(self, world):
+        daemon = start_system_logcat(world.kernel, "/data/local/tmp/out.log")
+        world.kernel.log_device.append("a", "first")
+        daemon.pump()
+        world.kernel.log_device.append("a", "second")
+        daemon.pump()
+        libc = Libc(world.kernel, daemon.task)
+        content = libc.read_file("/data/local/tmp/out.log").decode()
+        assert "first" in content
+        assert "second" in content
+
+    def test_exec_of_logcat_binary_runs_payload(self, world):
+        """fork/exec /system/bin/logcat drives the registered payload."""
+        from repro.kernel.loader import run_payload
+
+        world.kernel.log_device.append("t", "hello-exec")
+        task = world.kernel.spawn_task("parent", Credentials(10001))
+        libc = Libc(world.kernel, task)
+        child = world.kernel.pids.require(libc.fork())
+        image = world.kernel.syscall(
+            child, "execve", "/system/bin/logcat", ("/data/local/tmp/e.log",)
+        )
+        run_payload(world.kernel, child, image)
+        content = libc.read_file("/data/local/tmp/e.log").decode()
+        assert "hello-exec" in content
+
+    def test_daemon_alive_flag(self, world):
+        daemon = start_system_logcat(world.kernel)
+        assert daemon.alive
+        world.kernel.reap_task(daemon.task)
+        assert not daemon.alive
+
+    def test_log_device_path_registered(self, world):
+        assert world.kernel.vfs.exists(LOG_DEVICE_PATH, Credentials(0))

@@ -1,0 +1,84 @@
+"""The Android permission -> GID model (paranoid networking)."""
+
+import pytest
+
+from repro.android.app import App, AppManifest
+from repro.android.installer import PERMISSION_GIDS, permission_groups
+from repro.errors import SyscallError
+from repro.kernel.net import AF_INET, AF_UNIX, PF_BLUETOOTH, SOCK_DGRAM, SOCK_STREAM
+
+
+class _NoNetApp(App):
+    manifest = AppManifest("com.example.nonet")
+
+    def main(self, ctx):
+        return {"uid": ctx.libc.getuid()}
+
+
+class _NetApp(App):
+    manifest = AppManifest("com.example.hasnet", permissions=("INTERNET",))
+
+    def main(self, ctx):
+        return {"groups": sorted(ctx.task.credentials.groups)}
+
+
+class TestPermissionMapping:
+    def test_internet_maps_to_inet_gid(self):
+        manifest = AppManifest("x", permissions=("INTERNET",))
+        assert permission_groups(manifest) == (3003,)
+
+    def test_unknown_permissions_ignored(self):
+        manifest = AppManifest("x", permissions=("CAMERA", "INTERNET"))
+        assert permission_groups(manifest) == (3003,)
+
+    def test_mapping_covers_the_network_gids(self):
+        assert PERMISSION_GIDS["INTERNET"] == 3003
+        assert PERMISSION_GIDS["BLUETOOTH"] == 3001
+
+
+class TestEnforcement:
+    def test_app_without_internet_cannot_create_inet_socket(
+            self, native_world):
+        running = native_world.install_and_launch(_NoNetApp())
+        running.run()
+        with pytest.raises(SyscallError) as exc:
+            running.ctx.libc.socket(AF_INET, SOCK_STREAM, 0)
+        assert "EACCES" in str(exc.value)
+
+    def test_app_with_internet_can(self, native_world):
+        running = native_world.install_and_launch(_NetApp())
+        result = running.run()
+        assert 3003 in result["groups"]
+        running.ctx.libc.socket(AF_INET, SOCK_STREAM, 0)
+
+    def test_bluetooth_needs_its_own_gid(self, native_world):
+        running = native_world.install_and_launch(_NetApp())
+        running.run()
+        with pytest.raises(SyscallError):
+            running.ctx.libc.socket(PF_BLUETOOTH, SOCK_DGRAM, 0)
+
+    def test_unix_sockets_need_no_permission(self, native_world):
+        running = native_world.install_and_launch(_NoNetApp())
+        running.run()
+        running.ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+
+    def test_root_daemons_exempt(self, native_world):
+        from repro.kernel.libc import Libc
+        from repro.kernel.process import Credentials
+
+        task = native_world.kernel.spawn_task("daemon", Credentials(0))
+        Libc(native_world.kernel, task).socket(AF_INET, SOCK_STREAM, 0)
+
+    def test_enforced_in_the_cvm_too(self, anception_world):
+        """The proxy carries the same groups: redirected socket calls
+        re-apply the identical check in the container."""
+        running = anception_world.install_and_launch(_NoNetApp())
+        running.run()
+        with pytest.raises(SyscallError) as exc:
+            running.ctx.libc.socket(AF_INET, SOCK_STREAM, 0)
+        assert "EACCES" in str(exc.value)
+
+    def test_exploits_request_what_they_need(self):
+        from repro.exploits.sock_sendpage import SockSendpage
+
+        assert "BLUETOOTH" in SockSendpage().manifest.permissions

@@ -1,0 +1,107 @@
+"""vold and the GingerBreak vulnerability mechanics."""
+
+import json
+
+import pytest
+
+from repro.android.services.vold import gingerbreak_magic_index
+from repro.events import drain_compromises
+from repro.kernel.filesystems import VOLD_GOT_ADDRESS
+from repro.kernel.loader import build_pseudo_elf
+from repro.kernel.net import AF_NETLINK, NETLINK_KOBJECT_UEVENT, SOCK_DGRAM
+from repro.kernel.process import Credentials
+from repro.world import NativeWorld
+
+
+@pytest.fixture
+def world():
+    return NativeWorld()
+
+
+@pytest.fixture
+def vold(world):
+    return world.system.service("vold")
+
+
+def send_netlink(world, message):
+    sender = world.kernel.network.create_socket(
+        AF_NETLINK, SOCK_DGRAM, NETLINK_KOBJECT_UEVENT, 999
+    )
+    sender.send(json.dumps(message).encode())
+
+
+class TestMagicIndex:
+    def test_deterministic_in_got(self):
+        a = gingerbreak_magic_index(VOLD_GOT_ADDRESS)
+        b = gingerbreak_magic_index(VOLD_GOT_ADDRESS)
+        assert a == b
+        assert a < 0
+
+    def test_varies_with_layout(self):
+        assert gingerbreak_magic_index(0x10000) != gingerbreak_magic_index(
+            0x10ABCDE0
+        )
+
+
+class TestNetlinkHandler:
+    def test_positive_index_harmless(self, world, vold):
+        send_netlink(world, {"action": "add", "index": 3})
+        assert vold.crash_count == 0
+        assert vold.executed_binaries == []
+
+    def test_non_add_action_ignored(self, world, vold):
+        send_netlink(world, {"action": "remove", "index": -5})
+        assert vold.crash_count == 0
+
+    def test_malformed_message_logged_as_crash(self, world, vold):
+        sender = world.kernel.network.create_socket(
+            AF_NETLINK, SOCK_DGRAM, NETLINK_KOBJECT_UEVENT, 999
+        )
+        sender.send(b"\xff\xfe not json")
+        assert vold.crash_count == 1
+
+    def test_wrong_negative_index_faults_and_logs(self, world, vold):
+        send_netlink(world, {"action": "add", "index": -4})
+        assert vold.crash_count == 1
+        entries = world.kernel.log_device.entries
+        assert any("fault index -4" in msg for _tag, msg in entries)
+
+    def test_magic_index_executes_attacker_binary_as_root(self, world, vold):
+        import repro.exploits.payloads  # noqa: F401
+
+        root = Credentials(0)
+        blob = build_pseudo_elf("stage2", 0, {}, payload="root-payload")
+        open_file = world.kernel.vfs.open(
+            "/data/local/tmp/stage2", 0x41, root, 0o755
+        )
+        open_file.write(blob)
+        send_netlink(world, {
+            "action": "add",
+            "index": vold._magic_index,
+            "path": "/data/local/tmp/stage2",
+        })
+        assert vold.executed_binaries == ["/data/local/tmp/stage2"]
+        events = drain_compromises()
+        assert any(e["got_root"] and e["kernel"] == "host" for e in events)
+
+    def test_magic_index_with_missing_binary_logs_failure(self, world, vold):
+        send_netlink(world, {
+            "action": "add",
+            "index": vold._magic_index,
+            "path": "/data/local/tmp/nothing",
+        })
+        assert vold.executed_binaries == []
+        assert vold.crash_count == 1
+
+
+class TestBinderInterface:
+    def test_mount_unmount(self, world, vold):
+        reply = vold.handle_transaction("mount", {"path": "/mnt/sdcard"},
+                                        vold.task)
+        assert reply["status"] == "mounted"
+        reply = vold.handle_transaction("unmount", {}, vold.task)
+        assert reply["status"] == "unmounted"
+
+    def test_vold_task_identity(self, vold):
+        assert vold.task.exe_path == "/system/bin/vold"
+        assert vold.task.credentials.is_root()

@@ -1,0 +1,60 @@
+"""Shared fixtures: booted worlds and enrolled test apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.android.app import App, AppManifest
+from repro.world import AnceptionWorld, NativeWorld
+
+
+class ScratchApp(App):
+    """A do-nothing app used to obtain an app context in tests."""
+
+    manifest = AppManifest(
+        "com.test.scratch",
+        permissions=("INTERNET",),
+        initial_data={"seed.txt": b"seed-content"},
+    )
+
+    def main(self, ctx):
+        return {"ok": True}
+
+
+@pytest.fixture
+def native_world():
+    return NativeWorld()
+
+
+@pytest.fixture
+def anception_world():
+    return AnceptionWorld()
+
+
+@pytest.fixture
+def native_ctx(native_world):
+    running = native_world.install_and_launch(ScratchApp())
+    running.run()
+    return running.ctx
+
+
+@pytest.fixture
+def enrolled_ctx(anception_world):
+    running = anception_world.install_and_launch(ScratchApp())
+    running.run()
+    return running.ctx
+
+
+@pytest.fixture
+def both_worlds():
+    return {"native": NativeWorld(), "anception": AnceptionWorld()}
+
+
+@pytest.fixture(autouse=True)
+def _drain_compromise_events():
+    """Isolate the global compromise-event log between tests."""
+    from repro.events import drain_compromises
+
+    drain_compromises()
+    yield
+    drain_compromises()

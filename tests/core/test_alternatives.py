@@ -1,0 +1,65 @@
+"""The abandoned prototype designs (Section IV design space)."""
+
+import pytest
+
+from repro.core.alternatives import (
+    asim_model,
+    interception_comparison,
+    kprobes_model,
+    ptrace_model,
+    shared_pages_transport,
+    socket_transport,
+    transport_comparison,
+    virtio_transport,
+)
+from repro.perf.costs import PAGE_SIZE
+
+
+class TestInterception:
+    def test_asim_is_effectively_free(self):
+        assert asim_model().slowdown_on(760) == pytest.approx(1.0, abs=0.01)
+
+    def test_ptrace_is_upwards_of_60x(self):
+        """The paper's measured UML/ptrace prototype penalty."""
+        slowdown = ptrace_model().slowdown_on(760)
+        assert slowdown >= 60.0
+        assert slowdown < 70.0
+
+    def test_kprobes_is_whole_system(self):
+        assert kprobes_model().whole_system
+        assert not asim_model().whole_system
+        assert not ptrace_model().whole_system
+
+    def test_comparison_ordering(self):
+        rows = interception_comparison()
+        assert (
+            rows["asim"]["getpid_slowdown"]
+            < rows["kprobes"]["getpid_slowdown"]
+            < rows["ptrace"]["getpid_slowdown"]
+        )
+
+
+class TestTransport:
+    def test_shared_pages_is_single_copy(self):
+        assert shared_pages_transport().copies == 1
+
+    def test_socket_carries_four_copies(self):
+        assert socket_transport().copies == 4
+
+    def test_copy_count_dominates_large_transfers(self):
+        size = 64 * PAGE_SIZE
+        pages = shared_pages_transport().transfer_ns(size)
+        virtio = virtio_transport().transfer_ns(size)
+        socket = socket_transport().transfer_ns(size)
+        assert pages < virtio < socket
+        # asymptotically the ratio approaches the copy-count ratio
+        assert socket / pages == pytest.approx(4.0, rel=0.15)
+
+    def test_comparison_relative_to_shipped_design(self):
+        rows = transport_comparison()
+        assert rows["shared-pages"]["relative"] == 1.0
+        assert rows["virtio"]["relative"] > 1.5
+        assert rows["socket"]["relative"] > 3.0
+
+    def test_empty_payload_still_costs_a_chunk(self):
+        assert shared_pages_transport().transfer_ns(0) > 0

@@ -1,0 +1,131 @@
+"""Section VII: transparent per-app encrypted storage and Iago detection."""
+
+import pytest
+
+from repro.core.crypto_fs import TransparentCryptoFS, _keystream_xor
+from repro.errors import SecurityViolation
+from repro.kernel import vfs
+from repro.kernel.process import Credentials
+
+
+ROOT = Credentials(0)
+
+
+@pytest.fixture
+def crypto(anception_world):
+    return TransparentCryptoFS(anception_world.anception)
+
+
+@pytest.fixture
+def protected_ctx(anception_world, crypto, enrolled_ctx):
+    crypto.enable_for(enrolled_ctx.task)
+    return enrolled_ctx
+
+
+class TestKeystream:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        data = b"the quick brown fox"
+        assert _keystream_xor(key, _keystream_xor(key, data, 7), 7) == data
+
+    def test_offset_matters(self):
+        key = b"k" * 32
+        a = _keystream_xor(key, b"same", 0)
+        b = _keystream_xor(key, b"same", 100)
+        assert a != b
+
+    def test_key_matters(self):
+        a = _keystream_xor(b"a" * 32, b"same", 0)
+        b = _keystream_xor(b"b" * 32, b"same", 0)
+        assert a != b
+
+    def test_crosses_block_boundaries(self):
+        key = b"k" * 32
+        data = bytes(range(256))
+        assert _keystream_xor(key, _keystream_xor(key, data, 30), 30) == data
+
+
+class TestTransparentEncryption:
+    def test_app_sees_plaintext(self, protected_ctx):
+        path = protected_ctx.data_path("vault.bin")
+        protected_ctx.libc.write_file(path, b"plaintext-secret")
+        assert protected_ctx.libc.read_file(path) == b"plaintext-secret"
+
+    def test_cvm_sees_only_ciphertext(self, anception_world, protected_ctx):
+        path = protected_ctx.data_path("vault.bin")
+        protected_ctx.libc.write_file(path, b"plaintext-secret")
+        cvm_inode = anception_world.cvm.kernel.vfs.resolve(path, ROOT)
+        stored = bytes(cvm_inode.data)
+        assert stored != b"plaintext-secret"
+        assert b"secret" not in stored
+
+    def test_partial_reads_decrypt_correctly(self, protected_ctx):
+        path = protected_ctx.data_path("chunks.bin")
+        protected_ctx.libc.write_file(path, b"0123456789ABCDEF")
+        fd = protected_ctx.libc.open(path, vfs.O_RDONLY)
+        assert protected_ctx.libc.read(fd, 4) == b"0123"
+        assert protected_ctx.libc.read(fd, 4) == b"4567"
+        protected_ctx.libc.close(fd)
+
+    def test_pread_pwrite_at_offsets(self, protected_ctx):
+        path = protected_ctx.data_path("rand.bin")
+        fd = protected_ctx.libc.open(path, vfs.O_RDWR | vfs.O_CREAT)
+        protected_ctx.libc.pwrite(fd, b"AAAABBBB", 0)
+        assert protected_ctx.libc.pread(fd, 4, 4) == b"BBBB"
+        protected_ctx.libc.close(fd)
+
+    def test_unprotected_apps_unaffected(self, anception_world, crypto):
+        from tests.conftest import ScratchApp
+
+        class OtherApp(ScratchApp):
+            from repro.android.app import AppManifest
+
+            manifest = ScratchApp.manifest.__class__(
+                "com.other.plain"
+            )
+
+        running = anception_world.install_and_launch(OtherApp())
+        running.run()
+        ctx = running.ctx
+        ctx.libc.write_file(ctx.data_path("open.txt"), b"not-encrypted")
+        inode = anception_world.cvm.kernel.vfs.resolve(
+            ctx.data_path("open.txt"), ROOT
+        )
+        assert bytes(inode.data) == b"not-encrypted"
+
+    def test_keys_live_on_host_side_only(self, anception_world, crypto,
+                                         protected_ctx):
+        """No CVM structure ever holds the key bytes."""
+        key = crypto._keys[protected_ctx.task.pid]
+        path = protected_ctx.data_path("k.bin")
+        protected_ctx.libc.write_file(path, b"data")
+        for inode_path in (path,):
+            data = bytes(
+                anception_world.cvm.kernel.vfs.resolve(inode_path, ROOT).data
+            )
+            assert key not in data
+
+
+class TestIagoDetection:
+    def test_tampered_read_detected(self, anception_world, crypto,
+                                    protected_ctx):
+        anception_world.anception.iago_verify = True
+        path = protected_ctx.data_path("ledger.bin")
+        protected_ctx.libc.write_file(path, b"balance=100")
+
+        # A compromised CVM flips bytes in the stored ciphertext.
+        inode = anception_world.cvm.kernel.vfs.resolve(path, ROOT)
+        inode.data = bytearray(b"\xFF" * len(inode.data))
+
+        fd = protected_ctx.libc.open(path, vfs.O_RDONLY)
+        with pytest.raises(SecurityViolation) as exc:
+            protected_ctx.libc.pread(fd, 11, 0)
+        assert "Iago" in str(exc.value)
+
+    def test_untampered_read_passes_verification(self, anception_world,
+                                                 crypto, protected_ctx):
+        anception_world.anception.iago_verify = True
+        path = protected_ctx.data_path("ok.bin")
+        protected_ctx.libc.write_file(path, b"balance=100")
+        fd = protected_ctx.libc.open(path, vfs.O_RDONLY)
+        assert protected_ctx.libc.pread(fd, 11, 0) == b"balance=100"

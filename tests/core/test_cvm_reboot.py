@@ -1,0 +1,133 @@
+"""CVM reboot and the virtual data disk (Section IV-5 persistence)."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.exploits.sock_sendpage import SockSendpage
+from repro.kernel import vfs
+from repro.kernel.process import Credentials
+
+
+ROOT = Credentials(0)
+
+
+def crash_cvm(anception_world):
+    """Crash the container with the sock_sendpage exploit."""
+    running = anception_world.install_and_launch(SockSendpage())
+    running.run()
+    assert anception_world.cvm.crashed
+    return running
+
+
+class TestReboot:
+    def test_reboot_revives_the_container(self, anception_world,
+                                          enrolled_ctx):
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        assert not anception_world.cvm.crashed
+        assert anception_world.cvm.reboot_count == 1
+
+    def test_app_data_survives_reboot(self, anception_world, enrolled_ctx):
+        path = enrolled_ctx.data_path("precious.txt")
+        enrolled_ctx.libc.write_file(path, b"survives-the-crash")
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        assert enrolled_ctx.libc.read_file(path) == b"survives-the-crash"
+
+    def test_headless_services_rebooted(self, anception_world,
+                                        enrolled_ctx):
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        assert anception_world.cvm.android.has_service("vold")
+        reply = enrolled_ctx.call_service("location", "get_fix")
+        assert reply["lat"] == pytest.approx(42.2808)
+
+    def test_survivor_apps_reenrolled(self, anception_world, enrolled_ctx):
+        crash_cvm(anception_world)
+        survivors = anception_world.anception.reboot_cvm()
+        assert survivors >= 1
+        proxies = anception_world.anception.proxies
+        assert proxies.has_proxy(enrolled_ctx.task)
+        assert enrolled_ctx.task.proxy.kernel is anception_world.cvm.kernel
+
+    def test_stale_remote_fds_invalidated(self, anception_world,
+                                          enrolled_ctx):
+        fd = enrolled_ctx.libc.open(
+            enrolled_ctx.data_path("open-across-crash"),
+            vfs.O_RDWR | vfs.O_CREAT,
+        )
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        with pytest.raises(SyscallError) as exc:
+            enrolled_ctx.libc.write(fd, b"stale")
+        assert "EBADF" in str(exc.value)
+
+    def test_new_files_after_reboot_work(self, anception_world,
+                                         enrolled_ctx):
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        enrolled_ctx.libc.write_file(
+            enrolled_ctx.data_path("fresh.txt"), b"post-reboot"
+        )
+        assert enrolled_ctx.libc.read_file(
+            enrolled_ctx.data_path("fresh.txt")
+        ) == b"post-reboot"
+
+    def test_guest_memory_scrubbed_on_reboot(self, anception_world,
+                                             enrolled_ctx):
+        """Nothing from the old instance's RAM leaks into the new one."""
+        window = anception_world.cvm.hypervisor.guest_window
+        physical = anception_world.machine.physical
+        # Plant recognisable bytes in a guest frame via the proxy space.
+        proxy_space = enrolled_ctx.task.proxy.address_space
+        frame = proxy_space.allocator.allocate(owner="leak-test")
+        physical.write_frame(frame, b"OLD-INSTANCE-SECRET")
+        assert frame in window
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+        assert physical.read_frame(frame)[:19] == bytes(19)
+
+    def test_compromised_cvm_state_cleared(self, anception_world,
+                                           enrolled_ctx):
+        from repro.exploits.generic import RedirectedSyscallExploit
+
+        exploit = RedirectedSyscallExploit("CVE-0000-0007", "persist-test",
+                                           "setsockopt")
+        exploit.prepare_world(anception_world)
+        anception_world.install_and_launch(exploit).run()
+        assert anception_world.cvm.compromised
+        anception_world.anception.reboot_cvm()
+        assert not anception_world.cvm.compromised
+
+
+class TestSqliteCrashRecovery:
+    def test_hot_journal_recovered_after_cvm_crash(self, anception_world,
+                                                   enrolled_ctx):
+        from repro.android.sqlite import Database
+
+        db_path = enrolled_ctx.data_path("ledger.db")
+        db = Database(enrolled_ctx.libc, db_path)
+        db.create_table("tx")
+        db.begin()
+        db.insert("tx", b"committed-row")
+        db.commit()
+        db.checkpoint()
+
+        # A second transaction commits its journal but the container
+        # dies before checkpoint.
+        db.begin()
+        db.insert("tx", b"lost-row")
+        db.commit()
+        db.close()
+        crash_cvm(anception_world)
+        anception_world.anception.reboot_cvm()
+
+        reopened = Database(enrolled_ctx.libc, db_path)
+        assert reopened.recover()  # hot journal found and cleared
+        assert reopened.select_all("tx") == [b"committed-row"]
+
+    def test_recover_without_journal_is_noop(self, enrolled_ctx):
+        from repro.android.sqlite import Database
+
+        db = Database(enrolled_ctx.libc, enrolled_ctx.data_path("clean.db"))
+        assert not db.recover()

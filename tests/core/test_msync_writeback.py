@@ -1,0 +1,60 @@
+"""msync write-back of file-backed split mappings (Section III-D)."""
+
+import pytest
+
+from repro.kernel import vfs
+from repro.kernel.memory import MAP_ANONYMOUS, PROT_READ, PROT_WRITE
+from repro.kernel.process import Credentials
+from repro.perf.costs import PAGE_SIZE
+
+
+ROOT = Credentials(0)
+
+
+@pytest.fixture
+def mapped(anception_world, enrolled_ctx):
+    """A file-backed split mapping of a CVM file."""
+    path = enrolled_ctx.data_path("mapped.db")
+    enrolled_ctx.libc.write_file(path, b"ORIGINAL" + b"\x00" * 100)
+    fd = enrolled_ctx.libc.open(path, vfs.O_RDWR)
+    base = enrolled_ctx.libc.mmap(PAGE_SIZE, PROT_READ | PROT_WRITE, 0,
+                                  fd=fd, offset=0)
+    return path, fd, base
+
+
+class TestWriteBack:
+    def test_msync_pushes_modifications_to_cvm_file(self, anception_world,
+                                                    enrolled_ctx, mapped):
+        path, _fd, base = mapped
+        enrolled_ctx.task.address_space.write(base, b"MODIFIED")
+        enrolled_ctx.libc.syscall("msync", base, 8)
+        inode = anception_world.cvm.kernel.vfs.resolve(path, ROOT)
+        assert bytes(inode.data[:8]) == b"MODIFIED"
+
+    def test_without_msync_file_unchanged(self, anception_world,
+                                          enrolled_ctx, mapped):
+        path, _fd, base = mapped
+        enrolled_ctx.task.address_space.write(base, b"MODIFIED")
+        inode = anception_world.cvm.kernel.vfs.resolve(path, ROOT)
+        assert bytes(inode.data[:8]) == b"ORIGINAL"
+
+    def test_partial_msync_at_offset(self, anception_world, enrolled_ctx,
+                                     mapped):
+        path, _fd, base = mapped
+        enrolled_ctx.task.address_space.write(base + 4, b"XY")
+        enrolled_ctx.libc.syscall("msync", base + 4, 2)
+        inode = anception_world.cvm.kernel.vfs.resolve(path, ROOT)
+        assert bytes(inode.data[:8]) == b"ORIGXYAL"
+
+    def test_anonymous_msync_still_fine(self, enrolled_ctx):
+        base = enrolled_ctx.libc.mmap(PAGE_SIZE, PROT_READ | PROT_WRITE,
+                                      MAP_ANONYMOUS)
+        enrolled_ctx.task.address_space.write(base, b"anon")
+        assert enrolled_ctx.libc.syscall("msync", base, 4) == 0
+
+    def test_reread_after_msync_sees_new_content(self, enrolled_ctx,
+                                                 mapped):
+        path, fd, base = mapped
+        enrolled_ctx.task.address_space.write(base, b"MODIFIED")
+        enrolled_ctx.libc.syscall("msync", base, 8)
+        assert enrolled_ctx.libc.pread(fd, 8, 0) == b"MODIFIED"

@@ -1,0 +1,137 @@
+"""The lguest-style hypervisor: windows, kmap, signalling."""
+
+import pytest
+
+from repro.errors import HypervisorViolation, SimulationError
+from repro.hypervisor import LguestHypervisor, SharedPages
+from repro.kernel.kernel import Machine
+from repro.perf.costs import PAGE_SIZE
+
+
+@pytest.fixture
+def machine():
+    return Machine(total_mb=256)
+
+
+@pytest.fixture
+def hypervisor(machine):
+    return LguestHypervisor(machine, guest_mb=64)
+
+
+class TestGuestLaunch:
+    def test_window_sized_from_guest_mb(self, hypervisor):
+        hypervisor.launch_guest()
+        assert len(hypervisor.guest_window) == 64 * 1024 * 1024 // PAGE_SIZE
+
+    def test_guest_kernel_confined_to_window(self, hypervisor):
+        guest = hypervisor.launch_guest()
+        assert guest.frame_window is hypervisor.guest_allocator.window
+
+    def test_double_launch_rejected(self, hypervisor):
+        hypervisor.launch_guest()
+        with pytest.raises(SimulationError):
+            hypervisor.launch_guest()
+
+    def test_window_before_launch_rejected(self, hypervisor):
+        with pytest.raises(SimulationError):
+            hypervisor.guest_window
+
+    def test_host_and_guest_frames_disjoint(self, machine, hypervisor):
+        hypervisor.launch_guest()
+        host_frame = machine.allocator.allocate()
+        guest_frame = hypervisor.guest_allocator.allocate()
+        assert host_frame not in hypervisor.guest_window
+        assert guest_frame in hypervisor.guest_window
+
+    def test_guest_hotplug_disabled(self, hypervisor):
+        guest = hypervisor.launch_guest()
+        assert not guest.hotplug_enabled
+
+
+class TestMemoryWall:
+    def test_guest_cannot_map_host_frame(self, machine, hypervisor):
+        hypervisor.launch_guest()
+        host_frame = machine.allocator.allocate()
+        with pytest.raises(HypervisorViolation):
+            hypervisor.guest_map_frame(host_frame)
+
+    def test_guest_maps_own_frames(self, hypervisor):
+        hypervisor.launch_guest()
+        frame = hypervisor.guest_allocator.allocate()
+        assert hypervisor.guest_map_frame(frame) == frame
+
+    def test_guest_kernel_cannot_read_host_task_memory(self, machine,
+                                                       hypervisor):
+        from repro.kernel.memory import MAP_ANONYMOUS, PROT_READ, PROT_WRITE
+        from repro.kernel.process import Credentials
+
+        guest = hypervisor.launch_guest()
+        host_task = machine.kernel.spawn_task("hiapp", Credentials(10001))
+        base = host_task.address_space.mmap(
+            PAGE_SIZE, PROT_READ | PROT_WRITE, MAP_ANONYMOUS
+        )
+        host_task.address_space.write(base, b"banking-password")
+        with pytest.raises(HypervisorViolation):
+            host_task.address_space.read(base, 16, window=guest.frame_window)
+
+
+class TestSharedPages:
+    def test_kmap_returns_guest_frames(self, hypervisor):
+        hypervisor.launch_guest()
+        shared = hypervisor.kmap_guest_pages(4)
+        assert shared.capacity == 4 * PAGE_SIZE
+        assert all(f in hypervisor.guest_window for f in shared.frames)
+
+    def test_host_writes_guest_reads(self, hypervisor):
+        hypervisor.launch_guest()
+        shared = hypervisor.kmap_guest_pages(2)
+        shared.write(b"marshal-me", offset=10)
+        assert shared.read(10, offset=10, from_guest=True) == b"marshal-me"
+
+    def test_guest_writes_host_reads(self, hypervisor):
+        hypervisor.launch_guest()
+        shared = hypervisor.kmap_guest_pages(1)
+        shared.write(b"reply", offset=0, from_guest=True)
+        assert shared.read(5) == b"reply"
+
+    def test_cross_page_transfer(self, hypervisor):
+        hypervisor.launch_guest()
+        shared = hypervisor.kmap_guest_pages(2)
+        data = bytes(range(256)) * 20  # 5120 bytes: crosses frame boundary
+        shared.write(data)
+        assert shared.read(len(data)) == data
+
+    def test_overflow_rejected(self, hypervisor):
+        hypervisor.launch_guest()
+        shared = hypervisor.kmap_guest_pages(1)
+        with pytest.raises(SimulationError):
+            shared.write(b"x" * (PAGE_SIZE + 1))
+
+    def test_kmap_rejects_host_frames(self, machine, hypervisor):
+        hypervisor.launch_guest()
+        host_frame = machine.allocator.allocate()
+        with pytest.raises(SimulationError):
+            SharedPages(machine.physical, [host_frame],
+                        hypervisor.guest_window)
+
+
+class TestSignalling:
+    def test_hypercall_charges_world_switch(self, machine, hypervisor):
+        hypervisor.launch_guest()
+        before = machine.clock.now_ns
+        hypervisor.hypercall("test")
+        assert machine.clock.now_ns - before == machine.costs.world_switch_ns
+        assert hypervisor.hypercall_count == 1
+
+    def test_interrupt_charges_world_switch(self, machine, hypervisor):
+        hypervisor.launch_guest()
+        before = machine.clock.now_ns
+        hypervisor.inject_interrupt("test")
+        assert machine.clock.now_ns - before == machine.costs.world_switch_ns
+        assert hypervisor.interrupt_count == 1
+
+    def test_memory_stats(self, hypervisor):
+        hypervisor.launch_guest()
+        assigned, used, free = hypervisor.guest_memory_stats()
+        assert assigned == 64 * 1024
+        assert used + free == assigned

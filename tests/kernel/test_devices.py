@@ -1,0 +1,126 @@
+"""Character devices: framebuffer vulnerability, input, log."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.devices import (
+    FBIOGET_VSCREENINFO,
+    FramebufferDevice,
+    InputDevice,
+    LogDevice,
+    NullDevice,
+    ZeroDevice,
+)
+from repro.kernel.kernel import Machine
+from repro.kernel.process import Credentials
+
+
+@pytest.fixture
+def kernel():
+    return Machine(total_mb=64).kernel
+
+
+class TestNullZero:
+    def test_null_reads_empty(self):
+        assert NullDevice().read(None, 100) == b""
+
+    def test_null_swallows_writes(self):
+        assert NullDevice().write(None, b"gone") == 4
+
+    def test_zero_reads_zeros(self):
+        assert ZeroDevice().read(None, 5) == b"\x00" * 5
+
+
+class TestFramebuffer:
+    def test_vscreeninfo_ioctl(self, kernel):
+        fb = FramebufferDevice(kernel)
+        info = fb.ioctl(None, None, FBIOGET_VSCREENINFO, None)
+        assert info["xres"] == 1280
+
+    def test_unknown_ioctl_enotty(self, kernel):
+        fb = FramebufferDevice(kernel)
+        with pytest.raises(SyscallError):
+            fb.ioctl(None, None, 0x9999, None)
+
+    def test_bounded_mmap_is_safe(self, kernel):
+        fb = FramebufferDevice(kernel)
+        task = kernel.spawn_task("app", Credentials(10001))
+        result = fb.map_kernel_memory(task, 0, 4096)
+        assert result["kind"] == "framebuffer"
+
+    def test_negative_length_overflows_check(self, kernel):
+        """The CVE-2013-2596 integer overflow."""
+        fb = FramebufferDevice(kernel)
+        task = kernel.spawn_task("app", Credentials(10001))
+        result = fb.map_kernel_memory(task, 0, -4096)
+        assert result["kind"] == "kernel_memory"
+        assert result["kernel"] is kernel
+
+    def test_oversized_positive_length_rejected(self, kernel):
+        fb = FramebufferDevice(kernel)
+        task = kernel.spawn_task("app", Credentials(10001))
+        with pytest.raises(SyscallError):
+            fb.map_kernel_memory(task, 0, 10**9)
+
+    def test_write_read_roundtrip(self, kernel):
+        from repro.kernel.vfs import OpenFile, make_device
+
+        fb = FramebufferDevice(kernel)
+        inode = make_device(fb)
+        f = OpenFile(inode, "/dev/graphics/fb0", 0x2)
+        f.write(b"pixels")
+        f.lseek(0, 0)
+        assert f.read(6) == b"pixels"
+
+
+class TestInputDevice:
+    def test_inject_then_drain(self):
+        dev = InputDevice()
+        dev.inject("event-1")
+        dev.inject("event-2")
+        assert dev.drain() == ["event-1", "event-2"]
+        assert dev.drain() == []
+
+    def test_read_pops_one_event(self):
+        dev = InputDevice()
+        dev.inject("tap")
+
+        class FakeOpen:
+            offset = 0
+
+        assert b"tap" in dev.read(FakeOpen(), 64)
+
+    def test_write_rejected(self):
+        with pytest.raises(SyscallError):
+            InputDevice().write(None, b"fake-input")
+
+
+class TestLogDevice:
+    def test_append_and_read(self):
+        log = LogDevice()
+        log.append("vold", "signal 11")
+
+        class FakeOpen:
+            offset = 0
+
+        data = log.read(FakeOpen(), 1024)
+        assert b"vold: signal 11" in data
+
+    def test_capacity_bounded(self):
+        log = LogDevice(capacity=3)
+        for i in range(10):
+            log.append("t", f"m{i}")
+        assert len(log.entries) == 3
+        assert log.entries[-1] == ("t", "m9")
+
+    def test_offset_tracking_across_reads(self):
+        log = LogDevice()
+        log.append("a", "first")
+
+        class FakeOpen:
+            offset = 0
+
+        f = FakeOpen()
+        chunk1 = log.read(f, 4)
+        chunk2 = log.read(f, 100)
+        assert (chunk1 + chunk2).decode() == "a: first"

@@ -1,0 +1,148 @@
+"""Vectored I/O, truncate, fcntl, and the syscall aliases."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel import vfs
+
+
+class TestVectoredIO:
+    def test_writev_concatenates(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("v"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        total = native_ctx.libc.syscall("writev", fd, [b"one-", b"two-",
+                                                       b"three"])
+        assert total == 13
+        native_ctx.libc.lseek(fd, 0, vfs.SEEK_SET)
+        assert native_ctx.libc.read(fd, 64) == b"one-two-three"
+
+    def test_readv_fills_vectors(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("v"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        native_ctx.libc.write(fd, b"0123456789")
+        native_ctx.libc.lseek(fd, 0, vfs.SEEK_SET)
+        parts = native_ctx.libc.syscall("readv", fd, [4, 4, 4])
+        assert parts == [b"0123", b"4567", b"89"]
+
+    def test_vectored_io_redirected(self, anception_world, enrolled_ctx):
+        fd = enrolled_ctx.libc.open(
+            enrolled_ctx.data_path("v"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        enrolled_ctx.libc.syscall("writev", fd, [b"a", b"b"])
+        enrolled_ctx.libc.lseek(fd, 0, vfs.SEEK_SET)
+        assert enrolled_ctx.libc.syscall("readv", fd, [2]) == [b"ab"]
+
+
+class TestTruncate:
+    def test_truncate_shrinks(self, native_ctx):
+        path = native_ctx.data_path("t")
+        native_ctx.libc.write_file(path, b"0123456789")
+        native_ctx.libc.syscall("truncate", path, 4)
+        assert native_ctx.libc.read_file(path) == b"0123"
+
+    def test_truncate_extends_with_zeros(self, native_ctx):
+        path = native_ctx.data_path("t")
+        native_ctx.libc.write_file(path, b"ab")
+        native_ctx.libc.syscall("truncate", path, 5)
+        assert native_ctx.libc.read_file(path) == b"ab\x00\x00\x00"
+
+    def test_ftruncate_via_fd(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("t"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        native_ctx.libc.write(fd, b"longcontent")
+        native_ctx.libc.syscall("ftruncate", fd, 4)
+        native_ctx.libc.lseek(fd, 0, vfs.SEEK_SET)
+        assert native_ctx.libc.read(fd, 64) == b"long"
+
+    def test_ftruncate_readonly_fd_rejected(self, native_ctx):
+        path = native_ctx.data_path("t")
+        native_ctx.libc.write_file(path, b"x")
+        fd = native_ctx.libc.open(path, vfs.O_RDONLY)
+        with pytest.raises(SyscallError):
+            native_ctx.libc.syscall("ftruncate", fd, 0)
+
+    def test_negative_length_rejected(self, native_ctx):
+        path = native_ctx.data_path("t")
+        native_ctx.libc.write_file(path, b"x")
+        with pytest.raises(SyscallError):
+            native_ctx.libc.syscall("truncate", path, -1)
+
+    def test_truncate_redirected_to_cvm(self, anception_world,
+                                        enrolled_ctx):
+        from repro.kernel.process import Credentials
+
+        path = enrolled_ctx.data_path("t")
+        enrolled_ctx.libc.write_file(path, b"0123456789")
+        enrolled_ctx.libc.syscall("truncate", path, 3)
+        inode = anception_world.cvm.kernel.vfs.resolve(path, Credentials(0))
+        assert bytes(inode.data) == b"012"
+
+
+class TestFcntl:
+    def test_dupfd(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("f"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        native_ctx.libc.write(fd, b"dup-me")
+        fd2 = native_ctx.libc.syscall("fcntl", fd, 0)  # F_DUPFD
+        native_ctx.libc.lseek(fd2, 0, vfs.SEEK_SET)
+        assert native_ctx.libc.read(fd2, 6) == b"dup-me"
+
+    def test_getfl_returns_flags(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("f"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        flags = native_ctx.libc.syscall("fcntl", fd, 3)  # F_GETFL
+        assert flags & 0x2  # O_RDWR
+
+    def test_unknown_cmd_einval(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("f"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        with pytest.raises(SyscallError):
+            native_ctx.libc.syscall("fcntl", fd, 99)
+
+    def test_dupfd_on_remote_fd(self, anception_world, enrolled_ctx):
+        fd = enrolled_ctx.libc.open(
+            enrolled_ctx.data_path("f"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        enrolled_ctx.libc.write(fd, b"remote")
+        fd2 = enrolled_ctx.libc.syscall("fcntl", fd, 0)
+        table = anception_world.anception.fd_tables[enrolled_ctx.task.pid]
+        assert table.is_remote(fd2)
+        enrolled_ctx.libc.lseek(fd2, 0, vfs.SEEK_SET)
+        assert enrolled_ctx.libc.read(fd2, 6) == b"remote"
+
+
+class TestAliases:
+    @pytest.mark.parametrize("alias,canonical_result", [
+        ("stat64", True),
+        ("lstat64", True),
+    ])
+    def test_stat_aliases(self, native_ctx, alias, canonical_result):
+        path = native_ctx.data_path("s")
+        native_ctx.libc.write_file(path, b"abc")
+        st = native_ctx.libc.syscall(alias, path)
+        assert st.st_size == 3
+
+    def test_creat_alias(self, native_ctx):
+        path = native_ctx.data_path("c")
+        fd = native_ctx.libc.syscall("creat", path, 0o600)
+        native_ctx.libc.write(fd, b"created")
+        assert native_ctx.libc.read_file(path) == b"created"
+
+    def test_llseek_alias(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("l"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        native_ctx.libc.write(fd, b"0123456789")
+        assert native_ctx.libc.syscall("_llseek", fd, 5, vfs.SEEK_SET) == 5
+
+    def test_fdatasync_alias(self, native_ctx):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("d"), vfs.O_RDWR | vfs.O_CREAT
+        )
+        assert native_ctx.libc.syscall("fdatasync", fd) == 0

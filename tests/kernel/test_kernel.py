@@ -1,0 +1,240 @@
+"""Kernel dispatch, lifecycle, panic, vulnerabilities, hotplug."""
+
+import pytest
+
+from repro.errors import SimulationError, SyscallError
+from repro.kernel.kernel import KernelControl, KernelCrashed, Machine
+from repro.kernel.libc import Libc
+from repro.kernel.process import Credentials, TaskState
+from repro.kernel import vfs
+
+
+@pytest.fixture
+def machine():
+    return Machine(total_mb=128)
+
+
+@pytest.fixture
+def kernel(machine):
+    return machine.kernel
+
+
+@pytest.fixture
+def libc(kernel):
+    task = kernel.spawn_task("app", Credentials(10001))
+    return Libc(kernel, task)
+
+
+class TestDispatch:
+    def test_getpid(self, libc):
+        assert libc.getpid() == libc.task.pid
+
+    def test_unimplemented_catalogued_call_enosys(self, libc):
+        with pytest.raises(SyscallError) as exc:
+            libc.syscall("epoll_wait", 1)
+        assert "ENOSYS" in str(exc.value)
+
+    def test_unknown_call_is_simulation_error(self, libc):
+        with pytest.raises(SimulationError):
+            libc.syscall("not_a_syscall")
+
+    def test_dead_task_cannot_syscall(self, kernel, libc):
+        kernel.reap_task(libc.task)
+        with pytest.raises(SyscallError) as exc:
+            libc.getpid()
+        assert "ESRCH" in str(exc.value)
+
+    def test_syscall_charges_base_cost(self, kernel, libc):
+        before = kernel.clock.now_ns
+        libc.getpid()
+        assert kernel.clock.now_ns - before == kernel.costs.syscall_base_ns
+
+    def test_current_task_restored_after_call(self, kernel, libc):
+        libc.getpid()
+        assert kernel.current is None
+
+    def test_blocked_calls_eperm(self, libc):
+        for call in ("init_module", "reboot", "ptrace"):
+            with pytest.raises(SyscallError) as exc:
+                libc.syscall(call)
+            assert "EPERM" in str(exc.value)
+
+
+class TestIdentity:
+    def test_setuid_to_self_allowed(self, libc):
+        assert libc.setuid(10001) == 0
+
+    def test_setuid_escalation_denied(self, libc):
+        with pytest.raises(SyscallError) as exc:
+            libc.setuid(0)
+        assert "EPERM" in str(exc.value)
+
+    def test_root_setuid_drops(self, kernel):
+        task = kernel.spawn_task("daemon", Credentials(0))
+        libc = Libc(kernel, task)
+        libc.setuid(5000)
+        assert task.credentials.uid == 5000
+
+
+class TestForkExec:
+    def test_fork_creates_child_with_copied_fds(self, kernel, libc):
+        fd = libc.open("/data/local/tmp/f", vfs.O_WRONLY | vfs.O_CREAT)
+        child_pid = libc.fork()
+        child = kernel.pids.require(child_pid)
+        assert child.parent is libc.task
+        assert fd in child.fd_table
+
+    def test_fork_child_shares_credentials(self, kernel, libc):
+        child = kernel.pids.require(libc.fork())
+        assert child.credentials == libc.task.credentials
+
+    def test_execve_loads_image_and_renames(self, kernel, libc):
+        image = libc.execve("/system/bin/sh")
+        assert libc.task.name == "sh"
+        assert libc.task.exe_path == "/system/bin/sh"
+        assert image.metadata["name"] == "sh"
+
+    def test_execve_missing_binary_enoent(self, libc):
+        with pytest.raises(SyscallError):
+            libc.execve("/system/bin/nothing")
+
+    def test_execve_needs_exec_permission(self, kernel, libc):
+        root = Credentials(0)
+        f = kernel.vfs.open("/data/local/tmp/noexec",
+                            vfs.O_WRONLY | vfs.O_CREAT, root, 0o644)
+        f.write(b"\x7fELF{}")
+        with pytest.raises(SyscallError) as exc:
+            libc.execve("/data/local/tmp/noexec")
+        assert "EACCES" in str(exc.value)
+
+    def test_exit_then_wait(self, kernel, libc):
+        child_pid = libc.fork()
+        child = kernel.pids.require(child_pid)
+        kernel.syscall(child, "exit", 7)
+        assert child.state is TaskState.ZOMBIE
+        pid, code = libc.wait()
+        assert pid == child_pid
+        assert code == 7
+
+    def test_wait_without_children_echild(self, libc):
+        with pytest.raises(SyscallError) as exc:
+            libc.wait()
+        assert "ECHILD" in str(exc.value)
+
+
+class TestSignals:
+    def test_kill_same_uid_terminates(self, kernel, libc):
+        victim = kernel.spawn_task("victim", Credentials(10001))
+        libc.kill(victim.pid, 9)
+        assert not victim.is_alive()
+
+    def test_kill_foreign_uid_eperm(self, kernel, libc):
+        victim = kernel.spawn_task("victim", Credentials(10002))
+        with pytest.raises(SyscallError):
+            libc.kill(victim.pid, 9)
+
+    def test_handled_signal_invokes_handler(self, kernel, libc):
+        caught = []
+        victim = kernel.spawn_task("victim", Credentials(10001))
+        kernel.syscall(victim, "rt_sigaction", 15, caught.append)
+        libc.kill(victim.pid, 15)
+        assert caught == [15]
+        assert victim.is_alive()
+
+
+class TestPanic:
+    def test_panic_marks_crashed_and_kills_all(self, kernel, libc):
+        bystander = kernel.spawn_task("by", Credentials(10002))
+        with pytest.raises(KernelCrashed):
+            kernel.panic("test oops")
+        assert kernel.crashed
+        assert not bystander.is_alive()
+
+    def test_crashed_kernel_refuses_syscalls(self, kernel, libc):
+        with pytest.raises(KernelCrashed):
+            kernel.panic("down")
+        with pytest.raises(KernelCrashed):
+            libc.getpid()
+
+
+class TestVulnerabilityRegistry:
+    def test_trigger_fires_on_matching_args(self, kernel, libc):
+        def vuln(k, task, args, kwargs):
+            if args and args[0] == "EVIL":
+                return {"kind": "kernel_compromised",
+                        "control": k.compromise(task, "test")}
+            return None
+
+        kernel.register_vulnerability("uname", vuln)
+        result = libc.syscall("uname", "EVIL")
+        assert result["kind"] == "kernel_compromised"
+
+    def test_benign_args_reach_real_handler(self, kernel, libc):
+        kernel.register_vulnerability(
+            "uname", lambda k, t, a, kw: None
+        )
+        assert libc.syscall("uname")["sysname"] == "Linux"
+
+
+class TestHotplug:
+    def _arm_helper(self, kernel, path):
+        root = Credentials(0)
+        f = kernel.vfs.open("/sys/kernel/uevent_helper",
+                            vfs.O_WRONLY | vfs.O_TRUNC, root)
+        f.write(path.encode())
+
+    def test_host_hotplug_runs_helper_as_root(self, kernel):
+        import repro.exploits.payloads  # noqa: F401 - registers root-payload
+        from repro.events import drain_compromises
+        from repro.kernel.loader import build_pseudo_elf
+
+        root = Credentials(0)
+        f = kernel.vfs.open("/data/local/tmp/helper",
+                            vfs.O_WRONLY | vfs.O_CREAT, root, 0o755)
+        f.write(build_pseudo_elf("helper", 0, {}, payload="root-payload"))
+        self._arm_helper(kernel, "/data/local/tmp/helper")
+        kernel.process_uevent(b"{}")
+        events = drain_compromises()
+        assert any(e["got_root"] for e in events)
+
+    def test_guest_kernel_ignores_uevents(self, machine):
+        from repro.hypervisor import LguestHypervisor
+
+        guest = LguestHypervisor(machine, guest_mb=16).launch_guest()
+        assert guest.process_uevent(b"{}") is None
+
+    def test_empty_helper_path_is_noop(self, kernel):
+        assert kernel.process_uevent(b"{}") is None
+
+
+class TestKernelControl:
+    def test_control_reads_any_file(self, kernel):
+        control = KernelControl(kernel)
+        data = control.read_file("/system/bin/vold")
+        assert data.startswith(b"\x7fELF")
+
+    def test_control_cannot_write_readonly_fs(self, kernel):
+        control = KernelControl(kernel)
+        with pytest.raises(SyscallError) as exc:
+            control.write_file("/system/bin/vold", b"trojan")
+        assert "EROFS" in str(exc.value)
+
+    def test_control_writes_data_files(self, kernel):
+        root = Credentials(0)
+        kernel.vfs.open("/data/local/tmp/t", vfs.O_WRONLY | vfs.O_CREAT,
+                        root).write(b"orig")
+        control = KernelControl(kernel)
+        control.write_file("/data/local/tmp/t", b"patched")
+        assert control.read_file("/data/local/tmp/t") == b"patched"
+
+    def test_control_input_interception_needs_input_stack(self, kernel):
+        from repro.errors import SecurityViolation
+
+        control = KernelControl(kernel)
+        with pytest.raises(SecurityViolation):
+            control.intercept_input_events()
+
+    def test_control_spawns_root_task(self, kernel):
+        control = KernelControl(kernel)
+        shell = control.spawn_root_task()
+        assert shell.credentials.is_root()

@@ -1,0 +1,117 @@
+"""Pseudo-ELF serialisation, the loader, and the payload registry."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.loader import (
+    ELF_MAGIC,
+    PAYLOAD_REGISTRY,
+    build_pseudo_elf,
+    load_image,
+    parse_pseudo_elf,
+    register_payload,
+    run_payload,
+)
+from repro.kernel.memory import (
+    AddressSpace,
+    FrameAllocator,
+    PROT_EXEC,
+    PROT_READ,
+    PhysicalMemory,
+    Window,
+)
+
+
+@pytest.fixture
+def space():
+    physical = PhysicalMemory(512)
+    allocator = FrameAllocator(physical, Window(0, 512), "t")
+    return AddressSpace(allocator, "loader-test")
+
+
+class TestPseudoElf:
+    def test_roundtrip(self):
+        blob = build_pseudo_elf("x", 0x1000, {"main": 0x20},
+                                managed_device="/dev/sda")
+        meta = parse_pseudo_elf(blob)
+        assert meta["name"] == "x"
+        assert meta["got"] == 0x1000
+        assert meta["symbols"]["main"] == 0x20
+        assert meta["managed_device"] == "/dev/sda"
+
+    def test_magic_prefix(self):
+        assert build_pseudo_elf("x", 0, {}).startswith(ELF_MAGIC)
+
+    def test_parse_rejects_non_elf(self):
+        with pytest.raises(SimulationError):
+            parse_pseudo_elf(b"#!/bin/sh")
+
+    def test_payload_field(self):
+        blob = build_pseudo_elf("x", 0, {}, payload="logcat")
+        assert parse_pseudo_elf(blob)["payload"] == "logcat"
+
+    def test_deterministic_output(self):
+        a = build_pseudo_elf("x", 5, {"s": 1})
+        b = build_pseudo_elf("x", 5, {"s": 1})
+        assert a == b
+
+
+class TestLoadImage:
+    def test_image_pages_scale_with_code_units(self, space):
+        blob = build_pseudo_elf("big", 0, {}, code_units=1024)
+        image = load_image(space, "/bin/big", blob, PROT_READ | PROT_EXEC)
+        assert image.text_pages == 4
+
+    def test_minimum_one_page(self, space):
+        blob = build_pseudo_elf("tiny", 0, {}, code_units=1)
+        image = load_image(space, "/bin/tiny", blob, PROT_READ)
+        assert image.text_pages == 1
+
+    def test_content_mapped_into_space(self, space):
+        blob = build_pseudo_elf("c", 0, {})
+        image = load_image(space, "/bin/c", blob, PROT_READ)
+        assert space.read(image.base_address, 4, need_prot=0) == ELF_MAGIC
+
+    def test_non_elf_data_loads_with_defaults(self, space):
+        image = load_image(space, "/bin/raw", b"not-an-elf", PROT_READ)
+        assert image.text_pages == 1
+        assert image.metadata["symbols"] == {}
+
+    def test_symbol_lookup(self, space):
+        blob = build_pseudo_elf("s", 0, {"fn": 0x42})
+        image = load_image(space, "/bin/s", blob, PROT_READ)
+        assert image.symbol("fn") == 0x42
+        assert image.got_address == 0
+
+
+class TestPayloadRegistry:
+    def test_register_decorator(self):
+        @register_payload("test-payload-decorated")
+        def payload(kernel, task):
+            return "ran"
+
+        assert PAYLOAD_REGISTRY["test-payload-decorated"] is payload
+
+    def test_register_direct(self):
+        fn = lambda k, t: "x"
+        register_payload("test-payload-direct", fn)
+        assert PAYLOAD_REGISTRY["test-payload-direct"] is fn
+
+    def test_run_payload_invokes(self, space):
+        calls = []
+        register_payload("test-payload-run", lambda k, t: calls.append((k, t)))
+        blob = build_pseudo_elf("p", 0, {}, payload="test-payload-run")
+        image = load_image(space, "/bin/p", blob, PROT_READ)
+        run_payload("kernel-obj", "task-obj", image)
+        assert calls == [("kernel-obj", "task-obj")]
+
+    def test_run_payload_none_for_plain_binary(self, space):
+        blob = build_pseudo_elf("plain", 0, {})
+        image = load_image(space, "/bin/plain", blob, PROT_READ)
+        assert run_payload(None, None, image) is None
+
+    def test_run_unregistered_payload_errors(self, space):
+        blob = build_pseudo_elf("ghost", 0, {}, payload="never-registered")
+        image = load_image(space, "/bin/g", blob, PROT_READ)
+        with pytest.raises(SimulationError):
+            run_payload(None, None, image)

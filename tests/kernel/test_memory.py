@@ -1,0 +1,219 @@
+"""Physical frames, allocators, address spaces — and the hypervisor wall."""
+
+import pytest
+
+from repro.errors import HypervisorViolation, SimulationError, SyscallError
+from repro.kernel.memory import (
+    AddressSpace,
+    FrameAllocator,
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+    PhysicalMemory,
+    Window,
+    page_count,
+    page_of,
+)
+from repro.perf.costs import PAGE_SIZE
+
+
+@pytest.fixture
+def physical():
+    return PhysicalMemory(1024)
+
+
+@pytest.fixture
+def allocator(physical):
+    return FrameAllocator(physical, Window(0, 1024), "test")
+
+
+@pytest.fixture
+def space(allocator):
+    return AddressSpace(allocator, "proc")
+
+
+class TestHelpers:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_page_count(self):
+        assert page_count(0) == 0
+        assert page_count(1) == 1
+        assert page_count(PAGE_SIZE) == 1
+        assert page_count(PAGE_SIZE + 1) == 2
+
+    def test_window_membership(self):
+        window = Window(10, 20)
+        assert 10 in window
+        assert 19 in window
+        assert 20 not in window
+        assert 9 not in window
+        assert len(window) == 10
+
+
+class TestPhysicalMemory:
+    def test_unwritten_frame_reads_zero(self, physical):
+        assert physical.read_frame(5) == bytes(PAGE_SIZE)
+
+    def test_write_then_read(self, physical):
+        physical.write_frame(7, b"hello", offset=100)
+        assert physical.read_frame(7)[100:105] == b"hello"
+
+    def test_write_past_frame_boundary_rejected(self, physical):
+        with pytest.raises(SimulationError):
+            physical.write_frame(0, b"xx", offset=PAGE_SIZE - 1)
+
+    def test_out_of_range_frame_rejected(self, physical):
+        with pytest.raises(SimulationError):
+            physical.read_frame(9999)
+
+    def test_window_enforced_on_read(self, physical):
+        with pytest.raises(HypervisorViolation):
+            physical.read_frame(5, window=Window(100, 200))
+
+    def test_window_enforced_on_write(self, physical):
+        with pytest.raises(HypervisorViolation):
+            physical.write_frame(5, b"x", window=Window(100, 200))
+
+    def test_window_permits_inside_access(self, physical):
+        physical.write_frame(150, b"ok", window=Window(100, 200))
+        assert physical.read_frame(150, window=Window(100, 200))[:2] == b"ok"
+
+    def test_owner_tagging(self, physical):
+        physical.tag_owner(3, "cvm")
+        assert physical.owner_of(3) == "cvm"
+        assert physical.frames_owned_by("cvm") == [3]
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_frames(self, allocator):
+        frames = {allocator.allocate() for _ in range(50)}
+        assert len(frames) == 50
+
+    def test_exhaustion_raises_enomem(self, physical):
+        small = FrameAllocator(physical, Window(0, 2), "small")
+        small.allocate()
+        small.allocate()
+        with pytest.raises(SyscallError) as exc:
+            small.allocate()
+        assert "ENOMEM" in str(exc.value)
+
+    def test_free_recycles(self, allocator):
+        frame = allocator.allocate()
+        allocator.free(frame)
+        assert allocator.allocate() == frame
+
+    def test_double_free_rejected(self, allocator):
+        frame = allocator.allocate()
+        allocator.free(frame)
+        with pytest.raises(SimulationError):
+            allocator.free(frame)
+
+    def test_counters(self, allocator):
+        before = allocator.free_frames
+        frame = allocator.allocate()
+        assert allocator.used_frames == 1
+        assert allocator.free_frames == before - 1
+        allocator.free(frame)
+        assert allocator.used_frames == 0
+
+    def test_carve_takes_top_of_window(self, allocator):
+        carved = allocator.carve_subwindow(100, "guest")
+        assert carved.window.start == 924
+        assert carved.window.stop == 1024
+        assert allocator.window.stop == 924
+
+    def test_carve_and_parent_disjoint(self, allocator):
+        carved = allocator.carve_subwindow(100, "guest")
+        parent_frames = {allocator.allocate() for _ in range(100)}
+        guest_frames = {carved.allocate() for _ in range(100)}
+        assert not parent_frames & guest_frames
+
+    def test_carve_too_large_raises(self, allocator):
+        with pytest.raises(SyscallError):
+            allocator.carve_subwindow(2048, "guest")
+
+
+class TestAddressSpace:
+    def test_map_and_translate(self, space):
+        frame = space.map_page(0x100, PROT_READ | PROT_WRITE)
+        got_frame, offset = space.translate(0x100 * PAGE_SIZE + 12, PROT_READ)
+        assert got_frame == frame
+        assert offset == 12
+
+    def test_double_map_rejected(self, space):
+        space.map_page(0x100, PROT_READ)
+        with pytest.raises(SimulationError):
+            space.map_page(0x100, PROT_READ)
+
+    def test_unmapped_translate_faults(self, space):
+        with pytest.raises(SyscallError) as exc:
+            space.translate(0xDEAD000, PROT_READ)
+        assert "EFAULT" in str(exc.value)
+
+    def test_protection_enforced(self, space):
+        space.map_page(0x100, PROT_READ)
+        with pytest.raises(SyscallError):
+            space.translate(0x100 * PAGE_SIZE, PROT_WRITE)
+
+    def test_mprotect_changes_protection(self, space):
+        space.map_page(0x100, PROT_READ)
+        space.protect(0x100, PROT_READ | PROT_WRITE)
+        space.translate(0x100 * PAGE_SIZE, PROT_WRITE)
+
+    def test_write_read_roundtrip(self, space):
+        base = space.mmap(PAGE_SIZE, PROT_READ | PROT_WRITE, MAP_ANONYMOUS)
+        space.write(base + 5, b"payload")
+        assert space.read(base + 5, 7) == b"payload"
+
+    def test_write_read_across_page_boundary(self, space):
+        base = space.mmap(2 * PAGE_SIZE, PROT_READ | PROT_WRITE,
+                          MAP_ANONYMOUS)
+        data = b"Z" * 100
+        space.write(base + PAGE_SIZE - 50, data)
+        assert space.read(base + PAGE_SIZE - 50, 100) == data
+
+    def test_mmap_fixed_at_zero(self, space):
+        addr = space.mmap(PAGE_SIZE, PROT_READ | PROT_WRITE | PROT_EXEC,
+                          MAP_FIXED | MAP_ANONYMOUS, addr=0)
+        assert addr == 0
+        assert space.is_mapped(0)
+
+    def test_mmap_collision_rejected(self, space):
+        space.mmap(PAGE_SIZE, PROT_READ, MAP_FIXED | MAP_ANONYMOUS, addr=0)
+        with pytest.raises(SyscallError):
+            space.mmap(PAGE_SIZE, PROT_READ, MAP_FIXED | MAP_ANONYMOUS,
+                       addr=0)
+
+    def test_mmap_zero_length_rejected(self, space):
+        with pytest.raises(SyscallError):
+            space.mmap(0, PROT_READ, MAP_ANONYMOUS)
+
+    def test_munmap_releases(self, space):
+        base = space.mmap(PAGE_SIZE, PROT_READ, MAP_ANONYMOUS)
+        space.munmap(base, PAGE_SIZE)
+        assert not space.is_mapped(base)
+
+    def test_brk_grow_and_shrink(self, space):
+        start = space.brk_page
+        space.set_brk(start + 4)
+        assert space.resident_pages() == 4
+        space.set_brk(start + 1)
+        assert space.resident_pages() == 1
+
+    def test_destroy_frees_everything(self, space, allocator):
+        space.mmap(4 * PAGE_SIZE, PROT_READ, MAP_ANONYMOUS)
+        space.destroy()
+        assert allocator.used_frames == 0
+
+    def test_read_with_foreign_window_raises(self, physical, space):
+        """A guest kernel cannot read host-frame-backed pages."""
+        base = space.mmap(PAGE_SIZE, PROT_READ | PROT_WRITE, MAP_ANONYMOUS)
+        space.write(base, b"secret")
+        guest_window = Window(900, 1024)
+        with pytest.raises(HypervisorViolation):
+            space.read(base, 6, window=guest_window)

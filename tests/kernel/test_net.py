@@ -1,0 +1,171 @@
+"""Sockets, netlink delivery, the simulated internet, sendpage."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.kernel import KernelCrashed, Machine
+from repro.kernel.net import (
+    AF_INET,
+    AF_NETLINK,
+    AF_UNIX,
+    Internet,
+    NETLINK_KOBJECT_UEVENT,
+    PF_BLUETOOTH,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+)
+from repro.kernel.process import Credentials
+
+
+@pytest.fixture
+def machine():
+    return Machine(total_mb=64)
+
+
+@pytest.fixture
+def kernel(machine):
+    return machine.kernel
+
+
+class EchoServer:
+    def __init__(self):
+        self.received = []
+
+    def handle_data(self, conn, data):
+        self.received.append(data)
+        return b"echo:" + data
+
+
+class TestSocketCreation:
+    def test_supported_families(self, kernel):
+        for family in (AF_UNIX, AF_INET, AF_NETLINK, PF_BLUETOOTH):
+            sock = kernel.network.create_socket(family, SOCK_DGRAM, 0, 1)
+            assert sock.family == family
+
+    def test_unsupported_family_rejected(self, kernel):
+        with pytest.raises(SyscallError) as exc:
+            kernel.network.create_socket(99, SOCK_DGRAM, 0, 1)
+        assert "EAFNOSUPPORT" in str(exc.value)
+
+
+class TestInternet:
+    def test_connect_and_echo(self, machine, kernel):
+        server = EchoServer()
+        machine.internet.register_server(("echo.example", 7), server)
+        sock = kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        kernel.network.connect(sock, ("echo.example", 7))
+        sock.send(b"ping")
+        assert sock.recv(64) == b"echo:ping"
+        assert server.received == [b"ping"]
+
+    def test_connect_unknown_host_refused(self, kernel):
+        sock = kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        with pytest.raises(SyscallError) as exc:
+            kernel.network.connect(sock, ("nowhere", 1))
+        assert "ECONNREFUSED" in str(exc.value)
+
+    def test_send_without_connect_enotconn(self, kernel):
+        sock = kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        with pytest.raises(SyscallError) as exc:
+            sock.send(b"data")
+        assert "ENOTCONN" in str(exc.value)
+
+    def test_connection_log_labels_origin(self, machine):
+        server = EchoServer()
+        machine.internet.register_server(("a", 1), server)
+        sock = machine.kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        machine.kernel.network.connect(sock, ("a", 1))
+        assert machine.internet.connection_log == [(("a", 1), "host")]
+
+    def test_shared_internet_across_stacks(self, machine):
+        """Host and CVM stacks reach the same servers."""
+        from repro.hypervisor import LguestHypervisor
+
+        server = EchoServer()
+        machine.internet.register_server(("shared", 1), server)
+        hypervisor = LguestHypervisor(machine, guest_mb=16)
+        guest = hypervisor.launch_guest()
+        sock = guest.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        guest.network.connect(sock, ("shared", 1))
+        sock.send(b"from-guest")
+        assert server.received == [b"from-guest"]
+
+    def test_closed_socket_rejects_send(self, kernel, machine):
+        server = EchoServer()
+        machine.internet.register_server(("b", 1), server)
+        sock = kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, 1)
+        kernel.network.connect(sock, ("b", 1))
+        sock.close()
+        with pytest.raises(SyscallError):
+            sock.send(b"late")
+
+
+class TestNetlink:
+    def test_delivery_to_listener(self, kernel):
+        received = []
+        listener = kernel.network.create_socket(
+            AF_NETLINK, SOCK_DGRAM, 7, 100
+        )
+        kernel.network.netlink_listen(listener, lambda s, d: received.append(d))
+        sender = kernel.network.create_socket(AF_NETLINK, SOCK_DGRAM, 7, 200)
+        sender.send(b"message")
+        assert received == [b"message"]
+
+    def test_no_listener_refused(self, kernel):
+        sender = kernel.network.create_socket(AF_NETLINK, SOCK_DGRAM, 9, 1)
+        with pytest.raises(SyscallError):
+            sender.send(b"void")
+
+    def test_uevent_without_listener_is_silent(self, kernel):
+        sender = kernel.network.create_socket(
+            AF_NETLINK, SOCK_DGRAM, NETLINK_KOBJECT_UEVENT, 1
+        )
+        sender.send(b'{"action":"noop"}')  # no listener: still ok
+
+    def test_netlink_sockets_enumerable(self, kernel):
+        listener = kernel.network.create_socket(AF_NETLINK, SOCK_DGRAM, 7, 1)
+        kernel.network.netlink_listen(listener, lambda s, d: None)
+        assert listener in kernel.network.netlink_sockets()
+
+
+class TestSendpage:
+    def test_normal_family_sends(self, machine, kernel):
+        server = EchoServer()
+        machine.internet.register_server(("c", 1), server)
+        task = kernel.spawn_task("app", Credentials(10001))
+        sock = kernel.network.create_socket(AF_INET, SOCK_STREAM, 0, task.pid)
+        kernel.network.connect(sock, ("c", 1))
+        result = kernel.network.sendpage(task, sock, b"bulk")
+        assert result == {"kind": "sent", "nbytes": 4}
+
+    def test_bluetooth_null_deref_oopses_without_shellcode(self, kernel):
+        task = kernel.spawn_task("app", Credentials(10001))
+        sock = kernel.network.create_socket(
+            PF_BLUETOOTH, SOCK_DGRAM, 0, task.pid
+        )
+        with pytest.raises(KernelCrashed):
+            kernel.network.sendpage(task, sock, b"x")
+        assert kernel.crashed
+
+    def test_bluetooth_null_deref_with_shellcode_compromises(self, kernel):
+        from repro.kernel.kernel import SHELLCODE_MAGIC
+        from repro.kernel.memory import (
+            MAP_ANONYMOUS,
+            MAP_FIXED,
+            PROT_EXEC,
+            PROT_READ,
+            PROT_WRITE,
+        )
+
+        task = kernel.spawn_task("app", Credentials(10001))
+        task.address_space.mmap(
+            4096, PROT_READ | PROT_WRITE | PROT_EXEC,
+            MAP_FIXED | MAP_ANONYMOUS, addr=0,
+        )
+        task.address_space.write(0, SHELLCODE_MAGIC + b"own", need_prot=0)
+        sock = kernel.network.create_socket(
+            PF_BLUETOOTH, SOCK_DGRAM, 0, task.pid
+        )
+        result = kernel.network.sendpage(task, sock, b"x")
+        assert result["kind"] == "kernel_compromised"
+        assert kernel.compromised_by is not None

@@ -1,0 +1,139 @@
+"""Tasks, credentials and the PID table."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.kernel import Machine
+from repro.kernel.process import (
+    Credentials,
+    FIRST_APP_UID,
+    PidTable,
+    ROOT_UID,
+    Task,
+    TaskState,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Machine(total_mb=64).kernel
+
+
+class TestCredentials:
+    def test_defaults_derive_from_uid(self):
+        creds = Credentials(1000)
+        assert (creds.uid, creds.gid, creds.euid, creds.egid) == (
+            1000, 1000, 1000, 1000,
+        )
+
+    def test_root_check_uses_euid(self):
+        assert Credentials(ROOT_UID).is_root()
+        assert Credentials(1000, euid=0).is_root()
+        assert not Credentials(1000).is_root()
+
+    def test_with_uid_replaces_both_uids(self):
+        creds = Credentials(1000).with_uid(2000)
+        assert creds.uid == 2000
+        assert creds.euid == 2000
+
+    def test_with_uid_keeps_gid(self):
+        creds = Credentials(1000, gid=42).with_uid(2000)
+        assert creds.gid == 42
+
+    def test_group_membership(self):
+        creds = Credentials(1000, groups=(3003,))
+        assert creds.in_group(3003)
+        assert creds.in_group(1000)  # own egid
+        assert not creds.in_group(9999)
+
+    def test_equality_and_hash(self):
+        assert Credentials(5) == Credentials(5)
+        assert Credentials(5) != Credentials(6)
+        assert hash(Credentials(5)) == hash(Credentials(5))
+
+    def test_first_app_uid_constant(self):
+        assert FIRST_APP_UID == 10000
+
+
+class TestTaskFdTable:
+    def test_alloc_starts_at_three(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        fd = task.alloc_fd(object())
+        assert fd == 3
+
+    def test_alloc_monotonic(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        fds = [task.alloc_fd(object()) for _ in range(4)]
+        assert fds == [3, 4, 5, 6]
+
+    def test_alloc_reuses_holes(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        task.alloc_fd("a")
+        task.alloc_fd("b")
+        task.remove_fd(3)
+        task._next_fd = 3
+        assert task.alloc_fd("c") == 3
+
+    def test_get_unknown_fd_raises_ebadf(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        with pytest.raises(SyscallError) as exc:
+            task.get_fd(99)
+        assert "EBADF" in str(exc.value)
+
+    def test_install_fd_rejects_duplicates(self, kernel):
+        from repro.errors import SimulationError
+
+        task = kernel.spawn_task("t", Credentials(1))
+        task.install_fd(7, "x")
+        with pytest.raises(SimulationError):
+            task.install_fd(7, "y")
+
+    def test_remove_returns_description(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        fd = task.alloc_fd("desc")
+        assert task.remove_fd(fd) == "desc"
+
+
+class TestTaskState:
+    def test_new_task_is_running(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        assert task.state is TaskState.RUNNING
+        assert task.is_alive()
+
+    def test_redirection_entry_defaults_to_zero(self, kernel):
+        task = kernel.spawn_task("t", Credentials(1))
+        assert task.redirection_entry == 0
+
+    def test_parent_child_links(self, kernel):
+        parent = kernel.spawn_task("p", Credentials(1))
+        child = kernel.spawn_task("c", Credentials(1), parent=parent)
+        assert child.parent is parent
+        assert child in parent.children
+
+
+class TestPidTable:
+    def test_pids_monotonic_from_one(self):
+        table = PidTable()
+        t1 = table.allocate(lambda pid: ("task", pid))
+        t2 = table.allocate(lambda pid: ("task", pid))
+        assert t1[1] == 1
+        assert t2[1] == 2
+
+    def test_get_missing_returns_none(self):
+        assert PidTable().get(42) is None
+
+    def test_require_missing_raises_esrch(self):
+        with pytest.raises(SyscallError) as exc:
+            PidTable().require(42)
+        assert "ESRCH" in str(exc.value)
+
+    def test_find_by_name(self, kernel):
+        kernel.spawn_task("vold", Credentials(0))
+        kernel.spawn_task("vold", Credentials(0))
+        kernel.spawn_task("other", Credentials(0))
+        assert len(kernel.pids.find_by_name("vold")) == 2
+
+    def test_find_by_name_skips_dead(self, kernel):
+        task = kernel.spawn_task("dying", Credentials(0))
+        kernel.reap_task(task)
+        assert kernel.pids.find_by_name("dying") == []

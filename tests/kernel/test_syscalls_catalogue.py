@@ -1,0 +1,69 @@
+"""The 324-entry syscall catalogue (experiment E7's static universe)."""
+
+import pytest
+
+from repro.kernel.syscalls import (
+    CATALOGUE,
+    SyscallClass,
+    class_counts,
+    class_percentages,
+    classify,
+)
+
+
+class TestCatalogueShape:
+    def test_total_is_324(self):
+        assert len(CATALOGUE) == 324
+
+    def test_class_counts_match_paper(self):
+        counts = class_counts()
+        assert counts[SyscallClass.REDIRECT] == 229
+        assert counts[SyscallClass.HOST] == 66
+        assert counts[SyscallClass.SPLIT] == 21
+        assert counts[SyscallClass.BLOCKED] == 7
+        assert counts[SyscallClass.RESERVED] == 1
+
+    def test_percentages_match_paper(self):
+        pct = class_percentages()
+        assert pct[SyscallClass.REDIRECT] == 70.7
+        assert pct[SyscallClass.HOST] == 20.4
+        assert pct[SyscallClass.SPLIT] == 6.5
+        # paper truncates 2.16 to 2.1; round() gives 2.2
+        assert pct[SyscallClass.BLOCKED] == 2.2
+
+    def test_no_duplicates_by_construction(self):
+        # CATALOGUE is a dict built with duplicate detection; its size
+        # equals the sum of the class lists.
+        assert sum(class_counts().values()) == 324
+
+
+class TestMembership:
+    @pytest.mark.parametrize("name", ["open", "read", "write", "socket",
+                                      "connect", "sendfile", "mkdir",
+                                      "pipe", "epoll_wait", "msgget"])
+    def test_file_net_ipc_redirected(self, name):
+        assert CATALOGUE[name] is SyscallClass.REDIRECT
+
+    @pytest.mark.parametrize("name", ["getpid", "exit", "kill", "setuid",
+                                      "brk", "munmap", "rt_sigaction",
+                                      "sched_yield", "futex", "wait4"])
+    def test_process_control_on_host(self, name):
+        assert CATALOGUE[name] is SyscallClass.HOST
+
+    @pytest.mark.parametrize("name", ["fork", "vfork", "clone", "execve",
+                                      "mmap", "mmap2", "ioctl", "close",
+                                      "dup", "msync"])
+    def test_split_calls(self, name):
+        assert CATALOGUE[name] is SyscallClass.SPLIT
+
+    @pytest.mark.parametrize("name", ["init_module", "delete_module",
+                                      "reboot", "kexec_load", "ptrace",
+                                      "pivot_root", "swapon"])
+    def test_blocked_calls(self, name):
+        assert CATALOGUE[name] is SyscallClass.BLOCKED
+
+    def test_unknown_name_defaults_to_redirect(self):
+        assert classify("some_future_syscall") is SyscallClass.REDIRECT
+
+    def test_known_name_classified(self):
+        assert classify("open") is SyscallClass.REDIRECT

@@ -1,0 +1,154 @@
+"""System V shared memory: native semantics and the Anception split."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.sysv_shm import IPC_CREAT, IPC_PRIVATE, IPC_RMID
+from repro.kernel.kernel import Machine
+from repro.kernel.libc import Libc
+from repro.kernel.process import Credentials
+
+
+@pytest.fixture
+def kernel():
+    return Machine(total_mb=128).kernel
+
+
+def make_libc(kernel, uid=10001):
+    task = kernel.spawn_task(f"app{uid}", Credentials(uid))
+    return Libc(kernel, task)
+
+
+class TestNativeSemantics:
+    def test_private_segments_are_distinct(self, kernel):
+        libc = make_libc(kernel)
+        a = libc.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        b = libc.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        assert a != b
+
+    def test_keyed_segment_shared_by_key(self, kernel):
+        libc_a = make_libc(kernel, 10001)
+        libc_b = make_libc(kernel, 10002)
+        a = libc_a.syscall("shmget", 0xBEEF, 8192, IPC_CREAT)
+        b = libc_b.syscall("shmget", 0xBEEF, 8192, 0)
+        assert a == b
+
+    def test_missing_key_without_creat_enoent(self, kernel):
+        libc = make_libc(kernel)
+        with pytest.raises(SyscallError):
+            libc.syscall("shmget", 0xD00D, 4096, 0)
+
+    def test_zero_size_rejected(self, kernel):
+        libc = make_libc(kernel)
+        with pytest.raises(SyscallError):
+            libc.syscall("shmget", IPC_PRIVATE, 0, IPC_CREAT)
+
+    def test_attach_and_share_between_tasks(self, kernel):
+        writer = make_libc(kernel, 10001)
+        reader = make_libc(kernel, 10001)
+        shmid = writer.syscall("shmget", 0xCAFE, 4096, IPC_CREAT)
+        w_addr = writer.syscall("shmat", shmid)
+        r_addr = reader.syscall("shmat", shmid)
+        writer.task.address_space.write(w_addr, b"shared-bytes")
+        assert reader.task.address_space.read(r_addr, 12) == b"shared-bytes"
+
+    def test_detach_unmaps(self, kernel):
+        libc = make_libc(kernel)
+        shmid = libc.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        addr = libc.syscall("shmat", shmid)
+        libc.syscall("shmdt", addr)
+        assert not libc.task.address_space.is_mapped(addr)
+
+    def test_detach_unknown_address_einval(self, kernel):
+        libc = make_libc(kernel)
+        with pytest.raises(SyscallError):
+            libc.syscall("shmdt", 0xDEAD000)
+
+    def test_rmid_deferred_until_detach(self, kernel):
+        libc = make_libc(kernel)
+        shmid = libc.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        addr = libc.syscall("shmat", shmid)
+        libc.syscall("shmctl", shmid, IPC_RMID)
+        assert kernel.shm.segment_count() == 1  # still attached
+        libc.syscall("shmdt", addr)
+        assert kernel.shm.segment_count() == 0
+
+    def test_rmid_requires_owner(self, kernel):
+        owner = make_libc(kernel, 10001)
+        other = make_libc(kernel, 10002)
+        shmid = owner.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        with pytest.raises(SyscallError):
+            other.syscall("shmctl", shmid, IPC_RMID)
+
+    def test_destroy_frees_frames(self, kernel):
+        libc = make_libc(kernel)
+        used_before = kernel.allocator.used_frames
+        shmid = libc.syscall("shmget", IPC_PRIVATE, 3 * 4096, IPC_CREAT)
+        assert kernel.allocator.used_frames == used_before + 3
+        libc.syscall("shmctl", shmid, IPC_RMID)
+        assert kernel.allocator.used_frames == used_before
+
+
+class TestAnceptionSplit:
+    def _two_enrolled(self, anception_world):
+        from tests.conftest import ScratchApp
+        from repro.android.app import AppManifest
+
+        class AppA(ScratchApp):
+            manifest = AppManifest("com.shm.a")
+
+        class AppB(ScratchApp):
+            manifest = AppManifest("com.shm.b")
+
+        a = anception_world.install_and_launch(AppA())
+        b = anception_world.install_and_launch(AppB())
+        a.run()
+        b.run()
+        return a.ctx, b.ctx
+
+    def test_shared_memory_works_across_enrolled_apps(self, anception_world):
+        ctx_a, ctx_b = self._two_enrolled(anception_world)
+        shmid = ctx_a.libc.syscall("shmget", 0xF00D, 4096, IPC_CREAT)
+        assert ctx_b.libc.syscall("shmget", 0xF00D, 4096, 0) == shmid
+        addr_a = ctx_a.libc.syscall("shmat", shmid)
+        addr_b = ctx_b.libc.syscall("shmat", shmid)
+        ctx_a.task.address_space.write(addr_a, b"cross-app")
+        assert ctx_b.task.address_space.read(addr_b, 9) == b"cross-app"
+
+    def test_content_frames_are_host_resident(self, anception_world):
+        ctx_a, _ctx_b = self._two_enrolled(anception_world)
+        shmid = ctx_a.libc.syscall("shmget", 0xF00D, 4096, IPC_CREAT)
+        addr = ctx_a.libc.syscall("shmat", shmid)
+        ctx_a.task.address_space.write(addr, b"app-secret-in-shm")
+        # the page the app sees is outside the CVM's window
+        frame, _off = ctx_a.task.address_space.translate(addr, 0)
+        assert frame not in anception_world.cvm.hypervisor.guest_window
+
+    def test_cvm_segment_holds_no_content(self, anception_world):
+        ctx_a, _ctx_b = self._two_enrolled(anception_world)
+        shmid = ctx_a.libc.syscall("shmget", 0xF00D, 4096, IPC_CREAT)
+        addr = ctx_a.libc.syscall("shmat", shmid)
+        ctx_a.task.address_space.write(addr, b"app-secret-in-shm")
+        cvm = anception_world.cvm
+        segment = cvm.kernel.shm.require(shmid)
+        for frame in segment.frames:
+            page = cvm.machine.physical.read_frame(
+                frame, cvm.hypervisor.guest_window
+            )
+            assert b"secret" not in page
+
+    def test_proxy_attach_counts_mirrored(self, anception_world):
+        ctx_a, _ctx_b = self._two_enrolled(anception_world)
+        shmid = ctx_a.libc.syscall("shmget", 0xF00D, 4096, IPC_CREAT)
+        addr = ctx_a.libc.syscall("shmat", shmid)
+        segment = anception_world.cvm.kernel.shm.require(shmid)
+        assert segment.attach_count == 1
+        ctx_a.libc.syscall("shmdt", addr)
+        assert segment.attach_count == 0
+
+    def test_detach_removes_host_mapping(self, anception_world):
+        ctx_a, _ctx_b = self._two_enrolled(anception_world)
+        shmid = ctx_a.libc.syscall("shmget", IPC_PRIVATE, 4096, IPC_CREAT)
+        addr = ctx_a.libc.syscall("shmat", shmid)
+        ctx_a.libc.syscall("shmdt", addr)
+        assert not ctx_a.task.address_space.is_mapped(addr)

@@ -1,0 +1,91 @@
+"""Unix domain sockets: local IPC in both configurations."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.net import AF_UNIX, SOCK_STREAM
+
+
+class _Setup:
+    def pair(self, world, ctx_server, ctx_client, path="/data/local/tmp/sock"):
+        server_fd = ctx_server.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        ctx_server.libc.bind(server_fd, path)
+        ctx_server.libc.syscall("listen", server_fd)
+        client_fd = ctx_client.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        ctx_client.libc.connect(client_fd, path)
+        conn_fd = ctx_server.libc.syscall("accept", server_fd)
+        return server_fd, client_fd, conn_fd
+
+
+class TestNativeUnixSockets(_Setup):
+    def test_stream_roundtrip(self, native_world, native_ctx):
+        _s, client_fd, conn_fd = self.pair(native_world, native_ctx,
+                                           native_ctx)
+        native_ctx.libc.send(client_fd, b"request")
+        assert native_ctx.libc.recv(conn_fd, 16) == b"request"
+        native_ctx.libc.send(conn_fd, b"response")
+        assert native_ctx.libc.recv(client_fd, 16) == b"response"
+
+    def test_connect_without_listener_refused(self, native_ctx):
+        fd = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        with pytest.raises(SyscallError) as exc:
+            native_ctx.libc.connect(fd, "/data/local/tmp/nobody")
+        assert "ECONNREFUSED" in str(exc.value)
+
+    def test_double_bind_eaddrinuse(self, native_ctx):
+        a = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        b = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        native_ctx.libc.bind(a, "/data/local/tmp/s1")
+        with pytest.raises(SyscallError) as exc:
+            native_ctx.libc.bind(b, "/data/local/tmp/s1")
+        assert "EADDRINUSE" in str(exc.value)
+
+    def test_accept_without_pending_eagain(self, native_ctx):
+        fd = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        native_ctx.libc.bind(fd, "/data/local/tmp/s2")
+        native_ctx.libc.syscall("listen", fd)
+        with pytest.raises(SyscallError) as exc:
+            native_ctx.libc.syscall("accept", fd)
+        assert "EAGAIN" in str(exc.value)
+
+    def test_close_releases_address(self, native_ctx):
+        fd = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        native_ctx.libc.bind(fd, "/data/local/tmp/s3")
+        native_ctx.libc.close(fd)
+        fd2 = native_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        native_ctx.libc.bind(fd2, "/data/local/tmp/s3")
+
+
+class TestAnceptionUnixSockets(_Setup):
+    def test_roundtrip_between_enrolled_apps(self, anception_world):
+        from tests.conftest import ScratchApp
+        from repro.android.app import AppManifest
+
+        class ServerApp(ScratchApp):
+            manifest = AppManifest("com.sock.server")
+
+        class ClientApp(ScratchApp):
+            manifest = AppManifest("com.sock.client")
+
+        server = anception_world.install_and_launch(ServerApp())
+        client = anception_world.install_and_launch(ClientApp())
+        server.run()
+        client.run()
+        _s, client_fd, conn_fd = self.pair(
+            anception_world, server.ctx, client.ctx
+        )
+        client.ctx.libc.send(client_fd, b"cross-app-ipc")
+        assert server.ctx.libc.recv(conn_fd, 16) == b"cross-app-ipc"
+
+    def test_endpoints_live_in_cvm(self, anception_world, enrolled_ctx):
+        fd = enrolled_ctx.libc.socket(AF_UNIX, SOCK_STREAM, 0)
+        enrolled_ctx.libc.bind(fd, "/data/local/tmp/cvm-sock")
+        enrolled_ctx.libc.syscall("listen", fd)
+        assert (
+            "/data/local/tmp/cvm-sock"
+            in anception_world.cvm.kernel.network._unix_listeners
+        )
+        assert (
+            "/data/local/tmp/cvm-sock"
+            not in anception_world.kernel.network._unix_listeners
+        )

@@ -1,0 +1,261 @@
+"""VFS: path resolution, permissions, descriptors, mounts."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.filesystems import (
+    build_android_rootfs,
+    build_data_fs,
+    build_system_image,
+)
+from repro.kernel.process import Credentials
+from repro.kernel.vfs import (
+    Filesystem,
+    InodeKind,
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    VFS,
+    make_dir,
+    make_file,
+    make_symlink,
+)
+
+
+ROOT = Credentials(0)
+APP = Credentials(10001)
+
+
+@pytest.fixture
+def vfs():
+    v = VFS(build_android_rootfs())
+    v.mount("/system", build_system_image())
+    v.mount("/data", build_data_fs())
+    return v
+
+
+class TestResolution:
+    def test_resolve_root(self, vfs):
+        assert vfs.resolve("/", ROOT).kind is InodeKind.DIRECTORY
+
+    def test_resolve_nested(self, vfs):
+        assert vfs.resolve("/data/local/tmp", ROOT).kind is InodeKind.DIRECTORY
+
+    def test_missing_path_enoent(self, vfs):
+        with pytest.raises(SyscallError) as exc:
+            vfs.resolve("/no/such/path", ROOT)
+        assert "ENOENT" in str(exc.value)
+
+    def test_mount_shadowing(self, vfs):
+        inode = vfs.resolve("/system/bin/vold", ROOT)
+        assert inode.kind is InodeKind.FILE
+        assert bytes(inode.data).startswith(b"\x7fELF")
+
+    def test_file_component_enotdir(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, ROOT)
+        with pytest.raises(SyscallError) as exc:
+            vfs.resolve("/data/local/tmp/f/child", ROOT)
+        assert "ENOTDIR" in str(exc.value)
+
+    def test_symlink_followed(self, vfs):
+        vfs.open("/data/local/tmp/target", O_WRONLY | O_CREAT, ROOT).write(
+            b"via-link"
+        )
+        vfs.symlink("/data/local/tmp/target", "/data/local/tmp/link", ROOT)
+        inode = vfs.resolve("/data/local/tmp/link", ROOT)
+        assert bytes(inode.data) == b"via-link"
+
+    def test_symlink_not_followed_when_asked(self, vfs):
+        vfs.symlink("/anywhere", "/data/local/tmp/l", ROOT)
+        inode = vfs.resolve("/data/local/tmp/l", ROOT, follow_symlinks=False)
+        assert inode.kind is InodeKind.SYMLINK
+
+    def test_relative_symlink(self, vfs):
+        vfs.open("/data/local/tmp/real", O_WRONLY | O_CREAT, ROOT)
+        vfs.symlink("real", "/data/local/tmp/rel", ROOT)
+        assert vfs.resolve("/data/local/tmp/rel", ROOT).kind is InodeKind.FILE
+
+    def test_symlink_loop_eloop(self, vfs):
+        vfs.symlink("/data/local/tmp/b", "/data/local/tmp/a", ROOT)
+        vfs.symlink("/data/local/tmp/a", "/data/local/tmp/b", ROOT)
+        with pytest.raises(SyscallError) as exc:
+            vfs.resolve("/data/local/tmp/a", ROOT)
+        assert "ELOOP" in str(exc.value)
+
+
+class TestPermissions:
+    def test_root_bypasses_modes(self, vfs):
+        vfs.mkdir("/data/local/tmp/priv", ROOT, mode=0o000)
+        vfs.open("/data/local/tmp/priv/f", O_WRONLY | O_CREAT, ROOT)
+
+    def test_other_user_denied_private_dir(self, vfs):
+        vfs.mkdir("/data/data/com.x", ROOT, mode=0o700)
+        vfs.chown("/data/data/com.x", 10001, 10001, ROOT)
+        other = Credentials(10002)
+        with pytest.raises(SyscallError) as exc:
+            vfs.resolve("/data/data/com.x/whatever", other)
+        assert "EACCES" in str(exc.value)
+
+    def test_owner_allowed_private_dir(self, vfs):
+        vfs.mkdir("/data/data/com.x", ROOT, mode=0o700)
+        vfs.chown("/data/data/com.x", APP.uid, APP.uid, ROOT)
+        vfs.open("/data/data/com.x/f", O_WRONLY | O_CREAT, APP)
+
+    def test_readonly_fs_rejects_writes(self, vfs):
+        with pytest.raises(SyscallError) as exc:
+            vfs.open("/system/bin/vold", O_WRONLY, ROOT)
+        assert "EROFS" in str(exc.value)
+
+    def test_readonly_fs_rejects_create(self, vfs):
+        with pytest.raises(SyscallError) as exc:
+            vfs.open("/system/evil", O_WRONLY | O_CREAT, ROOT)
+        assert "EROFS" in str(exc.value)
+
+    def test_group_permission(self, vfs):
+        vfs.open("/data/local/tmp/g", O_WRONLY | O_CREAT, ROOT, mode=0o640)
+        vfs.chown("/data/local/tmp/g", 0, 3003, ROOT)
+        member = Credentials(10005, groups=(3003,))
+        assert vfs.open("/data/local/tmp/g", O_RDONLY, member)
+        outsider = Credentials(10006)
+        with pytest.raises(SyscallError):
+            vfs.open("/data/local/tmp/g", O_RDONLY, outsider)
+
+    def test_chmod_requires_ownership(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, ROOT)
+        with pytest.raises(SyscallError) as exc:
+            vfs.chmod("/data/local/tmp/f", 0o777, APP)
+        assert "EPERM" in str(exc.value)
+
+    def test_chown_requires_root(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, ROOT)
+        with pytest.raises(SyscallError):
+            vfs.chown("/data/local/tmp/f", APP.uid, APP.uid, APP)
+
+
+class TestOpenSemantics:
+    def test_o_creat_creates(self, vfs):
+        vfs.open("/data/local/tmp/new", O_WRONLY | O_CREAT, APP)
+        assert vfs.exists("/data/local/tmp/new", APP)
+
+    def test_o_excl_rejects_existing(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP)
+        with pytest.raises(SyscallError) as exc:
+            vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT | O_EXCL, APP)
+        assert "EEXIST" in str(exc.value)
+
+    def test_o_trunc_clears(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP).write(b"data")
+        f = vfs.open("/data/local/tmp/f", O_WRONLY | O_TRUNC, APP)
+        assert f.inode.size == 0
+
+    def test_open_missing_without_creat_enoent(self, vfs):
+        with pytest.raises(SyscallError):
+            vfs.open("/data/local/tmp/missing", O_RDONLY, APP)
+
+    def test_write_on_readonly_fd_ebadf(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP)
+        f.write(b"x")
+        f = vfs.open("/data/local/tmp/f", O_RDONLY, APP)
+        with pytest.raises(SyscallError):
+            f.write(b"y")
+
+    def test_read_on_writeonly_fd_ebadf(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP)
+        with pytest.raises(SyscallError):
+            f.read(1)
+
+    def test_append_mode(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP).write(b"ab")
+        f = vfs.open("/data/local/tmp/f", O_WRONLY | O_APPEND, APP)
+        f.write(b"cd")
+        assert bytes(f.inode.data) == b"abcd"
+
+    def test_directory_not_writable(self, vfs):
+        with pytest.raises(SyscallError) as exc:
+            vfs.open("/data/local/tmp", O_WRONLY, ROOT)
+        assert "EISDIR" in str(exc.value)
+
+
+class TestFileIO:
+    def test_sequential_read_write(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_RDWR | O_CREAT, APP)
+        f.write(b"hello world")
+        f.lseek(0, SEEK_SET)
+        assert f.read(5) == b"hello"
+        assert f.read(100) == b" world"
+        assert f.read(10) == b""
+
+    def test_pread_pwrite_leave_offset(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_RDWR | O_CREAT, APP)
+        f.write(b"0123456789")
+        f.lseek(2, SEEK_SET)
+        assert f.pread(3, 5) == b"567"
+        assert f.offset == 2
+        f.pwrite(b"XX", 0)
+        assert f.offset == 2
+
+    def test_sparse_write_zero_fills(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_RDWR | O_CREAT, APP)
+        f.pwrite(b"end", 10)
+        f.lseek(0, SEEK_SET)
+        assert f.read(13) == b"\x00" * 10 + b"end"
+
+    def test_lseek_whence(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_RDWR | O_CREAT, APP)
+        f.write(b"0123456789")
+        assert f.lseek(2, SEEK_SET) == 2
+        assert f.lseek(3, SEEK_CUR) == 5
+        assert f.lseek(-1, SEEK_END) == 9
+
+    def test_lseek_negative_rejected(self, vfs):
+        f = vfs.open("/data/local/tmp/f", O_RDWR | O_CREAT, APP)
+        with pytest.raises(SyscallError):
+            f.lseek(-1, SEEK_SET)
+
+
+class TestDirectoryOps:
+    def test_mkdir_rmdir(self, vfs):
+        vfs.mkdir("/data/local/tmp/d", APP)
+        assert "d" in vfs.listdir("/data/local/tmp", APP)
+        vfs.rmdir("/data/local/tmp/d", APP)
+        assert "d" not in vfs.listdir("/data/local/tmp", APP)
+
+    def test_rmdir_nonempty_rejected(self, vfs):
+        vfs.mkdir("/data/local/tmp/d", APP)
+        vfs.open("/data/local/tmp/d/f", O_WRONLY | O_CREAT, APP)
+        with pytest.raises(SyscallError) as exc:
+            vfs.rmdir("/data/local/tmp/d", APP)
+        assert "ENOTEMPTY" in str(exc.value)
+
+    def test_unlink(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP)
+        vfs.unlink("/data/local/tmp/f", APP)
+        assert not vfs.exists("/data/local/tmp/f", APP)
+
+    def test_unlink_directory_eisdir(self, vfs):
+        vfs.mkdir("/data/local/tmp/d", APP)
+        with pytest.raises(SyscallError):
+            vfs.unlink("/data/local/tmp/d", APP)
+
+    def test_rename(self, vfs):
+        vfs.open("/data/local/tmp/old", O_WRONLY | O_CREAT, APP).write(b"v")
+        vfs.rename("/data/local/tmp/old", "/data/local/tmp/new", APP)
+        assert not vfs.exists("/data/local/tmp/old", APP)
+        assert bytes(vfs.resolve("/data/local/tmp/new", APP).data) == b"v"
+
+    def test_stat(self, vfs):
+        vfs.open("/data/local/tmp/f", O_WRONLY | O_CREAT, APP).write(b"abc")
+        st = vfs.stat("/data/local/tmp/f", APP)
+        assert st.is_file()
+        assert st.st_size == 3
+        assert st.st_uid == APP.uid
+
+    def test_stat_dir(self, vfs):
+        assert vfs.stat("/data", ROOT).is_dir()

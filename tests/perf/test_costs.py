@@ -1,0 +1,69 @@
+"""The calibrated cost model's arithmetic."""
+
+import pytest
+
+from repro.perf.costs import CostModel, DEFAULT_COSTS, PAGE_SIZE
+
+
+class TestChunking:
+    def test_zero_bytes_zero_chunks(self):
+        assert DEFAULT_COSTS.chunks(0) == 0
+
+    def test_one_byte_one_chunk(self):
+        assert DEFAULT_COSTS.chunks(1) == 1
+
+    def test_exact_page_one_chunk(self):
+        assert DEFAULT_COSTS.chunks(PAGE_SIZE) == 1
+
+    def test_page_plus_one_two_chunks(self):
+        assert DEFAULT_COSTS.chunks(PAGE_SIZE + 1) == 2
+
+
+class TestCalibration:
+    """The native constants must equal the paper's Table I measurements."""
+
+    def test_getpid_native(self):
+        assert DEFAULT_COSTS.syscall_base_ns == 760
+
+    def test_write_native(self):
+        total = DEFAULT_COSTS.syscall_base_ns + DEFAULT_COSTS.file_write_page_ns
+        assert total == pytest.approx(28_610, abs=10)
+
+    def test_read_native(self):
+        total = DEFAULT_COSTS.syscall_base_ns + DEFAULT_COSTS.file_read_page_ns
+        assert total == pytest.approx(6_510, abs=10)
+
+    def test_binder_native(self):
+        total = DEFAULT_COSTS.syscall_base_ns + DEFAULT_COSTS.binder_transaction_ns
+        assert total == 12_000_000
+
+    def test_asim_check_negligible(self):
+        """Two decimal places of a us: invisible, as the paper reports."""
+        assert DEFAULT_COSTS.asim_check_ns < 5
+
+    def test_redirect_overhead_write_formula(self):
+        """The emergent anception write latency lands on Table I."""
+        overhead = DEFAULT_COSTS.redirect_overhead_ns(
+            bytes_in=PAGE_SIZE + 13, bytes_out=8
+        )
+        native = DEFAULT_COSTS.syscall_base_ns + DEFAULT_COSTS.file_write_page_ns
+        anception_total = native + overhead + DEFAULT_COSTS.syscall_base_ns
+        assert anception_total == pytest.approx(384_450, rel=0.01)
+
+    def test_binder_redirect_overhead_per_byte(self):
+        delta = (
+            DEFAULT_COSTS.binder_redirect_overhead_ns(256)
+            - DEFAULT_COSTS.binder_redirect_overhead_ns(128)
+        )
+        assert delta == pytest.approx(300_000, rel=0.01)  # 0.3 ms / 128 B
+
+
+class TestCustomModels:
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.syscall_base_ns = 0
+
+    def test_custom_model_overrides(self):
+        fast = CostModel(world_switch_ns=1)
+        assert fast.world_switch_ns == 1
+        assert fast.syscall_base_ns == DEFAULT_COSTS.syscall_base_ns

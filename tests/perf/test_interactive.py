@@ -1,0 +1,43 @@
+"""Interactive latency: 'negligible on interactive macrobenchmarks'."""
+
+import pytest
+
+from repro.perf.interactive import (
+    INTERACTIONS,
+    run_interactive_comparison,
+    run_interactive_session,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_interactive_comparison()
+
+
+class TestInteractiveLatency:
+    def test_overhead_under_one_percent(self, comparison):
+        assert comparison["overhead_percent"] < 1.0
+
+    def test_latency_well_inside_frame_budget(self, comparison):
+        """Per-interaction latency stays far below a 16.7 ms frame."""
+        assert comparison["anception_us"] < 16_700
+
+    def test_native_is_never_slower(self, comparison):
+        assert comparison["native_us"] <= comparison["anception_us"]
+
+    def test_session_is_deterministic(self):
+        a = run_interactive_session("anception", interactions=30)
+        b = run_interactive_session("anception", interactions=30)
+        assert a == b
+
+    def test_every_event_consumed(self, native_world):
+        from repro.perf.interactive import InteractiveApp
+
+        app = InteractiveApp()
+        running = native_world.install_and_launch(app)
+        running.run()
+        native_world.focus(running)
+        for i in range(5):
+            native_world.ui.inject_touch(i, i)
+            event = app.handle_one_interaction(running.ctx, i)
+            assert (event.x, event.y) == (i, i)

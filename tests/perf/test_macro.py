@@ -1,0 +1,75 @@
+"""E2 + E3: AnTuTu (Figure 6) and SunSpider (Figure 7) shapes."""
+
+import pytest
+
+from repro.perf.macro import (
+    ACTIVE_SET_SIZE,
+    PAPER_ANTUTU,
+    boot_world,
+    run_antutu,
+    run_sunspider,
+)
+
+
+@pytest.fixture(scope="module")
+def antutu():
+    return run_antutu()
+
+
+@pytest.fixture(scope="module")
+def sunspider():
+    return run_sunspider()
+
+
+class TestAntutu:
+    def test_overall_overhead_about_3_percent(self, antutu):
+        assert antutu["overall"]["overhead_percent"] == pytest.approx(
+            2.8, abs=1.0
+        )
+
+    def test_db_score_about_3_percent_under_native(self, antutu):
+        assert antutu["normalized"]["DatabaseIO"] == pytest.approx(
+            PAPER_ANTUTU["DatabaseIO"], abs=0.015
+        )
+
+    def test_2d_close_to_native(self, antutu):
+        assert antutu["normalized"]["2DGraphics"] > 0.97
+
+    def test_3d_close_to_native(self, antutu):
+        assert antutu["normalized"]["3DGraphics"] > 0.98
+
+    def test_native_faster_on_every_test(self, antutu):
+        for test_name, ratio in antutu["normalized"].items():
+            assert ratio <= 1.0, test_name
+
+    def test_db_is_the_worst_case(self, antutu):
+        ratios = antutu["normalized"]
+        assert ratios["DatabaseIO"] == min(ratios.values())
+
+
+class TestSunspider:
+    def test_indistinguishable_from_native(self, sunspider):
+        assert sunspider["max_overhead_percent"] < 0.5
+
+    def test_all_suites_present(self, sunspider):
+        assert set(sunspider["times_ms"]["native"]) == {
+            "3d", "access", "bitops", "ctrlflow", "math", "string",
+        }
+
+    def test_times_in_sunspider_range(self, sunspider):
+        """Absolute suite times land in the hundreds-of-ms regime."""
+        for suite, ms in sunspider["times_ms"]["native"].items():
+            assert 25 < ms < 1000, suite
+
+    def test_string_is_slowest_suite(self, sunspider):
+        times = sunspider["times_ms"]["native"]
+        assert times["string"] == max(times.values())
+
+
+class TestHarness:
+    def test_boot_world_populates_active_set(self):
+        world = boot_world("anception", active_set=5)
+        assert world.anception.proxies.count == 5
+
+    def test_default_active_set_is_papers_23(self):
+        assert ACTIVE_SET_SIZE == 23

@@ -1,0 +1,70 @@
+"""E1: Table I microbenchmarks reproduce within tolerance."""
+
+import pytest
+
+from repro.perf.micro import PAPER_TABLE1, run_table1
+
+
+@pytest.fixture(scope="module")
+def native():
+    return run_table1("native")
+
+
+@pytest.fixture(scope="module")
+def anception():
+    return run_table1("anception")
+
+
+class TestNativeColumn:
+    def test_getpid(self, native):
+        assert native["getpid_us"] == pytest.approx(0.76, abs=0.01)
+
+    def test_write(self, native):
+        assert native["write_4096_us"] == pytest.approx(28.61, rel=0.01)
+
+    def test_read(self, native):
+        assert native["read_4096_us"] == pytest.approx(6.51, rel=0.01)
+
+    def test_binder_128(self, native):
+        assert native["binder_128_ms"] == pytest.approx(12.0, rel=0.01)
+
+    def test_binder_256(self, native):
+        assert native["binder_256_ms"] == pytest.approx(12.0, rel=0.01)
+
+
+class TestAnceptionColumn:
+    def test_getpid_unchanged(self, anception):
+        assert anception["getpid_us"] == pytest.approx(0.76, abs=0.01)
+
+    def test_write(self, anception):
+        assert anception["write_4096_us"] == pytest.approx(384.45, rel=0.02)
+
+    def test_read(self, anception):
+        assert anception["read_4096_us"] == pytest.approx(305.03, rel=0.02)
+
+    def test_binder_128(self, anception):
+        assert anception["binder_128_ms"] == pytest.approx(31.0, rel=0.02)
+
+    def test_binder_256(self, anception):
+        assert anception["binder_256_ms"] == pytest.approx(31.3, rel=0.02)
+
+
+class TestShape:
+    """The qualitative claims of Section VI-A."""
+
+    def test_write_slowdown_about_13x(self, native, anception):
+        ratio = anception["write_4096_us"] / native["write_4096_us"]
+        paper_ratio = 384.45 / 28.61
+        assert ratio == pytest.approx(paper_ratio, rel=0.05)
+
+    def test_read_slowdown_about_47x(self, native, anception):
+        ratio = anception["read_4096_us"] / native["read_4096_us"]
+        paper_ratio = 305.03 / 6.51
+        assert ratio == pytest.approx(paper_ratio, rel=0.05)
+
+    def test_binder_adds_about_19ms(self, native, anception):
+        added = anception["binder_128_ms"] - native["binder_128_ms"]
+        assert added == pytest.approx(19.0, abs=0.5)
+
+    def test_paper_reference_table_intact(self):
+        assert PAPER_TABLE1["anception"]["write_4096_us"] == 384.45

@@ -1,0 +1,62 @@
+"""The latency-breakdown tracer: the anatomy of Table I."""
+
+import pytest
+
+from repro.kernel import vfs
+from repro.perf.costs import DEFAULT_COSTS, PAGE_SIZE
+from repro.perf.trace import breakdown, format_breakdown
+
+
+class TestBreakdown:
+    def test_redirected_write_anatomy(self, anception_world, enrolled_ctx):
+        """A redirected 4KB write decomposes into the paper's mechanism."""
+        fd = enrolled_ctx.libc.open(
+            enrolled_ctx.data_path("traced"), vfs.O_WRONLY | vfs.O_CREAT
+        )
+        payload = b"t" * PAGE_SIZE
+        _result, totals = breakdown(
+            anception_world.clock, enrolled_ctx.libc.write, fd, payload
+        )
+        # exactly two world switches
+        assert totals["world-switch"] == pytest.approx(
+            2 * DEFAULT_COSTS.world_switch_ns / 1000, rel=0.01
+        )
+        # the per-byte channel copy dominates the remaining overhead
+        assert totals["channel:copy"] > 100
+        # the native write itself executed (in the CVM)
+        assert totals["cvm:write"] == pytest.approx(
+            DEFAULT_COSTS.file_write_page_ns / 1000, rel=0.01
+        )
+
+    def test_native_write_has_no_cross_vm_charges(self, native_ctx,
+                                                  native_world):
+        fd = native_ctx.libc.open(
+            native_ctx.data_path("traced"), vfs.O_WRONLY | vfs.O_CREAT
+        )
+        _result, totals = breakdown(
+            native_world.clock, native_ctx.libc.write, fd, b"x" * PAGE_SIZE
+        )
+        assert "world-switch" not in totals
+        assert "channel:copy" not in totals
+
+    def test_getpid_is_just_the_trap(self, anception_world, enrolled_ctx):
+        _result, totals = breakdown(
+            anception_world.clock, enrolled_ctx.libc.getpid
+        )
+        assert set(totals) <= {"syscall:getpid", "asim-check"}
+
+    def test_breakdown_totals_match_elapsed(self, anception_world,
+                                            enrolled_ctx):
+        clock = anception_world.clock
+        before = clock.now_ns
+        _result, totals = breakdown(
+            clock, enrolled_ctx.libc.mkdir, enrolled_ctx.data_path("d")
+        )
+        elapsed_us = (clock.now_ns - before) / 1000
+        assert sum(totals.values()) == pytest.approx(elapsed_us, rel=0.01)
+
+    def test_format_renders_shares(self):
+        text = format_breakdown({"a": 75.0, "b": 25.0}, title="t")
+        assert "75.00" in text
+        assert "75.0%" in text
+        assert "total" in text

@@ -1,0 +1,118 @@
+"""Property-based tests on memory invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypervisorViolation
+from repro.kernel.memory import (
+    AddressSpace,
+    FrameAllocator,
+    MAP_ANONYMOUS,
+    PROT_READ,
+    PROT_WRITE,
+    PhysicalMemory,
+    Window,
+    page_count,
+)
+from repro.perf.costs import PAGE_SIZE
+
+
+def fresh_space(frames=2048):
+    physical = PhysicalMemory(frames)
+    allocator = FrameAllocator(physical, Window(0, frames), "prop")
+    return AddressSpace(allocator, "prop"), allocator
+
+
+class TestAddressSpaceProperties:
+    @given(
+        offset=st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+        data=st.binary(min_size=1, max_size=2 * PAGE_SIZE),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_roundtrip_any_offset(self, offset, data):
+        space, _ = fresh_space()
+        base = space.mmap(8 * PAGE_SIZE, PROT_READ | PROT_WRITE,
+                          MAP_ANONYMOUS)
+        space.write(base + offset, data)
+        assert space.read(base + offset, len(data)) == data
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=PAGE_SIZE * 4 - 64),
+                st.binary(min_size=1, max_size=64),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overlapping_writes_behave_like_bytearray(self, writes):
+        space, _ = fresh_space()
+        base = space.mmap(4 * PAGE_SIZE, PROT_READ | PROT_WRITE,
+                          MAP_ANONYMOUS)
+        model = bytearray(4 * PAGE_SIZE)
+        for offset, data in writes:
+            space.write(base + offset, data)
+            model[offset : offset + len(data)] = data
+        assert space.read(base, 4 * PAGE_SIZE) == bytes(model)
+
+    @given(lengths=st.lists(st.integers(min_value=1, max_value=64 * 1024),
+                            min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_mmap_munmap_never_leaks_frames(self, lengths):
+        space, allocator = fresh_space(frames=8192)
+        bases = [
+            space.mmap(length, PROT_READ | PROT_WRITE, MAP_ANONYMOUS)
+            for length in lengths
+        ]
+        for base, length in zip(bases, lengths):
+            space.munmap(base, length)
+        assert allocator.used_frames == 0
+
+    @given(length=st.integers(min_value=1, max_value=10 * PAGE_SIZE))
+    @settings(max_examples=40, deadline=None)
+    def test_mmap_maps_exactly_page_count_pages(self, length):
+        space, allocator = fresh_space()
+        space.mmap(length, PROT_READ, MAP_ANONYMOUS)
+        assert allocator.used_frames == page_count(length)
+
+
+class TestAllocatorProperties:
+    @given(
+        operations=st.lists(st.booleans(), min_size=1, max_size=200)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_free_counters_consistent(self, operations):
+        physical = PhysicalMemory(4096)
+        allocator = FrameAllocator(physical, Window(0, 4096), "prop")
+        live = []
+        for is_alloc in operations:
+            if is_alloc or not live:
+                live.append(allocator.allocate())
+            else:
+                allocator.free(live.pop())
+        assert allocator.used_frames == len(live)
+        assert len(set(live)) == len(live)  # no frame handed out twice
+
+    @given(guest_frames=st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=30, deadline=None)
+    def test_carved_window_never_overlaps_parent(self, guest_frames):
+        physical = PhysicalMemory(4096)
+        allocator = FrameAllocator(physical, Window(0, 4096), "host")
+        carved = allocator.carve_subwindow(guest_frames, "guest")
+        parent = {allocator.allocate() for _ in range(256)}
+        guest = {carved.allocate() for _ in range(min(guest_frames, 256))}
+        assert not parent & guest
+        assert all(f in carved.window for f in guest)
+
+    @given(frame=st.integers(min_value=0, max_value=4095))
+    @settings(max_examples=50, deadline=None)
+    def test_window_check_is_exact(self, frame):
+        physical = PhysicalMemory(4096)
+        window = Window(1024, 2048)
+        if 1024 <= frame < 2048:
+            physical.read_frame(frame, window)
+        else:
+            with pytest.raises(HypervisorViolation):
+                physical.read_frame(frame, window)

@@ -1,0 +1,99 @@
+"""Property tests on the redirection policy itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import Decision, RedirectionPolicy
+from repro.kernel.kernel import Machine
+from repro.kernel.process import Credentials
+from repro.kernel.syscalls import CATALOGUE, SyscallClass
+
+
+UI_NAMES = frozenset({"window", "input", "activity", "surfaceflinger"})
+
+
+def make_task():
+    kernel = Machine(total_mb=64).kernel
+    task = kernel.spawn_task("com.prop", Credentials(10001))
+    task.cwd = "/data/data/com.prop"
+    return task
+
+
+_arg_values = st.one_of(
+    st.integers(min_value=0, max_value=1 << 32),
+    st.text(max_size=32),
+    st.binary(max_size=32),
+    st.none(),
+)
+
+
+class TestPolicyTotality:
+    @given(
+        name=st.sampled_from(sorted(CATALOGUE)),
+        args=st.lists(_arg_values, max_size=4),
+        remote=st.sets(st.integers(min_value=3, max_value=20), max_size=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_call_gets_a_decision(self, name, args, remote):
+        """The policy is total: any catalogued call, any argument shape."""
+        policy = RedirectionPolicy(UI_NAMES)
+        task = make_task()
+        decision = policy.decide(task, name, tuple(args), remote)
+        assert isinstance(decision, Decision)
+
+    @given(name=st.sampled_from(sorted(
+        n for n, k in CATALOGUE.items() if k is SyscallClass.BLOCKED
+    )))
+    @settings(max_examples=20, deadline=None)
+    def test_blocked_class_always_blocked(self, name):
+        policy = RedirectionPolicy(UI_NAMES)
+        assert policy.decide(make_task(), name, (), set()) is Decision.BLOCK
+
+    @given(name=st.sampled_from(sorted(
+        n for n, k in CATALOGUE.items() if k is SyscallClass.HOST
+    )))
+    @settings(max_examples=30, deadline=None)
+    def test_host_class_never_leaves_the_host(self, name):
+        policy = RedirectionPolicy(UI_NAMES)
+        assert policy.decide(make_task(), name, (), set()) is Decision.HOST
+
+    @given(
+        suffix=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                                   max_codepoint=127),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_system_paths_always_host(self, suffix):
+        policy = RedirectionPolicy(UI_NAMES)
+        decision = policy.decide(
+            make_task(), "open", (f"/system/{suffix}", 0), set()
+        )
+        assert decision is Decision.HOST
+
+    @given(
+        suffix=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                                   max_codepoint=127),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_data_paths_always_redirected(self, suffix):
+        policy = RedirectionPolicy(UI_NAMES)
+        decision = policy.decide(
+            make_task(), "open", (f"/data/data/com.prop/{suffix}", 0x41),
+            set(),
+        )
+        assert decision is Decision.REDIRECT
+
+    @given(fd=st.integers(min_value=3, max_value=50),
+           remote=st.sets(st.integers(min_value=3, max_value=50),
+                          max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_fd_locality_is_the_sole_criterion(self, fd, remote):
+        policy = RedirectionPolicy(UI_NAMES)
+        decision = policy.decide(make_task(), "read", (fd, 100), remote)
+        expected = Decision.REDIRECT if fd in remote else Decision.HOST
+        assert decision is expected

@@ -1,0 +1,83 @@
+"""Property tests: shared-memory invariants and monitor fuzzing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.kernel import Machine
+from repro.kernel.libc import Libc
+from repro.kernel.process import Credentials
+from repro.kernel.sysv_shm import IPC_CREAT, IPC_PRIVATE, IPC_RMID
+from repro.security.policy_monitor import (
+    rule_futex_requeue_to_self,
+    rule_kernel_range_pointer,
+)
+
+
+class TestShmProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=64 * 1024),
+                       min_size=1, max_size=8)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_full_lifecycle_never_leaks_frames(self, sizes):
+        kernel = Machine(total_mb=64).kernel
+        libc = Libc(kernel, kernel.spawn_task("p", Credentials(10001)))
+        baseline = kernel.allocator.used_frames
+        for size in sizes:
+            shmid = libc.syscall("shmget", IPC_PRIVATE, size, IPC_CREAT)
+            addr = libc.syscall("shmat", shmid)
+            libc.syscall("shmdt", addr)
+            libc.syscall("shmctl", shmid, IPC_RMID)
+        assert kernel.allocator.used_frames == baseline
+
+    @given(data=st.binary(min_size=1, max_size=2048),
+           offset=st.integers(min_value=0, max_value=2048))
+    @settings(max_examples=30, deadline=None)
+    def test_two_attachments_always_coherent(self, data, offset):
+        kernel = Machine(total_mb=64).kernel
+        writer = Libc(kernel, kernel.spawn_task("w", Credentials(10001)))
+        reader = Libc(kernel, kernel.spawn_task("r", Credentials(10001)))
+        shmid = writer.syscall("shmget", IPC_PRIVATE, 8192, IPC_CREAT)
+        w_addr = writer.syscall("shmat", shmid)
+        r_addr = reader.syscall("shmat", shmid)
+        writer.task.address_space.write(w_addr + offset, data)
+        assert reader.task.address_space.read(
+            r_addr + offset, len(data)
+        ) == data
+
+
+_benign_args = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=0xBFFF_FFFF),
+        st.binary(max_size=64),
+        st.text(max_size=32).filter(lambda s: s != "requeue"),
+        st.none(),
+    ),
+    max_size=5,
+)
+
+
+class TestMonitorFuzz:
+    @given(name=st.sampled_from(["read", "write", "open", "send", "futex",
+                                 "prctl", "brk", "kill"]),
+           args=_benign_args)
+    @settings(max_examples=120, deadline=None)
+    def test_no_false_positives_on_benign_arguments(self, name, args):
+        """Arguments without the attack signatures never alert."""
+        args = tuple(args)
+        assert rule_futex_requeue_to_self(name, args) is None
+        if name not in ("mmap", "mmap2", "ioctl"):
+            assert rule_kernel_range_pointer(name, args) is None
+
+    @given(addr=st.integers(min_value=1, max_value=0xFFFF_FFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_requeue_to_self_always_caught(self, addr):
+        assert rule_futex_requeue_to_self(
+            "futex", ("requeue", addr, addr)
+        ) is not None
+
+    @given(addr=st.integers(min_value=0xC000_0000, max_value=0xFFFF_FFFF),
+           name=st.sampled_from(["prctl", "read", "futex", "sendto"]))
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_pointer_always_caught(self, addr, name):
+        assert rule_kernel_range_pointer(name, (addr,)) is not None

@@ -1,0 +1,80 @@
+"""Model-based property tests for the SQLite-like engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.sqlite import Database
+from repro.kernel.kernel import Machine
+from repro.kernel.libc import Libc
+from repro.kernel.process import Credentials
+
+
+def fresh_db(path="/data/local/tmp/prop.db"):
+    kernel = Machine(total_mb=128).kernel
+    task = kernel.spawn_task("db", Credentials(10001))
+    db = Database(Libc(kernel, task), path)
+    db.create_table("t")
+    return db
+
+
+_rows = st.lists(st.binary(min_size=1, max_size=300), min_size=1,
+                 max_size=40)
+
+
+class TestSqliteModel:
+    @given(rows=_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_select_returns_inserts_in_order(self, rows):
+        db = fresh_db()
+        db.begin()
+        for row in rows:
+            db.insert("t", row)
+        db.commit()
+        assert db.select_all("t") == rows
+        assert db.row_count("t") == len(rows)
+
+    @given(rows=_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_checkpoint_then_reopen_preserves_rows(self, rows):
+        db = fresh_db()
+        db.begin()
+        for row in rows:
+            db.insert("t", row)
+        db.commit()
+        db.checkpoint()
+        libc = db.libc
+        db.close()
+        reopened = Database(libc, db.path)
+        assert reopened.select_all("t") == rows
+
+    @given(
+        committed=_rows,
+        abandoned=_rows,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rollback_discards_only_uncommitted(self, committed, abandoned):
+        db = fresh_db()
+        db.begin()
+        for row in committed:
+            db.insert("t", row)
+        db.commit()
+        db.checkpoint()
+
+        db.begin()
+        for row in abandoned:
+            db.insert("t", row)
+        db.rollback()
+        assert db.select_all("t") == committed
+
+    @given(batches=st.lists(_rows, min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_many_transactions_accumulate(self, batches):
+        db = fresh_db()
+        expected = []
+        for batch in batches:
+            db.begin()
+            for row in batch:
+                db.insert("t", row)
+            db.commit()
+            expected.extend(batch)
+        assert db.select_all("t") == expected

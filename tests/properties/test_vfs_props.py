@@ -1,0 +1,98 @@
+"""Property-based tests on VFS file I/O semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.filesystems import build_android_rootfs, build_data_fs
+from repro.kernel.process import Credentials
+from repro.kernel.vfs import O_CREAT, O_RDWR, SEEK_SET, VFS
+
+
+ROOT = Credentials(0)
+
+
+def fresh_file():
+    vfs = VFS(build_android_rootfs())
+    vfs.mount("/data", build_data_fs())
+    return vfs.open("/data/local/tmp/prop", O_RDWR | O_CREAT, ROOT)
+
+
+class TestFileModel:
+    @given(
+        chunks=st.lists(st.binary(min_size=0, max_size=512), min_size=1,
+                        max_size=10)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_writes_concatenate(self, chunks):
+        f = fresh_file()
+        for chunk in chunks:
+            f.write(chunk)
+        f.lseek(0, SEEK_SET)
+        assert f.read(10**6) == b"".join(chunks)
+
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2048),
+                st.binary(min_size=1, max_size=128),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pwrite_pread_match_bytearray_model(self, operations):
+        f = fresh_file()
+        model = bytearray()
+        for offset, data in operations:
+            f.pwrite(data, offset)
+            if offset + len(data) > len(model):
+                model.extend(b"\x00" * (offset + len(data) - len(model)))
+            model[offset : offset + len(data)] = data
+        assert f.pread(len(model) + 10, 0) == bytes(model)
+
+    @given(size=st.integers(min_value=0, max_value=8192),
+           read_at=st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=50, deadline=None)
+    def test_reads_past_eof_are_empty(self, size, read_at):
+        f = fresh_file()
+        f.write(b"a" * size)
+        result = f.pread(100, read_at)
+        expected = b"a" * max(0, min(size - read_at, 100))
+        assert result == expected
+
+
+class TestPathModel:
+    @given(
+        names=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Ll", "Nd"), max_codepoint=127
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_created_files_all_listed(self, names):
+        vfs = VFS(build_android_rootfs())
+        vfs.mount("/data", build_data_fs())
+        for name in names:
+            vfs.open(f"/data/local/tmp/{name}", O_RDWR | O_CREAT, ROOT)
+        listed = set(vfs.listdir("/data/local/tmp", ROOT))
+        assert set(names) <= listed
+
+    @given(depth=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_mkdir_resolves(self, depth):
+        vfs = VFS(build_android_rootfs())
+        vfs.mount("/data", build_data_fs())
+        path = "/data/local/tmp"
+        for i in range(depth):
+            path = f"{path}/d{i}"
+            vfs.mkdir(path, ROOT)
+        assert vfs.stat(path, ROOT).is_dir()

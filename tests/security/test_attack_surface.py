@@ -1,0 +1,67 @@
+"""E7: the attack-surface partition, static and dynamic."""
+
+import pytest
+
+from repro.core.policy import Decision
+from repro.kernel.syscalls import SyscallClass
+from repro.security.attack_surface import (
+    attack_surface_report,
+    names_in_class,
+    verify_dynamic_agreement,
+)
+
+
+class TestStaticReport:
+    def test_totals(self):
+        report = attack_surface_report()
+        assert report["total_syscalls"] == 324
+        assert report["counts"]["redirect"] == 229
+        assert report["counts"]["host"] == 66
+        assert report["counts"]["split"] == 21
+        assert report["counts"]["blocked"] == 7
+
+    def test_percentages_match_paper(self):
+        report = attack_surface_report()
+        assert report["percentages"]["redirect"] == 70.7
+        assert report["percentages"]["host"] == 20.4
+        assert report["percentages"]["split"] == 6.5
+        assert report["paper_percentages"]["redirect"] == 70.7
+
+    def test_host_interface_reduction(self):
+        """redirect + blocked calls never execute on the host."""
+        report = attack_surface_report()
+        assert report["host_interface_reduction"] == pytest.approx(
+            100.0 * (229 + 7) / 324, abs=0.1
+        )
+
+    def test_names_in_class(self):
+        blocked = names_in_class(SyscallClass.BLOCKED)
+        assert "init_module" in blocked
+        assert len(blocked) == 7
+
+
+class TestDynamicAgreement:
+    def test_live_decisions_match_static_classes(self, anception_world,
+                                                 enrolled_ctx):
+        results = verify_dynamic_agreement(anception_world,
+                                           enrolled_ctx.task)
+        by_name = {name: (static, dynamic)
+                   for name, static, dynamic in results}
+        assert by_name["open"][1] is Decision.REDIRECT
+        assert by_name["getpid"][1] is Decision.HOST
+        assert by_name["fork"][1] is Decision.SPLIT
+        assert by_name["init_module"][1] is Decision.BLOCK
+        assert by_name["socket"][1] is Decision.REDIRECT
+        assert by_name["kill"][1] is Decision.HOST
+
+    def test_static_class_agrees_where_unambiguous(self, anception_world,
+                                                   enrolled_ctx):
+        results = verify_dynamic_agreement(anception_world,
+                                           enrolled_ctx.task)
+        for name, static, dynamic in results:
+            if static is SyscallClass.HOST:
+                assert dynamic is Decision.HOST
+            if static is SyscallClass.BLOCKED:
+                assert dynamic is Decision.BLOCK
+            if static is SyscallClass.SPLIT:
+                assert dynamic is Decision.SPLIT

@@ -1,0 +1,75 @@
+"""Section V-B's classical-virtualization comparison."""
+
+import pytest
+
+from repro.exploits.corpus import CORPUS
+from repro.exploits.gingerbreak import GingerBreak
+from repro.security.vuln_study import run_one
+from repro.world import ClassicalVmWorld
+from repro.workloads.apps import run_banking_session
+
+
+class TestClassicalVmWorld:
+    def test_everything_lives_in_the_guest(self):
+        world = ClassicalVmWorld()
+        assert world.kernel.label == "guest"
+        assert world.system.has_service("window")
+        assert world.system.has_service("vold")
+
+    def test_apps_run_normally(self):
+        world = ClassicalVmWorld()
+        _victim, result, _bank = run_banking_session(world)
+        assert result["status"] == "ok"
+
+    def test_guest_cannot_touch_host_frames(self):
+        from repro.errors import HypervisorViolation
+
+        world = ClassicalVmWorld()
+        host_frame = world.machine.allocator.allocate()
+        with pytest.raises(HypervisorViolation):
+            world.machine.physical.read_frame(
+                host_frame, world.hypervisor.guest_window
+            )
+
+
+class TestComparison:
+    def test_gingerbreak_roots_guest_and_reads_victims(self):
+        row = run_one(
+            next(e for e in CORPUS if e.cve == "CVE-2011-1823"),
+            "classical-vm",
+        )
+        assert row.outcome.value == "cvm-root"  # guest root, host safe
+        # ...but co-resident apps are fully exposed:
+        assert row.probes["read_memory"]
+        assert row.probes["sniff_input"]
+        assert row.probes["tamper_code"]
+
+    def test_anception_same_exploit_reads_nothing(self):
+        row = run_one(
+            next(e for e in CORPUS if e.cve == "CVE-2011-1823"),
+            "anception",
+        )
+        assert row.outcome.value == "cvm-root"
+        assert not row.probes["read_memory"]
+        assert not row.probes["sniff_input"]
+
+    def test_host_protected_in_both(self):
+        for configuration in ("classical-vm", "anception"):
+            row = run_one(
+                next(e for e in CORPUS if e.cve == "CVE-2011-1823"),
+                configuration,
+            )
+            assert not row.outcome.value.startswith("host-root")
+
+    def test_the_key_insight(self):
+        """'it is important to protect apps from each other with a
+        smaller trusted base, not just the OS from the apps' — the same
+        guest-confined outcome means total app exposure classically and
+        none under Anception."""
+        world = ClassicalVmWorld()
+        victim, _result, _bank = run_banking_session(world)
+        exploit = GingerBreak()
+        exploit.prepare_world(world)
+        report = world.install_and_launch(exploit).run()
+        probes = report.probe_against(victim)
+        assert probes["read_memory"]  # classical VM: victim exposed

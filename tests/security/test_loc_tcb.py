@@ -1,0 +1,77 @@
+"""E8 + E9: LoC deprivileging accounting and the Anception TCB."""
+
+import pytest
+
+from repro.security.loc_accounting import framework_loc, kernel_loc, loc_report
+from repro.security.tcb import anception_runtime, tcb_report, trusted_base_comparison
+
+
+class TestFrameworkLoC:
+    def test_totals_match_paper(self):
+        fw = framework_loc()
+        assert fw["total"] == 181_260
+        assert fw["ui_kept_on_host"] == 72_542
+        assert fw["deprivileged"] == 108_718
+
+    def test_deprivileged_fraction(self):
+        assert framework_loc()["deprivileged_fraction"] == 60.0
+
+    def test_partition_sums(self):
+        fw = framework_loc()
+        assert fw["ui_kept_on_host"] + fw["deprivileged"] == fw["total"]
+
+
+class TestKernelLoC:
+    def test_subtree_measurements(self):
+        k = kernel_loc()
+        assert k["fs_ext4"] == 26_451
+        assert k["fs_total"] == 725_466
+        assert k["net_ipv4"] == 59_166
+        assert k["net_total"] == 515_383
+
+    def test_approximately_1_2_million_deprivileged(self):
+        k = kernel_loc()
+        assert k["deprivileged"] == 1_240_849
+        assert k["deprivileged_millions"] == 1.2
+
+
+class TestLocReport:
+    def test_matches_paper_flag(self):
+        assert loc_report()["matches_paper"]
+
+
+class TestTcb:
+    def test_runtime_size_and_marshaling_share(self):
+        runtime = anception_runtime()
+        assert runtime["total_lines"] == 5_219
+        assert runtime["marshaling_lines"] == 2_438
+        assert runtime["marshaling_fraction"] == 46.7
+
+    def test_bookkeeping_is_remainder(self):
+        runtime = anception_runtime()
+        assert (
+            runtime["marshaling_lines"] + runtime["bookkeeping_lines"]
+            == runtime["total_lines"]
+        )
+
+    def test_trusted_base_shrinks(self):
+        comparison = trusted_base_comparison()
+        assert comparison["anception"]["total"] < comparison["native"]["total"]
+        assert comparison["reduction_lines"] > 1_000_000
+
+    def test_deprivileged_components(self):
+        comparison = trusted_base_comparison()
+        assert comparison["deprivileged_kernel_lines"] == 1_240_849
+        assert comparison["deprivileged_service_lines"] == 108_718
+
+    def test_anception_adds_small_layer(self):
+        comparison = trusted_base_comparison()
+        added = (
+            comparison["anception"]["anception_layer"]
+            + comparison["anception"]["hypervisor"]
+        )
+        assert added < 0.01 * comparison["deprivileged_kernel_lines"]
+
+    def test_report_carries_paper_reference(self):
+        report = tcb_report()
+        assert report["paper"]["marshaling_fraction"] == 46.7

@@ -1,0 +1,127 @@
+"""The syscall-interface policy checks (detection of the residual 2/25)."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.exploits.generic import (
+    GETUSER_ARGS,
+    HostSyscallExploit,
+    TOWELROOT_ARGS,
+)
+from repro.security.policy_monitor import (
+    KERNEL_ADDRESS_FLOOR,
+    SyscallPolicyMonitor,
+    rule_futex_requeue_to_self,
+    rule_kernel_range_pointer,
+)
+
+
+class TestRules:
+    def test_requeue_to_self_flagged(self):
+        assert rule_futex_requeue_to_self("futex", TOWELROOT_ARGS)
+
+    def test_requeue_to_distinct_addresses_clean(self):
+        assert rule_futex_requeue_to_self(
+            "futex", ("requeue", 0x1000, 0x2000)
+        ) is None
+
+    def test_wait_operation_clean(self):
+        assert rule_futex_requeue_to_self(
+            "futex", ("wait", 0x1000, 0x1000)
+        ) is None
+
+    def test_non_futex_clean(self):
+        assert rule_futex_requeue_to_self("read", (3, 100)) is None
+
+    def test_kernel_pointer_flagged(self):
+        assert rule_kernel_range_pointer("prctl", GETUSER_ARGS)
+
+    def test_userspace_pointer_clean(self):
+        assert rule_kernel_range_pointer("prctl", (15, 0x0800_0000)) is None
+
+    def test_mmap_addresses_exempt(self):
+        assert rule_kernel_range_pointer(
+            "mmap2", (4096, 3, 0x10, KERNEL_ADDRESS_FLOOR)
+        ) is None
+
+
+class TestMonitor:
+    def test_detect_mode_records_without_blocking(self, native_world):
+        monitor = SyscallPolicyMonitor().install_everywhere(native_world)
+        from repro.kernel.libc import Libc
+        from repro.kernel.process import Credentials
+
+        task = native_world.kernel.spawn_task("app", Credentials(10001))
+        libc = Libc(native_world.kernel, task)
+        with pytest.raises(SyscallError) as exc:
+            libc.syscall("futex", *TOWELROOT_ARGS)
+        assert "ENOSYS" in str(exc.value)  # no vuln installed: normal path
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].rule == "futex-requeue-to-self"
+
+    def test_prevent_mode_rejects_with_eperm(self, native_world):
+        SyscallPolicyMonitor(mode="prevent").install_everywhere(native_world)
+        from repro.kernel.libc import Libc
+        from repro.kernel.process import Credentials
+
+        task = native_world.kernel.spawn_task("app", Credentials(10001))
+        libc = Libc(native_world.kernel, task)
+        with pytest.raises(SyscallError) as exc:
+            libc.syscall("prctl", *GETUSER_ARGS)
+        assert "EPERM" in str(exc.value)
+
+    def test_benign_traffic_produces_no_alerts(self, native_world):
+        from tests.conftest import ScratchApp
+        from repro.workloads.apps import run_banking_session
+
+        monitor = SyscallPolicyMonitor().install_everywhere(native_world)
+        run_banking_session(native_world)
+        native_world.install_and_launch(ScratchApp()).run()
+        assert monitor.alerts == []
+
+    def test_alerts_attributed_to_pid(self, native_world):
+        from repro.kernel.libc import Libc
+        from repro.kernel.process import Credentials
+
+        monitor = SyscallPolicyMonitor().install_everywhere(native_world)
+        task = native_world.kernel.spawn_task("m", Credentials(10001))
+        libc = Libc(native_world.kernel, task)
+        try:
+            libc.syscall("futex", *TOWELROOT_ARGS)
+        except SyscallError:
+            pass
+        assert monitor.alerted_pids() == {task.pid}
+        assert monitor.alerts_for(task.pid)
+        assert not monitor.alerts_for(task.pid + 1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SyscallPolicyMonitor(mode="panic")
+
+    def test_monitor_on_anception_world_covers_both_kernels(
+            self, anception_world):
+        monitor = SyscallPolicyMonitor().install_everywhere(anception_world)
+        assert anception_world.kernel.policy_monitor is monitor
+        assert anception_world.cvm.kernel.policy_monitor is monitor
+
+
+class TestPreventionEndToEnd:
+    """'detectable and thus preventable ... on both standard Android and
+    Anception' — prevention turns the residual 2 into failures."""
+
+    @pytest.mark.parametrize("syscall_name,cve", [
+        ("futex", "CVE-2014-3153"),
+        ("prctl", "CVE-2013-6282"),
+    ])
+    def test_prevention_blocks_on_both_configurations(
+            self, both_worlds, syscall_name, cve):
+        from repro.exploits.base import ExploitOutcome
+
+        for world in both_worlds.values():
+            SyscallPolicyMonitor(mode="prevent").install_everywhere(world)
+            exploit = HostSyscallExploit(cve, "residual", syscall_name)
+            exploit.prepare_world(world)
+            running = world.install_and_launch(exploit)
+            report = running.run()
+            assert report.outcome() is ExploitOutcome.FAILED
+            assert world.kernel.compromised_by is None

@@ -1,0 +1,80 @@
+"""E6: the Section V-B vulnerability study reproduces the paper."""
+
+import pytest
+
+from repro.exploits.base import ExploitOutcome
+from repro.exploits.corpus import CORPUS
+from repro.security.vuln_study import (
+    format_study_table,
+    run_one,
+    run_vulnerability_study,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_vulnerability_study()
+
+
+class TestHeadlineNumbers:
+    def test_native_all_25_root(self, study):
+        outcomes = study["summary"]["native"]["outcomes"]
+        assert outcomes.get("host-root", 0) == 23
+        assert outcomes.get("host-root-detected", 0) == 2
+
+    def test_anception_partition_15_8_2(self, study):
+        outcomes = study["summary"]["anception"]["outcomes"]
+        assert outcomes.get("failed", 0) == 15
+        assert outcomes.get("cvm-root", 0) == 8
+        assert outcomes.get("host-root-detected", 0) == 2
+
+    def test_every_row_matches_paper(self, study):
+        mismatches = [
+            (r.cve, r.configuration, r.outcome.value)
+            for r in study["rows"]
+            if not r.matches_paper
+        ]
+        assert mismatches == []
+
+    def test_native_probes_show_full_compromise(self, study):
+        summary = study["summary"]["native"]
+        assert summary["memory_reads"] == 25
+        assert summary["input_sniffs"] == 25
+        assert summary["code_tampers"] == 25
+
+    def test_anception_probes_confined_to_detectable_pair(self, study):
+        summary = study["summary"]["anception"]
+        assert summary["memory_reads"] == 2
+        assert summary["input_sniffs"] == 2
+        assert summary["code_tampers"] == 2
+
+    def test_cvm_root_exploits_touch_nothing(self, study):
+        for row in study["rows"]:
+            if (row.configuration == "anception"
+                    and row.outcome is ExploitOutcome.CVM_ROOT):
+                assert not row.probes["read_memory"]
+                assert not row.probes["sniff_input"]
+                assert not row.probes["tamper_code"]
+
+
+class TestMechanics:
+    def test_single_entry_run(self):
+        entry = next(e for e in CORPUS if e.cve == "CVE-2013-2596")
+        row = run_one(entry, "anception")
+        assert row.outcome is ExploitOutcome.FAILED
+        assert row.matches_paper
+
+    def test_summary_counts_sum_to_total(self, study):
+        for config in ("native", "anception"):
+            outcomes = study["summary"][config]["outcomes"]
+            assert sum(outcomes.values()) == 25
+
+    def test_format_table_renders_all_cves(self, study):
+        table = format_study_table(study)
+        for entry in CORPUS:
+            assert entry.cve in table
+
+    def test_summarize_groups_by_configuration(self, study):
+        summary = summarize(study["rows"])
+        assert set(summary) == {"native", "anception"}

@@ -1,0 +1,47 @@
+"""The ``anception`` CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCli:
+    def test_unknown_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_attack_surface_command(self, capsys):
+        assert main(["attack-surface"]) == 0
+        out = capsys.readouterr().out
+        assert '"total_syscalls": 324' in out
+
+    def test_loc_command(self, capsys):
+        assert main(["loc"]) == 0
+        assert "181260" in capsys.readouterr().out.replace(",", "")
+
+    def test_tcb_command(self, capsys):
+        assert main(["tcb"]) == 0
+        assert "5219" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "getpid" in out
+        assert "384" in out
+
+    def test_sqlite_command(self, capsys):
+        assert main(["sqlite"]) == 0
+        assert "86" in capsys.readouterr().out
+
+    def test_all_known_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table1", "antutu", "sunspider", "sqlite", "memory",
+            "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
+            "interactive", "alternatives",
+        }
+
+    def test_alternatives_command(self, capsys):
+        assert main(["alternatives"]) == 0
+        out = capsys.readouterr().out
+        assert "ptrace" in out
+        assert "shared-pages" in out

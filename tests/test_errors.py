@@ -1,0 +1,81 @@
+"""Error-type behaviour (errno rendering, hierarchy)."""
+
+import errno
+
+import pytest
+
+from repro.errors import (
+    HypervisorViolation,
+    ProcessKilled,
+    ReproError,
+    SecurityViolation,
+    SimulationError,
+    SyscallError,
+)
+
+
+class TestSyscallError:
+    def test_renders_errno_name(self):
+        exc = SyscallError(errno.ENOENT, "missing")
+        assert "ENOENT" in str(exc)
+        assert "missing" in str(exc)
+
+    def test_carries_errno_value(self):
+        assert SyscallError(errno.EPERM).errno == errno.EPERM
+
+    def test_call_site_included(self):
+        exc = SyscallError(errno.EBADF, call="read")
+        assert "read" in str(exc)
+
+    def test_unknown_errno_renders_number(self):
+        assert "999" in str(SyscallError(999))
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc_type in (SyscallError, SecurityViolation,
+                         HypervisorViolation, SimulationError,
+                         ProcessKilled):
+            assert issubclass(exc_type, ReproError)
+
+    def test_hypervisor_violation_is_security_violation(self):
+        assert issubclass(HypervisorViolation, SecurityViolation)
+
+    def test_process_killed_fields(self):
+        exc = ProcessKilled(42, "uid change")
+        assert exc.pid == 42
+        assert "uid change" in str(exc)
+
+
+class TestExecCache:
+    def test_cache_paths_are_system_chosen(self, anception_world):
+        cache = anception_world.anception.exec_cache
+        path_a = cache.stage("/data/data/com.x/evil", b"\x7fELF{}")
+        path_b = cache.stage("/data/data/com.x/evil", b"\x7fELF{}")
+        assert path_a != path_b  # counter-prefixed, never attacker-chosen
+        assert path_a.startswith("/data/anception-exec-cache/")
+
+    def test_cache_not_listable_by_apps(self, anception_world,
+                                        enrolled_ctx):
+        from repro.errors import SyscallError
+
+        cache = anception_world.anception.exec_cache
+        cache.stage("/data/data/com.x/bin", b"\x7fELF{}")
+        with pytest.raises(SyscallError):
+            enrolled_ctx.libc.listdir("/data/anception-exec-cache")
+
+    def test_cache_not_writable_by_apps(self, anception_world,
+                                        enrolled_ctx):
+        from repro.errors import SyscallError
+        from repro.kernel import vfs
+
+        with pytest.raises(SyscallError):
+            enrolled_ctx.libc.open(
+                "/data/anception-exec-cache/planted",
+                vfs.O_WRONLY | vfs.O_CREAT,
+            )
+
+    def test_entries_visible_to_the_system(self, anception_world):
+        cache = anception_world.anception.exec_cache
+        cache.stage("/data/data/com.x/a", b"\x7fELF{}")
+        assert len(cache.entries()) == 1

@@ -1,0 +1,79 @@
+"""Figure 1, executable: the exploitation channels and their blocking.
+
+The paper's opening figure shows four arrows:
+
+(1) LoApp triggers a vulnerability in a privileged service, and
+(2) uses the stolen privilege to tamper with HiApp;
+(3) LoApp triggers an exploit in the network stack, and
+(4) uses kernel privilege to steal HiApp's secrets.
+
+On stock Android all four arrows complete.  On Anception the services
+and the network stack live in the container, so arrows (2) and (4) are
+blocked: "the compromised privileged service cannot directly access the
+state of HiApp".
+"""
+
+import pytest
+
+from repro.exploits.gingerbreak import GingerBreak
+from repro.exploits.sock_sendpage import SockSendpage
+from repro.workloads.apps import run_banking_session
+from repro.world import AnceptionWorld, NativeWorld
+
+
+def attack(world, exploit):
+    victim, _result, _bank = run_banking_session(world)
+    exploit.prepare_world(world)
+    running = world.install_and_launch(exploit)
+    report = running.run_checked() or running.result
+    probes = report.probe_against(victim)
+    return report, probes
+
+
+class TestFigure1a_StockAndroid:
+    def test_arrows_1_and_2_service_exploit_reaches_hiapp(self):
+        """vold exploit (1) -> HiApp tampering (2) succeeds natively."""
+        report, probes = attack(NativeWorld(), GingerBreak())
+        assert report.root_tasks  # arrow 1: privilege gained
+        assert probes["tamper_code"]  # arrow 2: HiApp reachable
+        assert probes["read_memory"]
+
+    def test_arrows_3_and_4_kernel_exploit_reaches_hiapp(self):
+        """network-stack exploit (3) -> secret theft (4) succeeds."""
+        report, probes = attack(NativeWorld(), SockSendpage())
+        assert report.kernel_controls  # arrow 3: kernel owned
+        assert probes["read_memory"]  # arrow 4: secrets stolen
+
+
+class TestFigure1b_Anception:
+    def test_arrow_2_blocked(self):
+        """The compromised service holds CVM privilege only."""
+        world = AnceptionWorld()
+        report, probes = attack(world, GingerBreak())
+        assert report.root_tasks  # arrow 1 still lands (in the CVM)
+        assert not probes["tamper_code"]  # arrow 2 blocked
+        assert not probes["read_memory"]
+        assert not probes["sniff_input"]
+
+    def test_arrow_4_blocked(self):
+        """The network-stack exploit never reaches kernel privilege the
+        host honours — it only downs the container."""
+        world = AnceptionWorld()
+        report, probes = attack(world, SockSendpage())
+        assert not report.kernel_controls
+        assert not probes["read_memory"]
+        assert world.cvm.crashed
+        assert not world.kernel.crashed
+
+    def test_hiapp_session_survives_the_attack(self):
+        """The banking app's secret is intact after both attempts."""
+        world = AnceptionWorld()
+        victim, _result, _bank = run_banking_session(world)
+        exploit = GingerBreak()
+        exploit.prepare_world(world)
+        world.install_and_launch(exploit).run()
+        secret = victim.ctx.secret_in_memory
+        data = victim.task.address_space.read(
+            secret["address"], secret["length"], need_prot=0
+        )
+        assert data == secret["value"]

@@ -1,0 +1,107 @@
+"""Whole-device integration: many apps, attacks, and recovery in one run.
+
+A 'day in the life' of one Anception device: a populated active set, a
+banking session, a graphics workload, three different exploit attempts,
+a container crash and reboot — asserting at each stage that the device
+keeps its guarantees and its state stays coherent.
+"""
+
+import pytest
+
+from repro.exploits.gingerbreak import GingerBreak
+from repro.exploits.kernelchopper import KernelChopper
+from repro.exploits.sock_sendpage import SockSendpage
+from repro.kernel.process import Credentials
+from repro.workloads.apps import CalculatorApp, GameApp, NoteTakingApp, run_banking_session
+from repro.world import AnceptionWorld
+
+
+@pytest.fixture(scope="module")
+def device():
+    """One long-lived device shared by the scenario steps (ordered)."""
+    return {"world": AnceptionWorld()}
+
+
+class TestDayInTheLife:
+    def test_step1_populate_device(self, device):
+        world = device["world"]
+        for app_type in (CalculatorApp, GameApp, NoteTakingApp):
+            result = world.install_and_launch(app_type()).run()
+            assert result
+        assert world.anception.proxies.count >= 3
+
+    def test_step2_banking_session(self, device):
+        world = device["world"]
+        victim, result, bank = run_banking_session(world)
+        assert result["status"] == "ok"
+        device["victim"] = victim
+        device["bank"] = bank
+
+    def test_step3_gingerbreak_lands_in_container(self, device):
+        world = device["world"]
+        exploit = GingerBreak()
+        exploit.prepare_world(world)
+        report = world.install_and_launch(exploit).run()
+        assert report.outcome().value == "cvm-root"
+        probes = report.probe_against(device["victim"])
+        assert not any(probes.values())
+
+    def test_step4_kernelchopper_fails_cleanly(self, device):
+        world = device["world"]
+        report = world.install_and_launch(KernelChopper()).run()
+        assert report.outcome().value == "failed"
+        assert not world.cvm.crashed
+
+    def test_step5_sendpage_crashes_container_only(self, device):
+        world = device["world"]
+        running = world.install_and_launch(SockSendpage())
+        running.run()
+        assert world.cvm.crashed
+        assert not world.kernel.crashed
+        # the banking app's secret is still resident and intact
+        victim = device["victim"]
+        secret = victim.ctx.secret_in_memory
+        data = victim.task.address_space.read(
+            secret["address"], secret["length"], need_prot=0
+        )
+        assert data == secret["value"]
+
+    def test_step6_reboot_restores_service(self, device):
+        world = device["world"]
+        survivors = world.anception.reboot_cvm()
+        assert survivors >= 4  # the populated apps + banking app live on
+        assert not world.cvm.crashed
+
+    def test_step7_app_data_survived_everything(self, device):
+        world = device["world"]
+        root = Credentials(0)
+        cvm_vfs = world.cvm.kernel.vfs
+        assert cvm_vfs.exists(
+            "/data/data/com.example.game/savegame.dat", root
+        )
+        assert cvm_vfs.exists(
+            "/data/data/com.bank.secure/statement.enc", root
+        )
+
+    def test_step8_device_still_usable(self, device):
+        world = device["world"]
+        from repro.android.app import App, AppManifest
+
+        class AfterApp(App):
+            manifest = AppManifest("com.after.reboot")
+
+            def main(self, ctx):
+                ctx.libc.write_file(ctx.data_path("alive"), b"yes")
+                return ctx.call_service("location", "get_fix")
+
+        result = world.install_and_launch(AfterApp()).run()
+        assert result["lat"] == pytest.approx(42.2808)
+
+    def test_step9_memory_stays_inside_the_window(self, device):
+        world = device["world"]
+        proxies = world.anception.proxies.count
+        active_kb = world.cvm.android.memory_kb(proxy_count=proxies)
+        assert active_kb < 64 * 1024
+
+    def test_step10_bank_never_saw_a_secret(self, device):
+        assert not device["bank"].saw_plaintext("hunter2")

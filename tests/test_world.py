@@ -1,0 +1,90 @@
+"""World assembly and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import SimulationError
+from repro.world import AnceptionWorld, NativeWorld
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_worlds_exported(self):
+        assert repro.NativeWorld is NativeWorld
+        assert repro.AnceptionWorld is AnceptionWorld
+
+
+class TestNativeWorld:
+    def test_full_service_stack(self, native_world):
+        assert len(native_world.system.services) == 15
+
+    def test_no_anception(self, native_world):
+        assert native_world.anception is None
+        assert native_world.kernel.interposition is None
+
+    def test_ui_accessible(self, native_world):
+        assert native_world.ui is native_world.system.ui_stack
+
+
+class TestAnceptionWorld:
+    def test_host_runs_ui_only(self, anception_world):
+        assert set(anception_world.system.services) == {
+            "window", "input", "activity", "surfaceflinger",
+        }
+
+    def test_cvm_runs_delegated_services(self, anception_world):
+        cvm_services = set(anception_world.cvm.android.services)
+        assert "vold" in cvm_services
+        assert "location" in cvm_services
+        assert "window" not in cvm_services
+
+    def test_interposition_installed(self, anception_world):
+        assert (
+            anception_world.kernel.interposition
+            is anception_world.anception
+        )
+
+    def test_cvm_window_is_64mb(self, anception_world):
+        from repro.perf.costs import PAGE_SIZE
+
+        window = anception_world.cvm.hypervisor.guest_window
+        assert len(window) * PAGE_SIZE == 64 * 1024 * 1024
+
+    def test_uname_reports_anception_kernel(self, enrolled_ctx):
+        assert "anception" in enrolled_ctx.libc.syscall("uname")["release"]
+
+    def test_install_registers_package_in_cvm(self, anception_world):
+        from tests.conftest import ScratchApp
+
+        anception_world.install(ScratchApp())
+        pm = anception_world.cvm.android.service("package")
+        assert "com.test.scratch" in pm.packages
+
+    def test_vulnerability_installed_on_both_kernels(self, anception_world):
+        trigger = lambda k, t, a, kw: None
+        anception_world.install_kernel_vulnerability("splice", trigger)
+        assert "splice" in anception_world.kernel.vulnerabilities
+        assert "splice" in anception_world.cvm.kernel.vulnerabilities
+
+
+class TestWorldHelpers:
+    def test_type_text_reaches_focused_app(self, native_world):
+        from tests.conftest import ScratchApp
+
+        running = native_world.install_and_launch(ScratchApp())
+        running.run()
+        running.ctx.create_window("w")
+        native_world.focus(running)
+        native_world.type_text("typed-in")
+        event = running.ctx.wait_input()
+        assert event.text == "typed-in"
+
+    def test_focus_requires_window(self, native_world):
+        from repro.errors import SyscallError
+        from tests.conftest import ScratchApp
+
+        running = native_world.install_and_launch(ScratchApp())
+        with pytest.raises(SyscallError):
+            native_world.focus(running)

@@ -1,0 +1,86 @@
+"""The other example apps and the popular-app profiles."""
+
+import pytest
+
+from repro.workloads.apps import (
+    CalculatorApp,
+    GameApp,
+    NoteTakingApp,
+    POPULAR_APP_PROFILES,
+    popular_apps,
+)
+from repro.workloads.antutu import (
+    DatabaseIOWorkload,
+    Graphics2DWorkload,
+    Graphics3DWorkload,
+)
+from repro.workloads.sunspider import SUITES, SunSpiderApp
+
+
+class TestExampleApps:
+    @pytest.mark.parametrize("app_type", [CalculatorApp, GameApp,
+                                          NoteTakingApp])
+    def test_runs_in_both_worlds(self, both_worlds, app_type):
+        for world in both_worlds.values():
+            result = world.install_and_launch(app_type()).run()
+            assert result
+
+    def test_game_savefile_lands_per_world(self, both_worlds):
+        from repro.kernel.process import Credentials
+
+        path = "/data/data/com.example.game/savegame.dat"
+        native = both_worlds["native"]
+        native.install_and_launch(GameApp()).run()
+        assert native.kernel.vfs.exists(path, Credentials(0))
+
+        anception = both_worlds["anception"]
+        anception.install_and_launch(GameApp()).run()
+        assert not anception.kernel.vfs.exists(path, Credentials(0))
+        assert anception.cvm.kernel.vfs.exists(path, Credentials(0))
+
+    def test_notes_initial_data_present(self, native_world):
+        result = native_world.install_and_launch(NoteTakingApp()).run()
+        assert result["notes"] == 10
+
+
+class TestPopularProfiles:
+    def test_six_profiles(self):
+        assert len(POPULAR_APP_PROFILES) == 6
+
+    def test_profile_means_match_paper(self):
+        fractions = [p[2] for p in POPULAR_APP_PROFILES]
+        assert min(fractions) == pytest.approx(0.587)
+        assert max(fractions) == pytest.approx(0.801)
+        assert sum(fractions) / 6 == pytest.approx(0.737, abs=0.002)
+
+    def test_apps_run_and_report_mix(self, native_world):
+        app = popular_apps()[0]
+        result = native_world.install_and_launch(app).run()
+        assert result["ioctls"] > result["other"]
+
+
+class TestBenchmarkWorkloads:
+    def test_antutu_db_inserts_rows(self, native_world):
+        result = native_world.install_and_launch(DatabaseIOWorkload()).run()
+        assert result["rows"] == (
+            DatabaseIOWorkload.TRANSACTIONS
+            * DatabaseIOWorkload.ROWS_PER_TRANSACTION
+        )
+
+    @pytest.mark.parametrize("app_type", [Graphics2DWorkload,
+                                          Graphics3DWorkload])
+    def test_graphics_render_all_frames(self, native_world, app_type):
+        result = native_world.install_and_launch(app_type()).run()
+        assert result["frames"] == app_type.FRAMES
+
+    def test_sunspider_measures_time(self, native_world):
+        result = native_world.install_and_launch(SunSpiderApp("math")).run()
+        assert result["elapsed_ms"] > 0
+
+    def test_sunspider_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            SunSpiderApp("webgl")
+
+    def test_all_suites_enumerated(self):
+        assert set(SUITES) == {"3d", "access", "bitops", "ctrlflow", "math",
+                               "string"}

@@ -1,0 +1,143 @@
+"""The secure banking app (Listing 1 / Figure 2) in both worlds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.process import Credentials
+from repro.workloads.apps import BankingApp, run_banking_session
+from repro.workloads.servers import BankServer, tls_open, tls_seal
+
+
+class TestSession:
+    def test_login_succeeds_native(self, native_world):
+        _running, result, _bank = run_banking_session(native_world)
+        assert result["status"] == "ok"
+        assert result["balance"] == 152_342
+
+    def test_login_succeeds_anception(self, anception_world):
+        _running, result, _bank = run_banking_session(anception_world)
+        assert result["status"] == "ok"
+
+    def test_wrong_password_denied(self, native_world):
+        _running, result, _bank = run_banking_session(
+            native_world, password="wrong"
+        )
+        assert result["status"] == "denied"
+
+    def test_no_typed_credentials_fails_cleanly(self, native_world):
+        from repro.workloads.servers import register_bank
+
+        register_bank(native_world.internet)
+        app = BankingApp()
+        native_world.install(app)
+        running = native_world.launch(app)
+        running.run()
+        with pytest.raises(SimulationError):
+            app.handle_login(running.ctx)
+
+
+class TestConfidentiality:
+    def test_password_never_plaintext_on_wire(self, anception_world):
+        _running, _result, bank = run_banking_session(anception_world)
+        assert not bank.saw_plaintext("hunter2")
+        assert not bank.saw_plaintext("alice:hunter2")
+
+    def test_secret_resides_in_host_memory(self, anception_world):
+        running, _result, _bank = run_banking_session(anception_world)
+        secret = running.ctx.secret_in_memory
+        data = running.task.address_space.read(
+            secret["address"], secret["length"], need_prot=0
+        )
+        assert data == b"alice:hunter2"
+
+    def test_cvm_kernel_cannot_read_the_secret(self, anception_world):
+        from repro.errors import HypervisorViolation
+
+        running, _result, _bank = run_banking_session(anception_world)
+        secret = running.ctx.secret_in_memory
+        with pytest.raises(HypervisorViolation):
+            running.task.address_space.read(
+                secret["address"], secret["length"],
+                window=anception_world.cvm.kernel.frame_window,
+                need_prot=0,
+            )
+
+    def test_statement_stored_encrypted_in_cvm(self, anception_world):
+        run_banking_session(anception_world)
+        inode = anception_world.cvm.kernel.vfs.resolve(
+            "/data/data/com.bank.secure/statement.enc", Credentials(0)
+        )
+        blob = bytes(inode.data)
+        assert blob.startswith(b"TLS1|")
+        assert b"balance" not in blob
+
+    def test_cert_never_in_cvm_filesystem(self, anception_world):
+        run_banking_session(anception_world)
+        cvm = anception_world.cvm.kernel
+        # The app code (and the cert inside it) exists only host-side.
+        assert not cvm.vfs.exists("/data/app/com.bank.secure.apk",
+                                  Credentials(0))
+
+    def test_input_flows_only_through_host(self, anception_world):
+        running, _result, _bank = run_banking_session(anception_world)
+        delivered = anception_world.ui.delivered_events
+        assert any(pid == running.pid for pid, _e in delivered)
+
+
+class TestTlsEnvelope:
+    def test_seal_open_roundtrip(self):
+        key = b"K" * 32
+        assert tls_open(key, tls_seal(key, b"payload")) == b"payload"
+
+    def test_ciphertext_hides_plaintext(self):
+        sealed = tls_seal(b"K" * 32, b"password=hunter2")
+        assert b"hunter2" not in sealed
+
+    def test_tampering_detected(self):
+        from repro.errors import SecurityViolation
+
+        key = b"K" * 32
+        sealed = bytearray(tls_seal(key, b"amount=100"))
+        sealed[-1] ^= 0xFF
+        with pytest.raises(SecurityViolation):
+            tls_open(key, bytes(sealed))
+
+    def test_wrong_key_rejected(self):
+        from repro.errors import SecurityViolation
+
+        sealed = tls_seal(b"A" * 32, b"data")
+        with pytest.raises(SecurityViolation):
+            tls_open(b"B" * 32, sealed)
+
+
+class TestBankServer:
+    def test_secure_storage_roundtrip(self):
+        server = BankServer()
+
+        class Conn:
+            pass
+
+        conn = Conn()
+        server.handle_connect(conn)
+        server.handle_data(conn, b"HELLO|nonce-0001")
+        key = server.sessions[id(conn)]
+        import json
+
+        reply = server.handle_data(conn, tls_seal(key, json.dumps(
+            {"cmd": "STORE", "user": "alice", "data": {"note": "hi"}}
+        ).encode()))
+        assert json.loads(tls_open(key, reply))["status"] == "stored"
+        reply = server.handle_data(conn, tls_seal(key, json.dumps(
+            {"cmd": "FETCH", "user": "alice"}
+        ).encode()))
+        assert json.loads(tls_open(key, reply))["data"] == {"note": "hi"}
+
+    def test_request_without_session_rejected(self):
+        server = BankServer()
+
+        class Conn:
+            pass
+
+        conn = Conn()
+        server.handle_connect(conn)
+        assert server.handle_data(conn, b"garbage") == b"ERR|no-session"
