@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples all-experiments lint clean
+.PHONY: test bench examples all-experiments lint trace-demo clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -20,6 +20,19 @@ examples:
 
 all-experiments:
 	$(PYTHON) -m repro.cli all
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; compileall only"; \
+	fi
+
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace table1 --format chrome --out table1-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace table1 --format ftrace
+	PYTHONPATH=src $(PYTHON) -m repro.cli metrics table1
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -19,6 +19,7 @@ from __future__ import annotations
 import errno
 
 from repro.errors import SyscallError
+from repro.obs.bus import maybe_span
 
 
 BINDER_WRITE_READ = 0xC0186201
@@ -115,13 +116,20 @@ class BinderDriver:
             if service.ui_related
             else self.kernel.costs.binder_transaction_ns
         )
-        self.kernel.clock.advance(cost, f"binder:{transaction.target}")
-        self.transaction_log.append(
-            (task.pid, transaction.target, transaction.method)
-        )
-        transaction.reply = service.handle_transaction(
-            transaction.method, transaction.payload, task
-        )
+        with maybe_span(
+            self.kernel.clock, "binder-txn",
+            f"{transaction.target}.{transaction.method}", task=task,
+            kernel=self.kernel.label, target=transaction.target,
+            method=transaction.method, ui=service.ui_related,
+            payload_bytes=transaction.payload_size,
+        ):
+            self.kernel.clock.advance(cost, f"binder:{transaction.target}")
+            self.transaction_log.append(
+                (task.pid, transaction.target, transaction.method)
+            )
+            transaction.reply = service.handle_transaction(
+                transaction.method, transaction.payload, task
+            )
         return transaction.reply
 
 

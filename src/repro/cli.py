@@ -12,6 +12,8 @@ Usage (installed as the ``anception`` script)::
     anception loc                 # Section V-D lines-of-code accounting
     anception tcb                 # Section V-D Anception TCB
     anception profiledroid        # Section VI-A app profiling
+    anception trace table1        # whole-stack trace (Chrome/Perfetto JSON)
+    anception metrics table1      # counters + histograms as JSON
     anception all                 # everything, in order
 """
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -111,6 +114,59 @@ def cmd_alternatives(_args):
     })
 
 
+def _emit(text, out_path):
+    if out_path:
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            sys.exit(f"anception: error: cannot write {out_path}: {exc}")
+        print(f"wrote {out_path}")
+    else:
+        print(text)
+
+
+def cmd_trace(args):
+    from repro.obs.export import chrome_trace_json, to_ftrace
+    from repro.obs.runner import run_traced
+
+    workload = getattr(args, "workload", None) or "table1"
+    seed = getattr(args, "seed", 0)
+    try:
+        result = run_traced(workload, seed=seed)
+    except ValueError as exc:
+        sys.exit(f"anception: error: {exc}")
+    fmt = getattr(args, "format", "chrome") or "chrome"
+    if fmt == "chrome":
+        text = chrome_trace_json(
+            result.records, trace_id=result.trace_id, workload=workload
+        )
+    else:
+        text = to_ftrace(
+            result.records, trace_id=result.trace_id, workload=workload
+        )
+    _emit(text, getattr(args, "out", None))
+
+
+def cmd_metrics(args):
+    from repro.obs.runner import run_traced
+
+    workload = getattr(args, "workload", None) or "table1"
+    seed = getattr(args, "seed", 0)
+    try:
+        result = run_traced(workload, seed=seed, logcat=False)
+    except ValueError as exc:
+        sys.exit(f"anception: error: {exc}")
+    snapshot = {
+        "workload": workload,
+        "trace_id": result.trace_id,
+        "elapsed_us": result.elapsed_ns / 1000,
+        "metrics": result.metrics.snapshot(),
+    }
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    _emit(text, getattr(args, "out", None))
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "antutu": cmd_antutu,
@@ -124,11 +180,18 @@ COMMANDS = {
     "profiledroid": cmd_profiledroid,
     "interactive": cmd_interactive,
     "alternatives": cmd_alternatives,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
+
+WORKLOAD_COMMANDS = ("trace", "metrics")
+"""Commands taking a traced-workload positional (skipped by ``all``)."""
 
 
 def cmd_all(args):
     for name, command in COMMANDS.items():
+        if name in WORKLOAD_COMMANDS:
+            continue
         print(f"\n===== {name} =====")
         command(args)
 
@@ -143,11 +206,41 @@ def main(argv=None):
         choices=sorted(COMMANDS) + ["all"],
         help="experiment to run",
     )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="traced workload for trace/metrics (default: table1)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("chrome", "ftrace"),
+        default="chrome",
+        help="trace output format (trace command only)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write output to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed mixed into the deterministic trace_id",
+    )
     args = parser.parse_args(argv)
-    if args.command == "all":
-        cmd_all(args)
-    else:
-        COMMANDS[args.command](args)
+    try:
+        if args.command == "all":
+            cmd_all(args)
+        else:
+            COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `anception trace | head`);
+        # exit quietly like any well-behaved unix filter.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0
 
 

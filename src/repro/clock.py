@@ -26,7 +26,10 @@ class SimClock:
     def __init__(self, start_ns=0):
         self._now_ns = int(start_ns)
         self._charges = []
-        self._trace_enabled = False
+        self._trace_depth = 0
+        self.bus = None
+        """Optional :class:`repro.obs.TraceBus` observing this clock.
+        Observers only *read* the clock; they never advance it."""
 
     @property
     def now_ns(self):
@@ -49,16 +52,38 @@ class SimClock:
         if delta_ns < 0:
             raise ValueError(f"cannot move time backwards ({delta_ns} ns)")
         self._now_ns += delta_ns
-        if self._trace_enabled and delta_ns:
-            self._charges.append((reason or "unlabelled", delta_ns))
+        if delta_ns:
+            if self._trace_depth:
+                self._charges.append((reason or "unlabelled", delta_ns))
+            bus = self.bus
+            if bus is not None and bus.enabled:
+                bus.on_charge(reason or "unlabelled", delta_ns, self._now_ns)
+
+    @property
+    def _trace_enabled(self):
+        return self._trace_depth > 0
 
     def enable_trace(self):
-        """Start recording (reason, delta) pairs for every advance."""
-        self._trace_enabled = True
-        self._charges = []
+        """Start (or nest into) charge recording; returns a marker.
+
+        Calls nest: an inner ``enable_trace``/``disable_trace`` pair
+        leaves an outer caller's in-progress trace intact.  The returned
+        marker can be passed to :meth:`charges_since` to read only the
+        charges recorded after this call.
+        """
+        self._trace_depth += 1
+        if self._trace_depth == 1:
+            self._charges = []
+        return len(self._charges)
 
     def disable_trace(self):
-        self._trace_enabled = False
+        """Leave one level of charge recording (never below zero)."""
+        if self._trace_depth > 0:
+            self._trace_depth -= 1
+
+    def charges_since(self, marker):
+        """Charges recorded since ``marker`` (from :meth:`enable_trace`)."""
+        return list(self._charges[marker:])
 
     def drain_trace(self):
         """Return and clear the recorded charges."""

@@ -30,6 +30,7 @@ from repro.kernel.kernel import KernelCrashed
 from repro.kernel.loader import run_payload
 from repro.kernel.memory import MAP_ANONYMOUS
 from repro.kernel.process import Credentials, ROOT_UID
+from repro.obs.bus import maybe_event, maybe_span
 
 
 ANCEPTION_LINES_OF_CODE = 5_219
@@ -115,6 +116,9 @@ class AnceptionLayer:
         self.decision_log.append((task.pid, name, decision))
         if decision is Decision.BLOCK:
             self.blocked_calls.append((task.pid, name))
+            maybe_event(self.machine.clock, "proxy", f"blocked:{name}",
+                        task=task, kernel=self.host_kernel.label,
+                        decision=decision.value)
             raise SyscallError(errno.EPERM, "blocked by Anception", call=name)
         if decision is Decision.HOST:
             return self.host_kernel.execute_native(task, name, args, kwargs)
@@ -134,6 +138,12 @@ class AnceptionLayer:
         """Marshal + forward one call to the task's proxy."""
         if self.cvm.crashed:
             raise SyscallError(errno.EIO, "container VM is down", call=name)
+        with maybe_span(self.machine.clock, "proxy", f"forward:{name}",
+                        task=task, kernel=self.host_kernel.label,
+                        decision="redirect"):
+            return self._redirect_body(task, name, args, kwargs, translated)
+
+    def _redirect_body(self, task, name, args, kwargs, translated):
         proxy = self.proxies.proxy_for(task)
         table = self._fd_table(task)
         call_args = translated if translated is not None else (

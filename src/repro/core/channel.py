@@ -13,6 +13,7 @@ overhead; the remapped-pages design is what the cost model calibrates.
 
 from __future__ import annotations
 
+from repro.obs.bus import maybe_span
 from repro.perf.costs import PAGE_SIZE
 
 
@@ -43,12 +44,16 @@ class AnceptionChannel:
         """Host -> guest: copy through the remapped pages, chunk by chunk."""
         data = bytes(data)
         self.transfers += 1
-        for chunk in self._chunked(data):
-            self.costs_charge_chunk(len(chunk), inbound=True)
-            if chunk:
-                self.shared.write(chunk, offset=0)  # host-side copy in
-                # guest reads the chunk out of its own pages (window ok)
-                self.shared.read(len(chunk), offset=0, from_guest=True)
+        clock = self.hypervisor.machine.clock
+        with maybe_span(clock, "channel-copy", "to-guest", kernel="channel",
+                        direction="to-guest", bytes=len(data),
+                        chunks=max(1, self.costs.chunks(len(data)))):
+            for chunk in self._chunked(data):
+                self.costs_charge_chunk(len(chunk), inbound=True)
+                if chunk:
+                    self.shared.write(chunk, offset=0)  # host-side copy in
+                    # guest reads the chunk out of its own pages (window ok)
+                    self.shared.read(len(chunk), offset=0, from_guest=True)
         self.bytes_to_guest += len(data)
         return len(data)
 
@@ -56,11 +61,15 @@ class AnceptionChannel:
         """Guest -> host: same path, opposite direction and rate."""
         data = bytes(data)
         self.transfers += 1
-        for chunk in self._chunked(data):
-            self.costs_charge_chunk(len(chunk), inbound=False)
-            if chunk:
-                self.shared.write(chunk, offset=0, from_guest=True)
-                self.shared.read(len(chunk), offset=0)
+        clock = self.hypervisor.machine.clock
+        with maybe_span(clock, "channel-copy", "to-host", kernel="channel",
+                        direction="to-host", bytes=len(data),
+                        chunks=max(1, self.costs.chunks(len(data)))):
+            for chunk in self._chunked(data):
+                self.costs_charge_chunk(len(chunk), inbound=False)
+                if chunk:
+                    self.shared.write(chunk, offset=0, from_guest=True)
+                    self.shared.read(len(chunk), offset=0)
         self.bytes_to_host += len(data)
         return len(data)
 

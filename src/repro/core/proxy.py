@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.kernel.process import TaskState
+from repro.obs.bus import maybe_span
 
 
 PROXY_MEMORY_KB = 96
@@ -97,9 +98,12 @@ class ProxyManager:
         """Run one forwarded call from the parked proxy's context."""
         proxy.wake()
         try:
-            result = self.cvm.kernel.syscall(
-                proxy.guest_task, name, *args, **kwargs
-            )
+            with maybe_span(self.cvm.kernel.clock, "proxy",
+                            f"execute:{name}", task=proxy.guest_task,
+                            kernel=self.cvm.kernel.label):
+                result = self.cvm.kernel.syscall(
+                    proxy.guest_task, name, *args, **kwargs
+                )
             proxy.calls_executed += 1
             return result
         finally:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.errors import HypervisorViolation, SimulationError
 from repro.kernel.kernel import Kernel
 from repro.kernel.memory import FrameAllocator
+from repro.obs.bus import maybe_event, maybe_span
 from repro.perf.costs import PAGE_SIZE
 
 
@@ -159,16 +160,24 @@ class LguestHypervisor:
     def hypercall(self, reason=""):
         """Guest signals the host (one world switch)."""
         self.hypercall_count += 1
-        self.machine.clock.advance(
-            self.machine.costs.world_switch_ns, f"hypercall:{reason}"
-        )
+        with maybe_span(self.machine.clock, "world-switch",
+                        f"hypercall:{reason}", kernel="hypervisor",
+                        direction="guest->host"):
+            self.machine.clock.advance(
+                self.machine.costs.world_switch_ns, f"hypercall:{reason}"
+            )
 
     def inject_interrupt(self, reason=""):
         """Host signals the guest (one world switch)."""
         self.interrupt_count += 1
-        self.machine.clock.advance(
-            self.machine.costs.world_switch_ns, f"irq:{reason}"
-        )
+        with maybe_span(self.machine.clock, "world-switch",
+                        f"irq:{reason}", kernel="hypervisor",
+                        direction="host->guest"):
+            self.machine.clock.advance(
+                self.machine.costs.world_switch_ns, f"irq:{reason}"
+            )
+        maybe_event(self.machine.clock, "irq", f"irq:{reason}",
+                    kernel="hypervisor")
 
     def guest_map_frame(self, frame):
         """A guest attempt to map an arbitrary physical frame.

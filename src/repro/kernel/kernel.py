@@ -48,7 +48,8 @@ from repro.kernel.memory import (
 )
 from repro.kernel.net import Internet, NetworkStack
 from repro.kernel.process import Credentials, PidTable, Task, TaskState
-from repro.kernel.syscalls import CATALOGUE
+from repro.kernel.syscalls import CATALOGUE, classify
+from repro.obs.bus import NULL_SPAN, maybe_event, maybe_span
 from repro.perf.costs import DEFAULT_COSTS, PAGE_SIZE
 
 
@@ -272,6 +273,13 @@ class Kernel:
             raise KernelCrashed(self, self.panic_log[-1] if self.panic_log else "")
         if not task.is_alive():
             raise SyscallError(errno.ESRCH, f"pid {task.pid} dead", call=name)
+        with maybe_span(
+            self.clock, "syscall", name, task=task, kernel=self.label,
+            sclass=classify(name).value,
+        ) as span:
+            return self._syscall_body(task, name, args, kwargs, span)
+
+    def _syscall_body(self, task, name, args, kwargs, span=NULL_SPAN):
         previous = self.current
         self.current = task
         try:
@@ -285,9 +293,11 @@ class Kernel:
                         self.syscall_log.append(
                             (task.pid, name, "anception", args)
                         )
+                    span.set(disposition="anception")
                     return self.interposition.dispatch(task, name, args, kwargs)
             if self.syscall_log_enabled:
                 self.syscall_log.append((task.pid, name, "native", args))
+            span.set(disposition="native")
             return self.execute_native(task, name, args, kwargs)
         finally:
             self.current = previous
@@ -532,6 +542,8 @@ class Kernel:
         task.name = posixpath.basename(path)
         task.argv = tuple(argv)
         self._charge(self.costs.page_fault_ns * image.text_pages, "execve")
+        maybe_event(self.clock, "page-fault", "execve", task=task,
+                    kernel=self.label, pages=image.text_pages)
         return image
 
     def _do_exit(self, task, code=0):
@@ -918,6 +930,8 @@ class Kernel:
         self._charge(
             self.costs.page_fault_ns * max(1, page_count(length)), "mmap"
         )
+        maybe_event(self.clock, "page-fault", "mmap", task=task,
+                    kernel=self.label, pages=max(1, page_count(length)))
         if fd is not None:
             desc = task.get_fd(fd)
             device = getattr(desc, "inode", None)

@@ -1,0 +1,159 @@
+"""Trace exporters: Chrome trace-event JSON and ftrace-style text.
+
+The Chrome format is the trace-event JSON Array/Object format that
+Perfetto and ``chrome://tracing`` load directly.  Simulated kernels map
+to trace processes (``pid``) and simulated tasks to threads (``tid``),
+so the redirected-write anatomy reads as lanes: the app's host task, the
+hypervisor's world switches, the channel copies, and the proxy's in-CVM
+execution.
+
+Everything here is deterministic: timestamps are simulated nanoseconds,
+the per-run ``trace_id`` is a hash of workload name + seed (never wall
+clock), and serialization sorts keys — repeated runs are byte-identical
+and diffable in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.clock import NSEC_PER_USEC
+
+
+def make_trace_id(workload, seed=0):
+    """Deterministic 16-hex-digit run id from workload name + seed."""
+    digest = hashlib.sha256(f"{workload}:{seed}".encode())
+    return digest.hexdigest()[:16]
+
+
+def _lane_ids(records):
+    """Map kernel labels to chrome pids and tasks to tids, stably."""
+    labels = sorted({r.get("kernel", "") or "(none)" for r in records
+                     if r["type"] in ("span", "event")})
+    return {label: index + 1 for index, label in enumerate(labels)}
+
+
+def _record_lane(record, pids):
+    pid = pids[record.get("kernel", "") or "(none)"]
+    tid = record.get("pid", 0)
+    return pid, tid
+
+
+def to_chrome_trace(records, trace_id="", workload=""):
+    """Render bus records as a Chrome trace-event JSON object (a dict).
+
+    Spans become complete events (``ph: "X"``), instantaneous records
+    become instant events (``ph: "i"``); metadata events name the
+    processes after the simulated kernels and the threads after the
+    simulated tasks.  Timestamps are microseconds, as the format wants.
+    """
+    pids = _lane_ids(records)
+    events = []
+    thread_names = {}
+    for record in records:
+        if record["type"] == "span":
+            pid, tid = _record_lane(record, pids)
+            begin_us = record["begin_ns"] / NSEC_PER_USEC
+            dur_us = (record["end_ns"] - record["begin_ns"]) / NSEC_PER_USEC
+            args = dict(record["args"])
+            if "sclass" in record:
+                args["sclass"] = record["sclass"]
+            if "uid" in record:
+                args["uid"] = record["uid"]
+            if "re" in record:
+                args["re"] = record["re"]
+            events.append({
+                "ph": "X",
+                "name": record["name"],
+                "cat": record["kind"],
+                "ts": begin_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        elif record["type"] == "event":
+            pid, tid = _record_lane(record, pids)
+            events.append({
+                "ph": "i",
+                "s": "t",
+                "name": record["name"],
+                "cat": record["kind"],
+                "ts": record["ts_ns"] / NSEC_PER_USEC,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(record["args"]),
+            })
+        else:
+            continue
+        comm = record.get("comm")
+        if comm:
+            thread_names[(pid, tid)] = comm
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", 0), e["pid"], e["tid"]))
+    metadata = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for label, pid in sorted(pids.items(), key=lambda kv: kv[1])
+    ]
+    metadata.extend(
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"{comm}/{tid}"},
+        }
+        for (pid, tid), comm in sorted(thread_names.items())
+    )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "workload": workload},
+    }
+
+
+def chrome_trace_json(records, trace_id="", workload=""):
+    """Serialized Chrome trace, byte-identical across identical runs."""
+    return json.dumps(
+        to_chrome_trace(records, trace_id=trace_id, workload=workload),
+        sort_keys=True,
+        indent=1,
+    )
+
+
+def to_ftrace(records, trace_id="", workload=""):
+    """Human-readable ftrace-style dump of the same records."""
+    lines = [
+        "# tracer: anception-obs",
+        f"# trace_id: {trace_id}",
+        f"# workload: {workload}",
+        "#",
+        "#   COMM-PID     [KERNEL]   TIME(s)      KIND: NAME",
+    ]
+    printable = [r for r in records if r["type"] in ("span", "event")]
+    printable.sort(key=lambda r: (
+        r.get("begin_ns", r.get("ts_ns", 0)), r["seq"]
+    ))
+    for record in printable:
+        comm = record.get("comm", "<none>")
+        pid = record.get("pid", 0)
+        kernel = record.get("kernel", "") or "-"
+        ts_ns = record.get("begin_ns", record.get("ts_ns", 0))
+        stamp = f"{ts_ns / 1_000_000_000:.6f}"
+        head = f"  {comm}-{pid:<6} [{kernel:<10}] {stamp:>12}"
+        if record["type"] == "span":
+            dur_us = (record["end_ns"] - record["begin_ns"]) / NSEC_PER_USEC
+            tail = f"{record['kind']}: {record['name']} dur={dur_us:.2f}us"
+        else:
+            tail = f"{record['kind']}: {record['name']}"
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(record["args"].items())
+        )
+        lines.append(f"{head}: {tail}" + (f" {extras}" if extras else ""))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,165 @@
+"""Counters and fixed-bucket histograms fed from the trace bus.
+
+The registry is a bus sink: subscribe it, run a workload, snapshot.
+Snapshots are plain JSON-able dicts with deterministic ordering, so two
+identical runs serialize byte-identically and CI can diff them.
+"""
+
+from __future__ import annotations
+
+from repro.clock import NSEC_PER_USEC
+
+
+class Counter:
+    """A monotonically increasing counter, partitioned by label values."""
+
+    def __init__(self, name, label_names=()):
+        self.name = name
+        self.label_names = tuple(label_names)
+        self._values = {}
+
+    def inc(self, amount=1, **labels):
+        key = tuple(str(labels.get(label, "")) for label in self.label_names)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        key = tuple(str(labels.get(label, "")) for label in self.label_names)
+        return self._values.get(key, 0)
+
+    def total(self):
+        return sum(self._values.values())
+
+    def snapshot(self):
+        return [
+            {
+                "labels": dict(zip(self.label_names, key)),
+                "value": value,
+            }
+            for key, value in sorted(self._values.items())
+        ]
+
+
+DEFAULT_LATENCY_BUCKETS_US = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+    10_000, 20_000, 50_000,
+)
+"""Fixed per-syscall latency buckets (microseconds); +inf is implicit."""
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style)."""
+
+    def __init__(self, name, buckets, unit=""):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.unit = unit
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self):
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "unit": self.unit,
+            "count": self.count,
+            "sum": round(self.total, 6),
+        }
+
+
+class MetricsRegistry:
+    """The standard metric set, updated from bus records."""
+
+    def __init__(self):
+        self.syscalls_total = Counter(
+            "syscalls_total", ("sclass", "disposition")
+        )
+        self.world_switches_total = Counter(
+            "world_switches_total", ("direction",)
+        )
+        self.channel_bytes_total = Counter(
+            "channel_bytes_total", ("direction",)
+        )
+        self.channel_chunks_total = Counter(
+            "channel_chunks_total", ("direction",)
+        )
+        self.binder_txns_total = Counter("binder_txns_total", ("lane",))
+        self.proxy_calls_total = Counter("proxy_calls_total", ())
+        self.blocked_calls_total = Counter("blocked_calls_total", ())
+        self.irqs_total = Counter("irqs_total", ())
+        self.page_faults_total = Counter("page_faults_total", ())
+        self.syscall_latency_us = Histogram(
+            "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
+        )
+        self._counters = (
+            self.syscalls_total,
+            self.world_switches_total,
+            self.channel_bytes_total,
+            self.channel_chunks_total,
+            self.binder_txns_total,
+            self.proxy_calls_total,
+            self.blocked_calls_total,
+            self.irqs_total,
+            self.page_faults_total,
+        )
+
+    # -- bus sink ------------------------------------------------------------
+
+    def observe_record(self, record):
+        """Update metrics from one finished span/event record."""
+        kind = record["kind"]
+        args = record.get("args", {})
+        if kind == "syscall" and record["type"] == "span":
+            self.syscalls_total.inc(
+                sclass=record.get("sclass", "unknown"),
+                disposition=args.get("disposition", "unknown"),
+            )
+            dur_ns = record["end_ns"] - record["begin_ns"]
+            self.syscall_latency_us.observe(dur_ns / NSEC_PER_USEC)
+        elif kind == "world-switch":
+            self.world_switches_total.inc(
+                direction=args.get("direction", "unknown")
+            )
+        elif kind == "channel-copy":
+            direction = args.get("direction", "unknown")
+            self.channel_bytes_total.inc(args.get("bytes", 0),
+                                         direction=direction)
+            self.channel_chunks_total.inc(args.get("chunks", 0),
+                                          direction=direction)
+        elif kind == "binder-txn":
+            self.binder_txns_total.inc(
+                lane="ui" if args.get("ui") else "delegated"
+            )
+        elif kind == "proxy":
+            if record["type"] == "span":
+                self.proxy_calls_total.inc()
+            elif args.get("decision") == "block":
+                self.blocked_calls_total.inc()
+        elif kind == "irq":
+            self.irqs_total.inc()
+        elif kind == "page-fault":
+            self.page_faults_total.inc(args.get("pages", 1))
+
+    # -- output --------------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-able snapshot; round-trips losslessly through json."""
+        return {
+            "counters": {
+                counter.name: counter.snapshot()
+                for counter in self._counters
+            },
+            "histograms": {
+                self.syscall_latency_us.name:
+                    self.syscall_latency_us.snapshot(),
+            },
+        }

@@ -1,0 +1,134 @@
+"""Canned traced workloads for the ``anception trace/metrics`` commands.
+
+Each workload runs a short, deterministic call stream on a freshly
+booted :class:`~repro.world.AnceptionWorld` app — the same streams the
+Table I microbenchmarks time, reduced to a handful of calls so the
+resulting trace is readable in Perfetto.  ``run_traced`` can also run
+with observation off, which is how the side-effect-freedom guarantee is
+tested: elapsed simulated time is identical either way.
+"""
+
+from __future__ import annotations
+
+from repro.android.app import App, AppManifest
+from repro.kernel import vfs
+from repro.obs.bus import LogcatSink, TraceBus
+from repro.obs.export import make_trace_id
+from repro.obs.metrics import MetricsRegistry
+from repro.world import AnceptionWorld
+
+
+class _ObsApp(App):
+    manifest = AppManifest("com.obs.trace")
+
+    def main(self, ctx):
+        return {"status": "ready"}
+
+
+def _workload_getpid(ctx):
+    for _ in range(4):
+        ctx.libc.getpid()
+
+
+def _workload_write4k(ctx):
+    fd = ctx.libc.open(
+        ctx.data_path("obs-write.bin"), vfs.O_WRONLY | vfs.O_CREAT
+    )
+    ctx.libc.write(fd, b"w" * 4096)
+    ctx.libc.close(fd)
+
+
+def _workload_read4k(ctx):
+    fd = ctx.libc.open(
+        ctx.data_path("obs-read.bin"),
+        vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC,
+    )
+    ctx.libc.write(fd, b"r" * 4096)
+    ctx.libc.pread(fd, 4096, 0)
+    ctx.libc.close(fd)
+
+
+def _workload_binder(ctx):
+    ctx.call_service("location", "get_fix", {"blob": "x" * 112})
+
+
+def _workload_table1(ctx):
+    """One pass over the Table I rows: null call, 4K write/read, binder."""
+    _workload_getpid(ctx)
+    _workload_write4k(ctx)
+    _workload_read4k(ctx)
+    _workload_binder(ctx)
+
+
+TRACE_WORKLOADS = {
+    "table1": _workload_table1,
+    "getpid": _workload_getpid,
+    "write4k": _workload_write4k,
+    "read4k": _workload_read4k,
+    "binder": _workload_binder,
+}
+
+
+class TraceResult:
+    """Everything one traced run produced."""
+
+    def __init__(self, workload, seed, trace_id, elapsed_ns, records,
+                 metrics, world):
+        self.workload = workload
+        self.seed = seed
+        self.trace_id = trace_id
+        self.elapsed_ns = elapsed_ns
+        self.records = records
+        self.metrics = metrics
+        self.world = world
+
+
+def run_traced(workload, seed=0, observe=True, logcat=True):
+    """Boot an Anception world, run ``workload`` under the bus.
+
+    ``observe=False`` runs the identical stream with no capture active —
+    the observability-is-free baseline.  ``logcat`` mirrors span records
+    into the host kernel's log device as ``trace:`` lines.
+    """
+    fn = TRACE_WORKLOADS.get(workload)
+    if fn is None:
+        known = ", ".join(sorted(TRACE_WORKLOADS))
+        raise ValueError(f"unknown workload {workload!r} (known: {known})")
+    world = AnceptionWorld()
+    running = world.install_and_launch(_ObsApp())
+    running.run()
+    ctx = running.ctx
+    metrics = MetricsRegistry()
+    records = []
+    if observe:
+        bus = TraceBus.install(world.clock)
+        bus.subscribe(metrics.observe_record)
+        sink = None
+        log_device = world.machine.kernel.log_device
+        if logcat and log_device is not None:
+            sink = LogcatSink(log_device, kinds=("syscall", "world-switch",
+                                                 "binder-txn"))
+            bus.subscribe(sink)
+        try:
+            with bus.capture() as capture:
+                start_ns = world.clock.now_ns
+                fn(ctx)
+                elapsed_ns = world.clock.now_ns - start_ns
+            records = capture.records
+        finally:
+            bus.unsubscribe(metrics.observe_record)
+            if sink is not None:
+                bus.unsubscribe(sink)
+    else:
+        start_ns = world.clock.now_ns
+        fn(ctx)
+        elapsed_ns = world.clock.now_ns - start_ns
+    return TraceResult(
+        workload=workload,
+        seed=seed,
+        trace_id=make_trace_id(workload, seed),
+        elapsed_ns=elapsed_ns,
+        records=records,
+        metrics=metrics,
+        world=world,
+    )

@@ -1,16 +1,22 @@
-"""Latency breakdowns from the simulated clock's charge trace.
+"""Latency breakdowns from the trace bus's charge stream.
 
 Every component labels the time it charges; :func:`breakdown` runs a
-callable under tracing and returns where the time went, grouped by
-label prefix.  This is how the repository *demonstrates* (not merely
-asserts) the anatomy of Table I — e.g. that a redirected 4 KB write is
-two world switches, one channel copy, and a native write executed in the
-guest.
+callable under a (nested) bus capture and returns where the time went,
+grouped by label prefix.  This is how the repository *demonstrates* (not
+merely asserts) the anatomy of Table I — e.g. that a redirected 4 KB
+write is two world switches, one channel copy, and a native write
+executed in the guest.
+
+Since it became a view over :class:`repro.obs.TraceBus` captures,
+``breakdown`` nests safely: calling it while an outer trace (bus capture
+or legacy ``clock.enable_trace``) is in progress leaves the outer trace
+intact and complete.
 """
 
 from __future__ import annotations
 
 from repro.clock import NSEC_PER_USEC
+from repro.obs.bus import TraceBus
 
 
 def breakdown(clock, fn, *args, **kwargs):
@@ -20,14 +26,11 @@ def breakdown(clock, fn, *args, **kwargs):
     one level of detail (e.g. ``channel:copy``, ``cvm:write``,
     ``irq`` / ``hypercall`` collapse into ``world-switch``).
     """
-    clock.enable_trace()
-    try:
+    bus = TraceBus.install(clock)
+    with bus.capture() as capture:
         result = fn(*args, **kwargs)
-    finally:
-        charges = clock.drain_trace()
-        clock.disable_trace()
     totals = {}
-    for reason, delta_ns in charges:
+    for reason, delta_ns in capture.charges():
         label = _canonical(reason)
         totals[label] = totals.get(label, 0) + delta_ns
     return result, {

@@ -109,3 +109,47 @@ class TestTrace:
         clock = SimClock()
         clock.advance(10, "x")
         assert clock.drain_trace() == []
+
+
+class TestTraceNesting:
+    """enable/disable nest: an inner trace can't destroy an outer one."""
+
+    def test_nested_enable_preserves_outer_charges(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(10, "outer")
+        marker = clock.enable_trace()
+        clock.advance(5, "inner")
+        assert clock.charges_since(marker) == [("inner", 5)]
+        clock.disable_trace()
+        clock.advance(7, "outer-again")
+        assert clock.drain_trace() == [
+            ("outer", 10), ("inner", 5), ("outer-again", 7),
+        ]
+        clock.disable_trace()
+
+    def test_inner_disable_keeps_tracing_enabled(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.enable_trace()
+        clock.disable_trace()
+        clock.advance(3, "still-traced")
+        assert clock.drain_trace() == [("still-traced", 3)]
+        clock.disable_trace()
+
+    def test_disable_never_goes_negative(self):
+        clock = SimClock()
+        clock.disable_trace()
+        clock.enable_trace()
+        clock.advance(1, "x")
+        assert clock.drain_trace() == [("x", 1)]
+
+    def test_first_enable_clears_stale_charges(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(1, "old")
+        clock.disable_trace()
+        clock.enable_trace()
+        clock.advance(2, "new")
+        assert clock.drain_trace() == [("new", 2)]
+        clock.disable_trace()

@@ -1,0 +1,116 @@
+"""MetricsRegistry: counters, histograms, JSON round-trips."""
+
+import json
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_labelled_increments(self):
+        counter = Counter("c", ("a", "b"))
+        counter.inc(a="x", b="y")
+        counter.inc(2, a="x", b="y")
+        counter.inc(a="x", b="z")
+        assert counter.value(a="x", b="y") == 3
+        assert counter.value(a="x", b="z") == 1
+        assert counter.total() == 4
+
+    def test_snapshot_is_sorted_and_labelled(self):
+        counter = Counter("c", ("k",))
+        counter.inc(k="beta")
+        counter.inc(k="alpha")
+        snap = counter.snapshot()
+        assert snap == [
+            {"labels": {"k": "alpha"}, "value": 1},
+            {"labels": {"k": "beta"}, "value": 1},
+        ]
+
+
+class TestHistogram:
+    def test_fixed_buckets(self):
+        histogram = Histogram("h", (10, 100), unit="us")
+        for value in (5, 50, 500):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["counts"] == [1, 1, 1]  # <=10, <=100, +inf
+        assert snap["count"] == 3
+        assert snap["sum"] == 555
+
+    def test_default_bucket_bounds_ascend(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(
+            DEFAULT_LATENCY_BUCKETS_US
+        )
+
+
+class TestRegistry:
+    def _syscall_span(self, dur_ns=760, disposition="native"):
+        return {
+            "type": "span",
+            "kind": "syscall",
+            "name": "getpid",
+            "begin_ns": 0,
+            "end_ns": dur_ns,
+            "sclass": "host",
+            "args": {"disposition": disposition},
+        }
+
+    def test_syscall_span_updates_counter_and_histogram(self):
+        registry = MetricsRegistry()
+        registry.observe_record(self._syscall_span())
+        registry.observe_record(self._syscall_span(disposition="anception"))
+        assert registry.syscalls_total.value(
+            sclass="host", disposition="native"
+        ) == 1
+        assert registry.syscall_latency_us.count == 2
+
+    def test_world_switch_and_channel(self):
+        registry = MetricsRegistry()
+        registry.observe_record({
+            "type": "span", "kind": "world-switch", "name": "irq:x",
+            "begin_ns": 0, "end_ns": 100,
+            "args": {"direction": "host->guest"},
+        })
+        registry.observe_record({
+            "type": "span", "kind": "channel-copy", "name": "to-guest",
+            "begin_ns": 0, "end_ns": 100,
+            "args": {"direction": "to-guest", "bytes": 4096, "chunks": 1},
+        })
+        assert registry.world_switches_total.value(
+            direction="host->guest"
+        ) == 1
+        assert registry.channel_bytes_total.value(direction="to-guest") == 4096
+
+    def test_blocked_event_counted_separately_from_proxy_spans(self):
+        registry = MetricsRegistry()
+        registry.observe_record({
+            "type": "event", "kind": "proxy", "name": "blocked:reboot",
+            "ts_ns": 0, "args": {"decision": "block"},
+        })
+        registry.observe_record({
+            "type": "span", "kind": "proxy", "name": "forward:write",
+            "begin_ns": 0, "end_ns": 10, "args": {},
+        })
+        assert registry.blocked_calls_total.total() == 1
+        assert registry.proxy_calls_total.total() == 1
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.observe_record(self._syscall_span())
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_live_workload_populates_registry(self):
+        from repro.obs.runner import run_traced
+
+        result = run_traced("write4k", logcat=False)
+        metrics = result.metrics
+        assert metrics.world_switches_total.total() >= 2
+        assert metrics.channel_bytes_total.value(direction="to-guest") >= 4096
+        assert metrics.syscalls_total.total() >= 3
+        snapshot = metrics.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot

@@ -60,3 +60,49 @@ class TestBreakdown:
         assert "75.00" in text
         assert "75.0%" in text
         assert "total" in text
+
+
+class TestBreakdownReentrancy:
+    """Regression: breakdown() used to clobber an outer in-progress trace."""
+
+    def test_nested_breakdown_preserves_outer_clock_trace(self):
+        from repro.clock import SimClock
+
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(10, "outer:before")
+        _result, totals = breakdown(
+            clock, lambda: clock.advance(5, "inner:work")
+        )
+        clock.advance(7, "outer:after")
+        assert totals == {"inner:work": 0.01}  # 5 ns rounded to 0.01 us
+        # the outer trace saw everything, in order
+        assert clock.drain_trace() == [
+            ("outer:before", 10), ("inner:work", 5), ("outer:after", 7),
+        ]
+        assert clock._trace_enabled
+        clock.disable_trace()
+
+    def test_breakdown_inside_breakdown(self, anception_world, enrolled_ctx):
+        clock = anception_world.clock
+
+        def outer():
+            enrolled_ctx.libc.getpid()
+            _res, inner_totals = breakdown(clock, enrolled_ctx.libc.getpid)
+            assert "syscall:getpid" in inner_totals
+            enrolled_ctx.libc.getpid()
+
+        _res, outer_totals = breakdown(clock, outer)
+        # outer sees all three getpid traps, inner saw only its own
+        inner_only, _ = breakdown(clock, enrolled_ctx.libc.getpid), None
+        assert outer_totals["syscall:getpid"] == pytest.approx(
+            3 * 0.76, rel=0.01
+        )
+
+    def test_breakdown_leaves_tracing_disabled_when_it_started_disabled(
+            self, native_world, native_ctx):
+        clock = native_world.clock
+        breakdown(clock, native_ctx.libc.getpid)
+        assert not clock._trace_enabled
+        clock.advance(5, "untraced")
+        assert clock.drain_trace() == []

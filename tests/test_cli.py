@@ -37,8 +37,38 @@ class TestCli:
         assert set(COMMANDS) == {
             "table1", "antutu", "sunspider", "sqlite", "memory",
             "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
-            "interactive", "alternatives",
+            "interactive", "alternatives", "trace", "metrics",
         }
+
+    def test_trace_command_chrome(self, capsys):
+        assert main(["trace", "write4k", "--format", "chrome"]) == 0
+        out = capsys.readouterr().out
+        assert '"traceEvents"' in out
+        assert '"trace_id"' in out
+        assert "world-switch" in out
+
+    def test_trace_command_ftrace(self, capsys):
+        assert main(["trace", "getpid", "--format", "ftrace"]) == 0
+        out = capsys.readouterr().out
+        assert "# tracer: anception-obs" in out
+        assert "syscall: getpid" in out
+
+    def test_trace_command_writes_file(self, capsys, tmp_path):
+        target = tmp_path / "trace.json"
+        assert main(["trace", "write4k", "--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["otherData"]["workload"] == "write4k"
+
+    def test_metrics_command(self, capsys):
+        assert main(["metrics", "write4k"]) == 0
+        import json
+
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["workload"] == "write4k"
+        assert "syscalls_total" in snapshot["metrics"]["counters"]
 
     def test_alternatives_command(self, capsys):
         assert main(["alternatives"]) == 0
