@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples all-experiments lint trace-demo clean
+.PHONY: test bench examples all-experiments lint trace-demo chaos-demo coverage clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -34,6 +34,15 @@ trace-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace table1 --format ftrace
 	PYTHONPATH=src $(PYTHON) -m repro.cli metrics table1
 
+chaos-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos fileops --seed 7 --out chaos-a.json --trace-out chaos-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos fileops --seed 7 --out chaos-b.json
+	cmp chaos-a.json chaos-b.json && echo "chaos run is byte-identical across replays"
+
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=80
+
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis *.egg-info
+	rm -f chaos-a.json chaos-b.json chaos-trace.json table1-trace.json

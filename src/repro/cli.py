@@ -14,6 +14,7 @@ Usage (installed as the ``anception`` script)::
     anception profiledroid        # Section VI-A app profiling
     anception trace table1        # whole-stack trace (Chrome/Perfetto JSON)
     anception metrics table1      # counters + histograms as JSON
+    anception chaos fileops --seed 7 --faults PLAN   # fault injection
     anception all                 # everything, in order
 """
 
@@ -167,6 +168,29 @@ def cmd_metrics(args):
     _emit(text, getattr(args, "out", None))
 
 
+def cmd_chaos(args):
+    from repro.faults.chaos import chaos_report_json, run_chaos
+    from repro.obs.export import chrome_trace_json, make_trace_id
+
+    workload = getattr(args, "workload", None) or "fileops"
+    seed = getattr(args, "seed", 0)
+    try:
+        result = run_chaos(workload, seed=seed,
+                           faults=getattr(args, "faults", None))
+    except ValueError as exc:
+        sys.exit(f"anception: error: {exc}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        text = chrome_trace_json(
+            result.records,
+            trace_id=make_trace_id(f"chaos-{workload}", seed),
+            workload=workload,
+        )
+        with open(trace_out, "w") as handle:
+            handle.write(text)
+    _emit(chaos_report_json(result), getattr(args, "out", None))
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "antutu": cmd_antutu,
@@ -182,9 +206,10 @@ COMMANDS = {
     "alternatives": cmd_alternatives,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "chaos": cmd_chaos,
 }
 
-WORKLOAD_COMMANDS = ("trace", "metrics")
+WORKLOAD_COMMANDS = ("trace", "metrics", "chaos")
 """Commands taking a traced-workload positional (skipped by ``all``)."""
 
 
@@ -228,6 +253,17 @@ def main(argv=None):
         type=int,
         default=0,
         help="seed mixed into the deterministic trace_id",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault plan for the chaos command, e.g. "
+             "'cvm.crash:nth=3:call=open;channel.corrupt:p=0.05'",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write the chaos run's Chrome trace to this file",
     )
     args = parser.parse_args(argv)
     try:

@@ -25,7 +25,16 @@ from repro.core.marshal import (
 )
 from repro.core.policy import Decision, RedirectionPolicy
 from repro.core.proxy import ProxyManager
-from repro.errors import ProcessKilled, SimulationError, SyscallError
+from repro.core.recovery import RecoveryPolicy
+from repro.errors import (
+    ChannelStalled,
+    ContainerCrashed,
+    DelegationError,
+    ProcessKilled,
+    ProxyDied,
+    SimulationError,
+    SyscallError,
+)
 from repro.kernel.kernel import KernelCrashed
 from repro.kernel.loader import run_payload
 from repro.kernel.memory import MAP_ANONYMOUS
@@ -57,6 +66,9 @@ class AnceptionLayer:
             host_system.ui_service_names(), file_io_on_host=file_io_on_host
         )
         self.exec_cache = ExecutionCache(self.host_kernel)
+        self.recovery = RecoveryPolicy()
+        self.recovery_log = []
+        """(action, detail) pairs for every recovery step taken."""
         self.fd_tables = {}
         self.blocked_calls = []
         self.killed_apps = []
@@ -135,13 +147,79 @@ class AnceptionLayer:
     # ------------------------------------------------------------------
 
     def _redirect(self, task, name, args, kwargs, translated=None):
-        """Marshal + forward one call to the task's proxy."""
+        """Marshal + forward one call to the task's proxy.
+
+        Delegation-layer failures (channel corruption, a dead proxy, a
+        crashed container) are retried under :attr:`recovery`; when
+        recovery is disabled or exhausted they surface as EIO — a
+        redirected call returns a result or a well-defined errno, never
+        a hang and never a simulator exception.
+        """
+        attempt = 0
+        while True:
+            self._ensure_container(name)
+            try:
+                with maybe_span(self.machine.clock, "proxy",
+                                f"forward:{name}", task=task,
+                                kernel=self.host_kernel.label,
+                                decision="redirect"):
+                    return self._redirect_body(
+                        task, name, args, kwargs, translated
+                    )
+            except DelegationError as failure:
+                attempt += 1
+                if not self.recovery.enabled \
+                        or attempt > self.recovery.max_retries:
+                    raise SyscallError(
+                        errno.EIO, f"delegation failed: {failure}", call=name
+                    ) from failure
+                self._recover_from(task, failure, attempt, name)
+
+    def _ensure_container(self, name):
+        """Refuse (or repair) forwarding into a dead/compromised CVM."""
         if self.cvm.crashed:
-            raise SyscallError(errno.EIO, "container VM is down", call=name)
-        with maybe_span(self.machine.clock, "proxy", f"forward:{name}",
-                        task=task, kernel=self.host_kernel.label,
-                        decision="redirect"):
-            return self._redirect_body(task, name, args, kwargs, translated)
+            if self.recovery.enabled and self.recovery.reboot_on_crash:
+                self._recover_reboot(f"container down before {name}")
+            else:
+                raise SyscallError(
+                    errno.EIO, "container VM is down", call=name
+                )
+        if self.cvm.compromised and self.recovery.enabled \
+                and self.recovery.reboot_on_compromise:
+            self._recover_reboot("container compromised")
+
+    def _recover_from(self, task, failure, attempt, name):
+        """One bounded recovery step between forwarding attempts."""
+        self.machine.clock.advance(
+            self.recovery.backoff_for(attempt), "anception:retry-backoff"
+        )
+        self.recovery_log.append(
+            ("retry", f"{name} attempt {attempt}: {failure}")
+        )
+        maybe_event(self.machine.clock, "recovery", f"retry:{name}",
+                    task=task, kernel=self.host_kernel.label,
+                    attempt=attempt, cause=type(failure).__name__)
+        if isinstance(failure, ContainerCrashed) or self.cvm.crashed:
+            if self.recovery.reboot_on_crash:
+                self._recover_reboot(str(failure))
+        elif isinstance(failure, ProxyDied) and self.recovery.respawn_proxies:
+            self.proxies.respawn_proxy(task)
+            self.recovery_log.append(
+                ("respawn-proxy", f"host pid {task.pid}")
+            )
+            maybe_event(self.machine.clock, "recovery", "respawn-proxy",
+                        task=task, kernel=self.cvm.kernel.label)
+
+    def _recover_reboot(self, reason):
+        """Reboot the container as a recovery action (cost + telemetry)."""
+        self.machine.clock.advance(
+            self.recovery.reboot_cost_ns, "anception:cvm-reboot"
+        )
+        survivors = self.reboot_cvm()
+        self.recovery_log.append(("reboot-cvm", reason))
+        maybe_event(self.machine.clock, "recovery", "reboot-cvm",
+                    kernel=self.host_kernel.label, reason=reason,
+                    survivors=survivors)
 
     def _redirect_body(self, task, name, args, kwargs, translated):
         proxy = self.proxies.proxy_for(task)
@@ -162,21 +240,47 @@ class AnceptionLayer:
             self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
         )
         self.channel.send_to_guest(wire)
-        self.channel.signal_guest(name)
+        self._signal_guest_reliably(name, task)
         try:
             result = self.proxies.execute(proxy, name, call_args, kwargs)
         except KernelCrashed as crash:
-            raise SyscallError(
-                errno.EIO, f"container VM crashed: {crash.reason}", call=name
-            ) from crash
+            raise ContainerCrashed(crash.reason) from crash
         self.channel.send_to_host(b"\x00" * result_size(result))
-        self.channel.signal_host(name)
+        if not self.channel.signal_host(name):
+            # Completion hypercall lost: the result already sits in the
+            # shared pages, so the host times out and polls it out.
+            self.machine.clock.advance(
+                self.recovery.signal_timeout_ns, "anception:hypercall-poll"
+            )
+            self.recovery_log.append(("hypercall-poll", name))
+            maybe_event(self.machine.clock, "recovery", "hypercall-poll",
+                        task=task, kernel=self.host_kernel.label, call=name)
         adopted = self._adopt_result(task, name, args, result)
         if self.crypto_fs is not None:
             adopted = self._crypto_inbound(
                 task, name, args, adopted, crypto_offset
             )
         return adopted
+
+    def _signal_guest_reliably(self, name, task=None):
+        """Ring the guest doorbell, re-arming after dropped IRQs.
+
+        Each lost interrupt costs one timeout before the re-signal; when
+        the bounded retries are exhausted the call stalls out as a
+        recoverable :class:`ChannelStalled` instead of hanging forever.
+        """
+        if self.channel.signal_guest(name):
+            return
+        for _ in range(self.recovery.signal_retries):
+            self.machine.clock.advance(
+                self.recovery.signal_timeout_ns, "anception:irq-timeout"
+            )
+            self.recovery_log.append(("resignal-irq", name))
+            maybe_event(self.machine.clock, "recovery", "resignal-irq",
+                        task=task, kernel=self.host_kernel.label, call=name)
+            if self.channel.signal_guest(name):
+                return
+        raise ChannelStalled("to-guest", f"irq lost for {name}")
 
     def _crypto_outbound(self, task, name, args, call_args):
         """Encrypt write payloads before they cross into the CVM."""
@@ -433,8 +537,11 @@ class AnceptionLayer:
             return 0
         data = task.address_space.read(addr, length, need_prot=0)
         self.channel.send_to_guest(data)
-        self.channel.signal_guest("msync")
-        self.channel.signal_host("msync-ack")
+        self._signal_guest_reliably("msync", task)
+        if not self.channel.signal_host("msync-ack"):
+            self.machine.clock.advance(
+                self.recovery.signal_timeout_ns, "anception:hypercall-poll"
+            )
         return 0
 
     def _find_file_mapping(self, task, addr):
@@ -566,6 +673,9 @@ class AnceptionLayer:
                 continue
             for host_fd in stale.remote_fds():
                 task.fd_table.pop(host_fd, None)
+        maybe_event(self.machine.clock, "recovery", "channels-rebound",
+                    kernel=self.host_kernel.label,
+                    survivors=len(survivors))
         return len(survivors)
 
     # ------------------------------------------------------------------
@@ -636,4 +746,6 @@ class AnceptionLayer:
             "killed_apps": len(self.killed_apps),
             "channel": self.channel.stats(),
             "cvm_crashed": self.cvm.crashed,
+            "cvm_reboots": self.cvm.reboot_count,
+            "recoveries": len(self.recovery_log),
         }

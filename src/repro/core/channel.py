@@ -9,10 +9,22 @@ the channel only owns a handful of pages, so a 16 MB write crosses it in
 
 Earlier prototypes used sockets and virtio and were abandoned for copy
 overhead; the remapped-pages design is what the cost model calibrates.
+
+Every transfer carries a CRC32 over the payload, so corruption or
+truncation in transit (deliberate, via the fault engine, or a bug) is
+*detected* and surfaces as a typed
+:class:`~repro.errors.ChannelIntegrityError` rather than silently
+handing mangled bytes to the other kernel.  Doorbell signals report
+delivery, so a dropped interrupt is visible to the sender as ``False``
+instead of an indefinite hang.
 """
 
 from __future__ import annotations
 
+import zlib
+
+from repro.errors import ChannelError, ChannelIntegrityError
+from repro.faults.engine import maybe_engine
 from repro.obs.bus import maybe_span
 from repro.perf.costs import PAGE_SIZE
 
@@ -27,6 +39,7 @@ class AnceptionChannel:
         self.bytes_to_guest = 0
         self.bytes_to_host = 0
         self.transfers = 0
+        self.integrity_failures = 0
 
     @property
     def capacity(self):
@@ -42,35 +55,50 @@ class AnceptionChannel:
 
     def send_to_guest(self, data):
         """Host -> guest: copy through the remapped pages, chunk by chunk."""
-        data = bytes(data)
-        self.transfers += 1
-        clock = self.hypervisor.machine.clock
-        with maybe_span(clock, "channel-copy", "to-guest", kernel="channel",
-                        direction="to-guest", bytes=len(data),
-                        chunks=max(1, self.costs.chunks(len(data)))):
-            for chunk in self._chunked(data):
-                self.costs_charge_chunk(len(chunk), inbound=True)
-                if chunk:
-                    self.shared.write(chunk, offset=0)  # host-side copy in
-                    # guest reads the chunk out of its own pages (window ok)
-                    self.shared.read(len(chunk), offset=0, from_guest=True)
-        self.bytes_to_guest += len(data)
-        return len(data)
+        return self._transfer(data, "to-guest")
 
     def send_to_host(self, data):
         """Guest -> host: same path, opposite direction and rate."""
+        return self._transfer(data, "to-host")
+
+    def _transfer(self, data, direction):
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ChannelError(
+                f"channel payload must be bytes-like, got "
+                f"{type(data).__name__}"
+            )
         data = bytes(data)
+        inbound = direction == "to-guest"
         self.transfers += 1
         clock = self.hypervisor.machine.clock
-        with maybe_span(clock, "channel-copy", "to-host", kernel="channel",
-                        direction="to-host", bytes=len(data),
+        expected_crc = zlib.crc32(data)
+        delivered = data
+        engine = maybe_engine(clock)
+        if engine is not None:
+            stall_ns = engine.channel_stall_ns(direction)
+            if stall_ns:
+                clock.advance(stall_ns, f"fault:channel-stall:{direction}")
+            delivered = engine.channel_payload(direction, data)
+        with maybe_span(clock, "channel-copy", direction, kernel="channel",
+                        direction=direction, bytes=len(data),
                         chunks=max(1, self.costs.chunks(len(data)))):
-            for chunk in self._chunked(data):
-                self.costs_charge_chunk(len(chunk), inbound=False)
+            for chunk in self._chunked(delivered):
+                self.costs_charge_chunk(len(chunk), inbound=inbound)
                 if chunk:
-                    self.shared.write(chunk, offset=0, from_guest=True)
-                    self.shared.read(len(chunk), offset=0)
-        self.bytes_to_host += len(data)
+                    # one side copies in, the other reads the chunk out of
+                    # the same frames (the kmap window makes both legal)
+                    self.shared.write(chunk, offset=0, from_guest=not inbound)
+                    self.shared.read(len(chunk), offset=0, from_guest=inbound)
+        actual_crc = zlib.crc32(delivered)
+        if len(delivered) != len(data) or actual_crc != expected_crc:
+            self.integrity_failures += 1
+            raise ChannelIntegrityError(
+                direction, expected_crc, actual_crc, len(data)
+            )
+        if inbound:
+            self.bytes_to_guest += len(data)
+        else:
+            self.bytes_to_host += len(data)
         return len(data)
 
     def costs_charge_chunk(self, nbytes, inbound):
@@ -84,10 +112,12 @@ class AnceptionChannel:
         clock.advance(int(per_byte * nbytes), "channel:copy")
 
     def signal_guest(self, reason=""):
-        self.hypervisor.inject_interrupt(reason)
+        """Ring the guest doorbell; ``False`` when the IRQ was lost."""
+        return self.hypervisor.inject_interrupt(reason)
 
     def signal_host(self, reason=""):
-        self.hypervisor.hypercall(reason)
+        """Ring the host doorbell; ``False`` when the hypercall was lost."""
+        return self.hypervisor.hypercall(reason)
 
     def stats(self):
         return {
@@ -96,4 +126,5 @@ class AnceptionChannel:
             "bytes_to_host": self.bytes_to_host,
             "hypercalls": self.hypervisor.hypercall_count,
             "interrupts": self.hypervisor.interrupt_count,
+            "integrity_failures": self.integrity_failures,
         }

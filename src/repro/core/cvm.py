@@ -42,6 +42,13 @@ class ContainerVM:
         state died with the old kernel — the Anception layer rebuilds
         them (see :meth:`AnceptionLayer.reboot_cvm`).
         """
+        from repro.faults.engine import maybe_engine
+
+        engine = maybe_engine(self.machine.clock)
+        if engine is not None:
+            slow_ns = engine.slow_boot_ns()
+            if slow_ns:
+                self.machine.clock.advance(slow_ns, "fault:cvm-slow-boot")
         self.kernel = self.hypervisor.relaunch_guest(
             "cvm", data_fs=self.data_disk
         )

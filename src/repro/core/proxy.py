@@ -15,7 +15,8 @@ cost.  We reproduce that by charging only ``proxy_dispatch_ns`` per call.
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+from repro.errors import ProxyDied, SimulationError
+from repro.faults.engine import maybe_engine
 from repro.kernel.process import TaskState
 from repro.obs.bus import maybe_span
 
@@ -91,11 +92,30 @@ class ProxyManager:
     def remove_proxy(self, host_task):
         proxy = self._by_host_pid.pop(host_task.pid, None)
         if proxy is not None:
-            self.cvm.kernel.reap_task(proxy.guest_task)
+            if not self.cvm.kernel.crashed:
+                self.cvm.kernel.reap_task(proxy.guest_task)
             host_task.proxy = None
+
+    def respawn_proxy(self, host_task):
+        """Replace a dead proxy with a fresh one (recovery path).
+
+        The new proxy starts with an empty fd table: descriptors the old
+        proxy held are gone, and later use of their host-side stubs gets
+        EBADF — the same contract as a container reboot.
+        """
+        self.remove_proxy(host_task)
+        return self.create_proxy(host_task)
 
     def execute(self, proxy, name, args, kwargs):
         """Run one forwarded call from the parked proxy's context."""
+        engine = maybe_engine(self.cvm.machine.clock)
+        if engine is not None:
+            self._inject_faults(engine, proxy, name)
+        if not proxy.guest_task.is_alive():
+            raise ProxyDied(
+                proxy.host_task.pid, proxy.guest_task.pid,
+                "proxy process is dead",
+            )
         proxy.wake()
         try:
             with maybe_span(self.cvm.kernel.clock, "proxy",
@@ -109,6 +129,21 @@ class ProxyManager:
         finally:
             if proxy.guest_task.is_alive():
                 proxy.park()
+
+    def _inject_faults(self, engine, proxy, name):
+        """Fault sites that strike while a call is being serviced."""
+        if engine.kill_proxy(call=name):
+            self.cvm.kernel.reap_task(proxy.guest_task, exit_code=-9)
+            raise ProxyDied(
+                proxy.host_task.pid, proxy.guest_task.pid,
+                "killed by fault injection mid-call",
+            )
+        if engine.compromise_cvm(call=name):
+            self.cvm.kernel.compromise(proxy.guest_task, "fault-injection")
+        if engine.crash_cvm(call=name):
+            # panic raises KernelCrashed; the redirect path turns it into
+            # a recoverable ContainerCrashed
+            self.cvm.kernel.panic("injected fault: cvm.crash")
 
     @property
     def count(self):

@@ -52,6 +52,83 @@ class SimulationError(ReproError):
     """The simulation itself was misused (a bug in driver code or tests)."""
 
 
+class DelegationError(ReproError):
+    """A redirected call failed inside the delegation machinery itself.
+
+    These are *infrastructure* failures — the channel, the proxy, or the
+    container died mid-call — as opposed to the call legitimately failing
+    with an errno.  They are recoverable: the Anception layer's retry /
+    recovery supervisor may respawn the proxy, reboot the container and
+    re-issue the call.  If recovery is disabled or exhausted the layer
+    converts them to a well-defined ``SyscallError`` (EIO) so apps never
+    see simulator internals.
+    """
+
+    site = "delegation"
+
+
+class ChannelError(DelegationError):
+    """The shared-page channel was misused or failed to carry a payload."""
+
+    site = "channel"
+
+
+class ChannelIntegrityError(ChannelError):
+    """Payload bytes were corrupted or truncated crossing the channel.
+
+    Attributes:
+        direction: ``"to-guest"`` or ``"to-host"``.
+        expected_crc / actual_crc: CRC32 of the payload before/after.
+        nbytes: size of the original payload.
+    """
+
+    def __init__(self, direction, expected_crc, actual_crc, nbytes):
+        self.direction = direction
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        self.nbytes = nbytes
+        super().__init__(
+            f"channel payload {direction} failed integrity check "
+            f"({nbytes} bytes, crc {expected_crc:#010x} != {actual_crc:#010x})"
+        )
+
+
+class ChannelStalled(ChannelError):
+    """A channel doorbell (IRQ or hypercall) was never delivered."""
+
+    def __init__(self, direction, reason=""):
+        self.direction = direction
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"channel signal lost {direction}{detail}")
+
+
+class ProxyDied(DelegationError):
+    """The CVM proxy backing a redirected call is dead."""
+
+    site = "proxy"
+
+    def __init__(self, host_pid, guest_pid, reason=""):
+        self.host_pid = host_pid
+        self.guest_pid = guest_pid
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"proxy (guest pid {guest_pid}) for host pid {host_pid} "
+            f"died{detail}"
+        )
+
+
+class ContainerCrashed(DelegationError):
+    """The container VM crashed while servicing a redirected call."""
+
+    site = "cvm"
+
+    def __init__(self, reason=""):
+        self.reason = reason
+        super().__init__(f"container VM crashed: {reason}")
+
+
 class ProcessKilled(ReproError):
     """Raised inside a simulated program when its task is force-killed.
 

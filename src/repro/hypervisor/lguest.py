@@ -22,6 +22,7 @@ We reproduce each of those primitives:
 from __future__ import annotations
 
 from repro.errors import HypervisorViolation, SimulationError
+from repro.faults.engine import maybe_engine
 from repro.kernel.kernel import Kernel
 from repro.kernel.memory import FrameAllocator
 from repro.obs.bus import maybe_event, maybe_span
@@ -158,7 +159,15 @@ class LguestHypervisor:
         return SharedPages(self.machine.physical, frames, self.guest_window)
 
     def hypercall(self, reason=""):
-        """Guest signals the host (one world switch)."""
+        """Guest signals the host (one world switch).
+
+        Returns ``True`` when the signal was delivered; a fault plan may
+        drop it, in which case no world switch happens and the caller is
+        expected to time out and poll.
+        """
+        engine = maybe_engine(self.machine.clock)
+        if engine is not None and engine.drop_hypercall():
+            return False
         self.hypercall_count += 1
         with maybe_span(self.machine.clock, "world-switch",
                         f"hypercall:{reason}", kernel="hypervisor",
@@ -166,18 +175,32 @@ class LguestHypervisor:
             self.machine.clock.advance(
                 self.machine.costs.world_switch_ns, f"hypercall:{reason}"
             )
+        return True
 
     def inject_interrupt(self, reason=""):
-        """Host signals the guest (one world switch)."""
-        self.interrupt_count += 1
-        with maybe_span(self.machine.clock, "world-switch",
-                        f"irq:{reason}", kernel="hypervisor",
-                        direction="host->guest"):
-            self.machine.clock.advance(
-                self.machine.costs.world_switch_ns, f"irq:{reason}"
-            )
-        maybe_event(self.machine.clock, "irq", f"irq:{reason}",
-                    kernel="hypervisor")
+        """Host signals the guest (one world switch).
+
+        Returns ``True`` when delivered.  A fault plan may drop the IRQ
+        (returns ``False``: the guest never wakes, the sender must
+        re-signal) or duplicate it (delivered twice; harmless, because
+        doorbell handling is level-triggered/idempotent — a property the
+        differential tests pin down).
+        """
+        engine = maybe_engine(self.machine.clock)
+        if engine is not None and engine.drop_irq():
+            return False
+        rounds = 2 if engine is not None and engine.duplicate_irq() else 1
+        for _ in range(rounds):
+            self.interrupt_count += 1
+            with maybe_span(self.machine.clock, "world-switch",
+                            f"irq:{reason}", kernel="hypervisor",
+                            direction="host->guest"):
+                self.machine.clock.advance(
+                    self.machine.costs.world_switch_ns, f"irq:{reason}"
+                )
+            maybe_event(self.machine.clock, "irq", f"irq:{reason}",
+                        kernel="hypervisor")
+        return True
 
     def guest_map_frame(self, frame):
         """A guest attempt to map an arbitrary physical frame.

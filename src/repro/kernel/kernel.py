@@ -284,6 +284,9 @@ class Kernel:
         self.current = task
         try:
             self.clock.advance(self.costs.syscall_base_ns, f"syscall:{name}")
+            faults = getattr(self.clock, "faults", None)
+            if faults is not None:
+                faults.perturb_syscall(self, task, name)
             if self.policy_monitor is not None:
                 self.policy_monitor.inspect(self, task, name, args)
             if self.interposition is not None:

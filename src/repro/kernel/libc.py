@@ -63,11 +63,17 @@ class Libc:
     def stat(self, path):
         return self.syscall("stat", path)
 
+    def fstat(self, fd):
+        return self.syscall("fstat", fd)
+
     def access(self, path, mode=0):
         return self.syscall("access", path, mode)
 
     def mkdir(self, path, mode=0o755):
         return self.syscall("mkdir", path, mode)
+
+    def rmdir(self, path):
+        return self.syscall("rmdir", path)
 
     def unlink(self, path):
         return self.syscall("unlink", path)
@@ -137,6 +143,20 @@ class Libc:
 
     def sendfile(self, out_fd, in_fd, offset, count):
         return self.syscall("sendfile", out_fd, in_fd, offset, count)
+
+    # -- ipc -----------------------------------------------------------------
+
+    def pipe(self):
+        return self.syscall("pipe")
+
+    def shmget(self, key, size, flags=0o1000):
+        return self.syscall("shmget", key, size, flags)
+
+    def shmat(self, shmid):
+        return self.syscall("shmat", shmid)
+
+    def shmdt(self, addr):
+        return self.syscall("shmdt", addr)
 
     # -- memory --------------------------------------------------------------
 

@@ -35,7 +35,7 @@ SPAN_KINDS = (
     "binder-txn",
     "proxy",
 )
-EVENT_KINDS = ("irq", "page-fault")
+EVENT_KINDS = ("irq", "page-fault", "fault", "recovery")
 RECORD_KINDS = SPAN_KINDS + EVENT_KINDS
 
 

@@ -97,6 +97,10 @@ class MetricsRegistry:
         self.blocked_calls_total = Counter("blocked_calls_total", ())
         self.irqs_total = Counter("irqs_total", ())
         self.page_faults_total = Counter("page_faults_total", ())
+        self.faults_injected_total = Counter(
+            "faults_injected_total", ("site",)
+        )
+        self.recoveries_total = Counter("recoveries_total", ("action",))
         self.syscall_latency_us = Histogram(
             "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
         )
@@ -110,6 +114,8 @@ class MetricsRegistry:
             self.blocked_calls_total,
             self.irqs_total,
             self.page_faults_total,
+            self.faults_injected_total,
+            self.recoveries_total,
         )
 
     # -- bus sink ------------------------------------------------------------
@@ -148,6 +154,12 @@ class MetricsRegistry:
             self.irqs_total.inc()
         elif kind == "page-fault":
             self.page_faults_total.inc(args.get("pages", 1))
+        elif kind == "fault":
+            self.faults_injected_total.inc(
+                site=args.get("site", record["name"])
+            )
+        elif kind == "recovery":
+            self.recoveries_total.inc(action=record["name"])
 
     # -- output --------------------------------------------------------------
 

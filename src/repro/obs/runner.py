@@ -52,6 +52,45 @@ def _workload_binder(ctx):
     ctx.call_service("location", "get_fix", {"blob": "x" * 112})
 
 
+def _workload_fileops(ctx):
+    """A file-heavy stream (the chaos harness's default prey).
+
+    Every step opens, uses, and closes its own descriptors, so a fault
+    that costs the CVM its open files mid-stream (proxy kill, container
+    reboot) stays contained to the step it hit.
+    """
+    for i in range(6):
+        fd = ctx.libc.open(
+            ctx.data_path(f"chaos-{i}.bin"),
+            vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC,
+        )
+        ctx.libc.write(fd, bytes([0x40 + i]) * 512)
+        ctx.libc.pread(fd, 256, 0)
+        ctx.libc.close(fd)
+    ctx.libc.mkdir(ctx.data_path("chaos-dir"))
+    ctx.libc.rename(
+        ctx.data_path("chaos-0.bin"), ctx.data_path("chaos-dir/moved.bin")
+    )
+    ctx.libc.stat(ctx.data_path("chaos-dir/moved.bin"))
+    ctx.libc.unlink(ctx.data_path("chaos-1.bin"))
+    fd = ctx.libc.open(ctx.data_path("chaos-2.bin"), vfs.O_RDONLY)
+    ctx.libc.read(fd, 512)
+    ctx.libc.close(fd)
+    ctx.libc.listdir(ctx.data_path("chaos-dir"))
+
+
+def _workload_ipc(ctx):
+    """Pipes and System V shared memory across the delegation boundary."""
+    read_fd, write_fd = ctx.libc.pipe()
+    ctx.libc.write(write_fd, b"chaos-pipe-payload")
+    ctx.libc.read(read_fd, 64)
+    ctx.libc.close(write_fd)
+    ctx.libc.close(read_fd)
+    shmid = ctx.libc.shmget(0x51, 8192)
+    addr = ctx.libc.shmat(shmid)
+    ctx.libc.shmdt(addr)
+
+
 def _workload_table1(ctx):
     """One pass over the Table I rows: null call, 4K write/read, binder."""
     _workload_getpid(ctx)
@@ -66,6 +105,8 @@ TRACE_WORKLOADS = {
     "write4k": _workload_write4k,
     "read4k": _workload_read4k,
     "binder": _workload_binder,
+    "fileops": _workload_fileops,
+    "ipc": _workload_ipc,
 }
 
 

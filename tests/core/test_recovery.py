@@ -1,0 +1,251 @@
+"""The recovery supervisor: retries, respawns, reboots — never hangs.
+
+Companion to ``test_cvm_reboot.py``: that file proves a reboot *can*
+revive the container; this one proves the Anception layer reaches for it
+(and the cheaper recoveries) automatically when
+:class:`~repro.core.recovery.RecoveryPolicy` is enabled, and degrades to
+clean EIO when it is not.
+"""
+
+import pytest
+
+from repro.core.recovery import RecoveryPolicy
+from repro.errors import SyscallError
+from repro.faults.engine import FaultEngine
+from repro.kernel import vfs
+from repro.kernel.kernel import KernelCrashed
+
+
+@pytest.fixture
+def chaos_world(anception_world):
+    anception_world.anception.recovery = RecoveryPolicy.chaos_default()
+    return anception_world
+
+
+def arm(world, plan, seed=0):
+    return FaultEngine(plan, seed=seed).arm(world.clock)
+
+
+class TestPolicyKnobs:
+    def test_default_is_disabled(self, anception_world):
+        assert not anception_world.anception.recovery.enabled
+
+    def test_chaos_default_is_all_on(self):
+        policy = RecoveryPolicy.chaos_default()
+        assert policy.enabled
+        assert policy.reboot_on_crash
+        assert policy.respawn_proxies
+        assert policy.reboot_on_compromise
+
+    def test_backoff_is_linear(self):
+        policy = RecoveryPolicy(backoff_ns=100)
+        assert [policy.backoff_for(n) for n in (1, 2, 3)] == [100, 200, 300]
+
+
+class TestDisabledDegradation:
+    def test_crashed_cvm_stays_crashed(self, anception_world,
+                                       enrolled_ctx):
+        with pytest.raises(KernelCrashed):
+            anception_world.cvm.kernel.panic("test crash")
+        with pytest.raises(SyscallError) as exc:
+            enrolled_ctx.libc.open(enrolled_ctx.data_path("f"), 0o102)
+        assert "EIO" in str(exc.value)
+        assert anception_world.cvm.crashed
+        assert anception_world.cvm.reboot_count == 0
+
+    def test_mid_call_crash_is_eio_not_simulator_guts(self,
+                                                      anception_world,
+                                                      enrolled_ctx):
+        engine = arm(anception_world, "cvm.crash:nth=1:call=open")
+        try:
+            with pytest.raises(SyscallError) as exc:
+                enrolled_ctx.libc.open(enrolled_ctx.data_path("f"), 0o102)
+        finally:
+            engine.disarm()
+        assert "EIO" in str(exc.value)
+        assert "delegation failed" in str(exc.value)
+
+
+class TestAutomaticRecovery:
+    def test_crash_mid_call_completes_after_reboot(self, chaos_world,
+                                                   enrolled_ctx):
+        engine = arm(chaos_world, "cvm.crash:nth=1:call=open")
+        try:
+            fd = enrolled_ctx.libc.open(
+                enrolled_ctx.data_path("survivor.txt"),
+                vfs.O_RDWR | vfs.O_CREAT,
+            )
+            enrolled_ctx.libc.write(fd, b"made it")
+            enrolled_ctx.libc.close(fd)
+        finally:
+            engine.disarm()
+        assert chaos_world.cvm.reboot_count == 1
+        assert enrolled_ctx.libc.read_file(
+            enrolled_ctx.data_path("survivor.txt")
+        ) == b"made it"
+        actions = [action for action, _ in
+                   chaos_world.anception.recovery_log]
+        assert "retry" in actions and "reboot-cvm" in actions
+
+    def test_proxy_death_respawns_and_retries(self, chaos_world,
+                                              enrolled_ctx):
+        proxies = chaos_world.anception.proxies
+        old_pid = proxies.proxy_for(enrolled_ctx.task).guest_task.pid
+        engine = arm(chaos_world, "proxy.kill:nth=1:call=open")
+        try:
+            fd = enrolled_ctx.libc.open(
+                enrolled_ctx.data_path("after-respawn"), 0o102
+            )
+            enrolled_ctx.libc.close(fd)
+        finally:
+            engine.disarm()
+        new = proxies.proxy_for(enrolled_ctx.task)
+        assert new.guest_task.pid != old_pid
+        assert new.guest_task.is_alive()
+        assert chaos_world.cvm.reboot_count == 0
+        assert ("respawn-proxy", f"host pid {enrolled_ctx.task.pid}") in \
+            chaos_world.anception.recovery_log
+
+    def test_retries_exhausted_surfaces_eio(self, chaos_world,
+                                            enrolled_ctx):
+        engine = arm(chaos_world, "channel.corrupt")  # every transfer
+        try:
+            with pytest.raises(SyscallError) as exc:
+                enrolled_ctx.libc.open(
+                    enrolled_ctx.data_path("never"), 0o102
+                )
+        finally:
+            engine.disarm()
+        assert "EIO" in str(exc.value)
+        retries = [entry for entry in chaos_world.anception.recovery_log
+                   if entry[0] == "retry"]
+        assert len(retries) == \
+            chaos_world.anception.recovery.max_retries
+
+    def test_backoff_charged_between_attempts(self, chaos_world,
+                                              enrolled_ctx):
+        engine = arm(chaos_world, "channel.corrupt:nth=1")
+        chaos_world.clock.enable_trace()
+        try:
+            enrolled_ctx.libc.stat(enrolled_ctx.data_path("seed.txt"))
+        finally:
+            engine.disarm()
+        charges = [reason for reason, _ in
+                   chaos_world.clock.drain_trace()]
+        assert "anception:retry-backoff" in charges
+
+    def test_dropped_irq_resignalled(self, chaos_world, enrolled_ctx):
+        engine = arm(chaos_world, "irq.drop:nth=1")
+        try:
+            enrolled_ctx.libc.stat(enrolled_ctx.data_path("seed.txt"))
+        finally:
+            engine.disarm()
+        assert ("resignal-irq", "stat") in \
+            chaos_world.anception.recovery_log
+
+    def test_dropped_hypercall_polled(self, chaos_world, enrolled_ctx):
+        engine = arm(chaos_world, "hypercall.drop:nth=1")
+        try:
+            enrolled_ctx.libc.stat(enrolled_ctx.data_path("seed.txt"))
+        finally:
+            engine.disarm()
+        assert ("hypercall-poll", "stat") in \
+            chaos_world.anception.recovery_log
+
+    def test_persistent_irq_loss_stalls_out_as_eio(self, chaos_world,
+                                                   enrolled_ctx):
+        engine = arm(chaos_world, "irq.drop")  # every doorbell
+        try:
+            with pytest.raises(SyscallError) as exc:
+                enrolled_ctx.libc.stat(enrolled_ctx.data_path("seed.txt"))
+        finally:
+            engine.disarm()
+        assert "EIO" in str(exc.value)
+
+    def test_slow_boot_fault_stretches_recovery(self, chaos_world,
+                                                enrolled_ctx):
+        plan = "cvm.crash:nth=1:call=open;cvm.slow-boot:delay_us=5000"
+        engine = arm(chaos_world, plan)
+        try:
+            with chaos_world.clock.measure() as window:
+                fd = enrolled_ctx.libc.open(
+                    enrolled_ctx.data_path("slow"), 0o102
+                )
+                enrolled_ctx.libc.close(fd)
+        finally:
+            engine.disarm()
+        assert window.elapsed_ns >= \
+            chaos_world.anception.recovery.reboot_cost_ns + 5_000_000
+
+
+class TestRebootRebinding:
+    def crash_and_reboot(self, world):
+        with pytest.raises(KernelCrashed):
+            world.cvm.kernel.panic("test crash")
+        return world.anception.reboot_cvm()
+
+    def test_survivors_get_fresh_proxies_and_tables(self, anception_world,
+                                                    enrolled_ctx):
+        survivors = self.crash_and_reboot(anception_world)
+        assert survivors == 1
+        proxies = anception_world.anception.proxies
+        proxy = proxies.proxy_for(enrolled_ctx.task)
+        assert proxy.kernel is anception_world.cvm.kernel \
+            if hasattr(proxy, "kernel") else True
+        assert proxy.guest_task.is_alive()
+        table = anception_world.anception.fd_tables[enrolled_ctx.task.pid]
+        assert table.remote_fds() == set()
+
+    def test_redirected_io_works_after_rebind(self, anception_world,
+                                              enrolled_ctx):
+        self.crash_and_reboot(anception_world)
+        path = enrolled_ctx.data_path("rebound.txt")
+        enrolled_ctx.libc.write_file(path, b"post-reboot io")
+        assert enrolled_ctx.libc.read_file(path) == b"post-reboot io"
+
+    def test_logcat_rebinds_to_new_container(self, anception_world,
+                                             enrolled_ctx):
+        """GingerBreak step 6 after a reboot: the app's restarted logcat
+        drains the *new* CVM's log device into a redirected file."""
+        from repro.android.logcat import logcat_payload
+        from repro.kernel.loader import run_payload
+
+        self.crash_and_reboot(anception_world)
+        new_kernel = anception_world.cvm.kernel
+        new_kernel.log_device.append("vold", "post-reboot fault index -7")
+        log_path = enrolled_ctx.data_path("gb.log")
+        child_pid = enrolled_ctx.libc.fork()
+        child = enrolled_ctx.kernel.pids.require(child_pid)
+        image = enrolled_ctx.kernel.syscall(
+            child, "execve", "/system/bin/logcat", (log_path,)
+        )
+        run_payload(enrolled_ctx.kernel, child, image)
+        content = enrolled_ctx.libc.read_file(log_path).decode()
+        assert "post-reboot fault index -7" in content
+        # the capture landed in the container, not on the host
+        from repro.kernel.process import Credentials
+
+        assert new_kernel.vfs.exists(log_path, Credentials(0))
+        assert not anception_world.kernel.vfs.exists(
+            log_path, Credentials(0)
+        )
+
+    def test_reboot_emits_channels_rebound_event(self, chaos_world,
+                                                 enrolled_ctx):
+        from repro.obs.bus import TraceBus
+
+        bus = TraceBus.install(chaos_world.clock)
+        engine = arm(chaos_world, "cvm.crash:nth=1:call=open")
+        try:
+            with bus.capture() as capture:
+                fd = enrolled_ctx.libc.open(
+                    enrolled_ctx.data_path("observed"), 0o102
+                )
+                enrolled_ctx.libc.close(fd)
+        finally:
+            engine.disarm()
+        events = [record["name"] for record in capture.records
+                  if record["type"] == "event"
+                  and record["kind"] == "recovery"]
+        assert "channels-rebound" in events
+        assert "reboot-cvm" in events

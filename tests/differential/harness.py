@@ -1,0 +1,141 @@
+"""Differential harness: the same op script, native vs redirected.
+
+The correctness claim under test is Section III's transparency property:
+an enrolled app observes the same results, the same errnos, and the same
+final filesystem state as it would have natively — only timing differs.
+
+A *script* is a list of ``(libc_method, arg, ...)`` steps.  Arguments
+may be symbolic: :class:`P` resolves against the app's data directory,
+:class:`H` replays a handle (fd, shmid, address) returned by an earlier
+step.  Outcomes are normalized — handles become ``h<n>`` tokens, stat
+results drop world-specific inode numbers — so two worlds' outcome
+streams compare with ``==``.
+"""
+
+from __future__ import annotations
+
+import errno as errno_mod
+
+from repro.errors import SyscallError
+from repro.kernel.process import Credentials
+from repro.kernel.vfs import InodeKind
+
+
+class P:
+    """A path relative to the app's data directory."""
+
+    def __init__(self, rel):
+        self.rel = rel
+
+
+class H:
+    """The handle produced by step ``step`` (fd, shmid, shmat address)."""
+
+    def __init__(self, step, slot=0):
+        self.step = step
+        self.slot = slot
+
+
+_HANDLE_RETURNING = {"open", "socket", "shmget", "shmat", "dup"}
+
+
+def run_script(ctx, script):
+    """Execute ``script`` through ``ctx.libc``; return normalized outcomes."""
+    handles = {}
+    outcomes = []
+    for step, op in enumerate(script):
+        name, args = op[0], op[1:]
+        real_args = []
+        for arg in args:
+            if isinstance(arg, P):
+                real_args.append(ctx.data_path(arg.rel))
+            elif isinstance(arg, H):
+                real_args.append(handles[(arg.step, arg.slot)])
+            else:
+                real_args.append(arg)
+        try:
+            result = getattr(ctx.libc, name)(*real_args)
+        except SyscallError as exc:
+            code = errno_mod.errorcode.get(exc.errno, str(exc.errno))
+            outcomes.append((step, name, "errno", code))
+            continue
+        outcomes.append(
+            (step, name, "ok", _normalize(name, result, step, handles))
+        )
+    return outcomes
+
+
+def _normalize(name, result, step, handles):
+    if name in _HANDLE_RETURNING:
+        handles[(step, 0)] = result
+        return f"h{step}.0"
+    if name == "pipe":
+        for slot, value in enumerate(result):
+            handles[(step, slot)] = value
+        return tuple(f"h{step}.{slot}" for slot in range(len(result)))
+    if name in ("stat", "lstat", "fstat"):
+        # st_ino is a world-global allocation counter; everything else
+        # must agree
+        return {
+            "mode": result.st_mode,
+            "uid": result.st_uid,
+            "gid": result.st_gid,
+            "size": result.st_size,
+            "nlink": result.st_nlink,
+        }
+    if name == "listdir":
+        return sorted(result)
+    return result
+
+
+_ROOT = Credentials(0)
+
+
+def vfs_tree(kernel, root_path):
+    """Flatten a VFS subtree into {relpath: (kind, mode, payload)}.
+
+    ``payload`` is file content for files, the sorted child list for
+    directories — the observable final state, minus inode numbers.
+    """
+    tree = {}
+
+    def visit(path, rel):
+        inode = kernel.vfs.resolve(path, _ROOT)
+        if inode.kind is InodeKind.DIRECTORY:
+            names = sorted(kernel.vfs.listdir(path, _ROOT))
+            tree[rel] = ("dir", inode.mode, tuple(names))
+            for name in names:
+                visit(f"{path}/{name}", f"{rel}/{name}" if rel else name)
+        elif inode.kind is InodeKind.FILE:
+            data = bytes(inode.data) if inode.data is not None else b""
+            tree[rel] = ("file", inode.mode, data)
+        else:
+            tree[rel] = (inode.kind.value, inode.mode, None)
+
+    visit(root_path, "")
+    return tree
+
+
+def data_kernel(world):
+    """The kernel holding the app's (possibly delegated) file state."""
+    anception = getattr(world, "anception", None)
+    if anception is not None and not anception.policy.file_io_on_host:
+        return anception.cvm.kernel
+    return world.kernel
+
+
+def run_differential(both_worlds, script, app_factory):
+    """Run ``script`` in both worlds; return (native, redirected) halves.
+
+    Each half is ``(outcomes, final_tree)`` for the same app package.
+    """
+    halves = {}
+    for label in ("native", "anception"):
+        world = both_worlds[label]
+        running = world.install_and_launch(app_factory())
+        running.run()
+        ctx = running.ctx
+        outcomes = run_script(ctx, script)
+        tree = vfs_tree(data_kernel(world), ctx.data_dir)
+        halves[label] = (outcomes, tree)
+    return halves["native"], halves["anception"]

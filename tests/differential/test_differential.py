@@ -1,0 +1,215 @@
+"""Native vs redirected: identical results, errnos, and final state."""
+
+import pytest
+
+from repro.android.app import App, AppManifest
+from repro.kernel import vfs
+from repro.kernel.net import AF_INET, SOCK_STREAM
+
+from tests.differential.harness import (
+    H,
+    P,
+    run_differential,
+    run_script,
+    vfs_tree,
+    data_kernel,
+)
+
+
+class DiffApp(App):
+    manifest = AppManifest(
+        "com.diff.probe",
+        permissions=("INTERNET",),
+        initial_data={"seed.txt": b"identical-seed"},
+    )
+
+    def main(self, ctx):
+        return {"ok": True}
+
+
+class EchoServer:
+    def handle_data(self, conn, data):
+        return b"echo:" + data
+
+
+def assert_equivalent(both_worlds, script):
+    native, redirected = run_differential(both_worlds, script, DiffApp)
+    assert native[0] == redirected[0], "outcome streams diverge"
+    assert native[1] == redirected[1], "final VFS state diverges"
+    return native
+
+
+RW = vfs.O_RDWR | vfs.O_CREAT
+TRUNC = vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC
+
+
+class TestFileOps:
+    def test_create_write_read_stat(self, both_worlds):
+        script = [
+            ("open", P("a.txt"), TRUNC, 0o600),
+            ("write", H(0), b"hello-diff"),
+            ("pread", H(0), 5, 0),
+            ("fstat", H(0)),
+            ("close", H(0)),
+            ("stat", P("a.txt")),
+            ("read_file", P("a.txt")),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert (1, "write", "ok", 10) in native[0]
+        assert (6, "read_file", "ok", b"hello-diff") in native[0]
+
+    def test_directory_lifecycle(self, both_worlds):
+        script = [
+            ("mkdir", P("sub"), 0o700),
+            ("open", P("sub/inner.bin"), TRUNC, 0o644),
+            ("write", H(1), b"x" * 4096),
+            ("close", H(1)),
+            ("rename", P("sub/inner.bin"), P("sub/renamed.bin")),
+            ("stat", P("sub/renamed.bin")),
+            ("listdir", P("sub")),
+            ("listdir", P("")),
+            ("unlink", P("sub/renamed.bin")),
+            ("rmdir", P("sub")),
+            ("listdir", P("")),
+        ]
+        assert_equivalent(both_worlds, script)
+
+    def test_seed_data_visible_both_sides(self, both_worlds):
+        script = [
+            ("read_file", P("seed.txt")),
+            ("stat", P("seed.txt")),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert native[0][0][3] == b"identical-seed"
+
+    def test_lseek_and_sparse_read(self, both_worlds):
+        script = [
+            ("open", P("seek.bin"), TRUNC, 0o644),
+            ("write", H(0), b"0123456789"),
+            ("lseek", H(0), 4, 0),
+            ("read", H(0), 3),
+            ("close", H(0)),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert (3, "read", "ok", b"456") in native[0]
+
+    def test_chmod_and_access(self, both_worlds):
+        script = [
+            ("open", P("locked"), TRUNC, 0o644),
+            ("close", H(0)),
+            ("chmod", P("locked"), 0o400),
+            ("stat", P("locked")),
+        ]
+        assert_equivalent(both_worlds, script)
+
+
+class TestErrnos:
+    def test_missing_file_enoent(self, both_worlds):
+        script = [
+            ("open", P("nope"), vfs.O_RDONLY),
+            ("stat", P("nope")),
+            ("unlink", P("nope")),
+            ("read_file", P("ghost/also-nope")),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert all(outcome[2] == "errno" and outcome[3] == "ENOENT"
+                   for outcome in native[0])
+
+    def test_bad_fd_ebadf(self, both_worlds):
+        script = [
+            ("open", P("once"), TRUNC, 0o644),
+            ("close", H(0)),
+            ("write", H(0), b"stale"),
+            ("close", H(0)),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert native[0][2][2:] == ("errno", "EBADF")
+
+    def test_mkdir_collision_eexist(self, both_worlds):
+        script = [
+            ("mkdir", P("dup"), 0o700),
+            ("mkdir", P("dup"), 0o700),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert native[0][1][2:] == ("errno", "EEXIST")
+
+    def test_rmdir_nonempty_enotempty(self, both_worlds):
+        script = [
+            ("mkdir", P("full"), 0o700),
+            ("open", P("full/resident"), TRUNC, 0o644),
+            ("close", H(1)),
+            ("rmdir", P("full")),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert native[0][3][2:] == ("errno", "ENOTEMPTY")
+
+
+class TestNetworkOps:
+    @pytest.fixture(autouse=True)
+    def _server(self, both_worlds):
+        for world in both_worlds.values():
+            world.internet.register_server(
+                ("echo.example", 7), EchoServer()
+            )
+
+    def test_connect_send_recv(self, both_worlds):
+        script = [
+            ("socket", AF_INET, SOCK_STREAM, 0),
+            ("connect", H(0), ("echo.example", 7)),
+            ("send", H(0), b"ping"),
+            ("recv", H(0), 64),
+            ("close", H(0)),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert (3, "recv", "ok", b"echo:ping") in native[0]
+
+    def test_connect_refused(self, both_worlds):
+        script = [
+            ("socket", AF_INET, SOCK_STREAM, 0),
+            ("connect", H(0), ("nobody.example", 80)),
+            ("close", H(0)),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert native[0][1][2] == "errno"
+
+
+class TestIpcOps:
+    def test_pipe_roundtrip(self, both_worlds):
+        script = [
+            ("pipe",),
+            ("write", H(0, 1), b"through-the-pipe"),
+            ("read", H(0, 0), 64),
+            ("close", H(0, 1)),
+            ("close", H(0, 0)),
+        ]
+        native = assert_equivalent(both_worlds, script)
+        assert (2, "read", "ok", b"through-the-pipe") in native[0]
+
+    def test_sysv_shm_lifecycle(self, both_worlds):
+        script = [
+            ("shmget", 0x5151, 8192),
+            ("shmat", H(0)),
+            ("shmdt", H(1)),
+        ]
+        assert_equivalent(both_worlds, script)
+
+
+class TestHarness:
+    def test_handles_are_opaque(self, both_worlds, native_ctx):
+        outcomes = run_script(native_ctx, [
+            ("open", P("h.bin"), TRUNC, 0o644),
+            ("close", H(0)),
+        ])
+        assert outcomes[0][3] == "h0.0"
+
+    def test_tree_walk_sees_content(self, native_world, native_ctx):
+        native_ctx.libc.write_file(native_ctx.data_path("t.bin"), b"tree")
+        tree = vfs_tree(data_kernel(native_world), native_ctx.data_dir)
+        assert tree["t.bin"] == ("file", 0o644, b"tree")
+        assert "" in tree  # the root dir itself
+
+    def test_data_kernel_selects_cvm_when_redirected(self, both_worlds):
+        assert data_kernel(both_worlds["native"]) \
+            is both_worlds["native"].kernel
+        anception = both_worlds["anception"]
+        assert data_kernel(anception) is anception.cvm.kernel

@@ -1,0 +1,121 @@
+"""The chaos harness end to end: survive the default plan, replay it."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import (
+    DEFAULT_PLAN,
+    chaos_report_json,
+    run_chaos,
+)
+
+
+class TestDefaultTour:
+    def test_workload_completes_despite_faults(self):
+        result = run_chaos("fileops", seed=7)
+        assert result.status == "ok"
+        assert result.faults["fired_total"] == 4
+        assert set(result.faults["fired_by_site"]) == {
+            "channel.corrupt", "irq.drop", "proxy.kill", "cvm.crash",
+        }
+
+    def test_cvm_rebooted_and_channels_rebound(self):
+        result = run_chaos("fileops", seed=7)
+        assert result.stats["cvm_reboots"] == 1
+        actions = [action for action, _ in result.recovery_log]
+        assert "reboot-cvm" in actions
+        assert "respawn-proxy" in actions
+
+    def test_fault_and_recovery_events_on_bus(self):
+        result = run_chaos("fileops", seed=7)
+        kinds = {record["kind"] for record in result.records
+                 if record["type"] == "event"}
+        assert "fault" in kinds and "recovery" in kinds
+
+    def test_metrics_counters_fed(self):
+        result = run_chaos("fileops", seed=7)
+        counters = result.metrics.snapshot()["counters"]
+        assert sum(e["value"] for e in counters["faults_injected_total"]) \
+            == 4
+        assert sum(e["value"] for e in counters["recoveries_total"]) >= 4
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self):
+        first = chaos_report_json(run_chaos("fileops", seed=7))
+        second = chaos_report_json(run_chaos("fileops", seed=7))
+        assert first == second
+
+    def test_report_round_trips_json(self):
+        report = run_chaos("fileops", seed=7).report()
+        assert json.loads(json.dumps(report)) == json.loads(
+            json.dumps(report)
+        )
+
+    def test_probability_plan_replays(self):
+        plan = "channel.corrupt:p=0.2;irq.drop:p=0.1"
+        first = chaos_report_json(run_chaos("fileops", seed=3, faults=plan))
+        second = chaos_report_json(run_chaos("fileops", seed=3, faults=plan))
+        assert first == second
+
+
+class TestDegradation:
+    def test_recovery_disabled_surfaces_eio(self):
+        result = run_chaos("fileops", seed=0,
+                           faults="cvm.crash:nth=1:call=open",
+                           recovery=False)
+        assert result.status == "syscall-error"
+        assert "EIO" in result.error
+        assert result.stats["cvm_reboots"] == 0
+
+    def test_retries_exhausted_surfaces_eio(self):
+        # every channel payload corrupts: retry can never win
+        result = run_chaos("fileops", seed=0, faults="channel.corrupt")
+        assert result.status == "syscall-error"
+        assert "EIO" in result.error
+
+    def test_compromise_triggers_paranoid_reboot(self):
+        # mkdir holds no fd across the reboot point, so the paranoid
+        # reboot on the next forwarded call recovers cleanly
+        result = run_chaos("fileops", seed=0,
+                           faults="cvm.compromise:nth=1:call=mkdir")
+        assert result.status == "ok"
+        assert result.stats["cvm_reboots"] >= 1
+        reasons = [detail for action, detail in result.recovery_log
+                   if action == "reboot-cvm"]
+        assert any("compromised" in reason for reason in reasons)
+
+
+class TestHarnessSurface:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_chaos("warp-drive")
+
+    def test_callable_workload(self):
+        calls = []
+
+        def probe(ctx):
+            calls.append(ctx.libc.getpid())
+
+        result = run_chaos(probe, seed=0, faults="")
+        assert result.status == "ok"
+        assert result.workload == "probe"
+        assert calls
+
+    def test_engine_disarmed_after_run(self):
+        result = run_chaos("getpid", seed=0)
+        assert getattr(result.world.clock, "faults", None) is None
+
+    def test_default_plan_is_parseable_and_cross_layer(self):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.parse(DEFAULT_PLAN)
+        sites = {rule.site.split(".")[0] for rule in plan.rules}
+        assert sites == {"channel", "irq", "proxy", "cvm"}
+
+    def test_observe_off_same_elapsed(self):
+        on = run_chaos("fileops", seed=7, observe=True)
+        off = run_chaos("fileops", seed=7, observe=False)
+        assert on.elapsed_ns == off.elapsed_ns
+        assert off.records == []

@@ -37,7 +37,7 @@ class TestCli:
         assert set(COMMANDS) == {
             "table1", "antutu", "sunspider", "sqlite", "memory",
             "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
-            "interactive", "alternatives", "trace", "metrics",
+            "interactive", "alternatives", "trace", "metrics", "chaos",
         }
 
     def test_trace_command_chrome(self, capsys):
