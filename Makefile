@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples all-experiments lint trace-demo chaos-demo coverage clean
+.PHONY: test bench bench-smoke examples all-experiments lint trace-demo chaos-demo coverage clean
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-smoke --out BENCH_e1.json
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -45,4 +48,4 @@ coverage:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis *.egg-info
-	rm -f chaos-a.json chaos-b.json chaos-trace.json table1-trace.json
+	rm -f chaos-a.json chaos-b.json chaos-trace.json table1-trace.json BENCH_e1.json

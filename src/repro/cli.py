@@ -127,6 +127,19 @@ def _emit(text, out_path):
         print(text)
 
 
+def _ring_summary(channel):
+    """One human line of ring/doorbell state for stderr."""
+    stats = channel.stats()
+    submit = stats.get("submit_ring", {})
+    return (
+        f"ring: depth={submit.get('depth', 0)}"
+        f" max_queued={submit.get('max_depth_seen', 0)}"
+        f" submitted={submit.get('pushed', 0)}"
+        f" coalesced_doorbells={stats.get('coalesced_doorbells', 0)}"
+        f" descriptors_retired={stats.get('descriptors_retired', 0)}"
+    )
+
+
 def cmd_trace(args):
     from repro.obs.export import chrome_trace_json, to_ftrace
     from repro.obs.runner import run_traced
@@ -134,7 +147,8 @@ def cmd_trace(args):
     workload = getattr(args, "workload", None) or "table1"
     seed = getattr(args, "seed", 0)
     try:
-        result = run_traced(workload, seed=seed)
+        result = run_traced(workload, seed=seed,
+                            ring_depth=getattr(args, "ring_depth", None))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     fmt = getattr(args, "format", "chrome") or "chrome"
@@ -147,6 +161,7 @@ def cmd_trace(args):
             result.records, trace_id=result.trace_id, workload=workload
         )
     _emit(text, getattr(args, "out", None))
+    print(_ring_summary(result.world.anception.channel), file=sys.stderr)
 
 
 def cmd_metrics(args):
@@ -155,7 +170,8 @@ def cmd_metrics(args):
     workload = getattr(args, "workload", None) or "table1"
     seed = getattr(args, "seed", 0)
     try:
-        result = run_traced(workload, seed=seed, logcat=False)
+        result = run_traced(workload, seed=seed, logcat=False,
+                            ring_depth=getattr(args, "ring_depth", None))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     snapshot = {
@@ -176,7 +192,8 @@ def cmd_chaos(args):
     seed = getattr(args, "seed", 0)
     try:
         result = run_chaos(workload, seed=seed,
-                           faults=getattr(args, "faults", None))
+                           faults=getattr(args, "faults", None),
+                           ring_depth=getattr(args, "ring_depth", None))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     trace_out = getattr(args, "trace_out", None)
@@ -189,6 +206,41 @@ def cmd_chaos(args):
         with open(trace_out, "w") as handle:
             handle.write(text)
     _emit(chaos_report_json(result), getattr(args, "out", None))
+
+
+def cmd_bench_smoke(args):
+    """The CI benchmark-smoke artifact: E1 micro table + ring counters.
+
+    Runs the Table I microbenchmarks for both configurations plus the
+    ``batchio`` traced workload, and emits one JSON document recording
+    the measured latencies next to the ring transport's doorbell
+    accounting — enough to spot either a latency or a coalescing
+    regression from a single uploaded artifact.
+    """
+    from repro.obs.runner import run_traced
+    from repro.perf.micro import run_full_table1
+
+    table1 = run_full_table1()
+    traced = run_traced("batchio", logcat=False,
+                        ring_depth=getattr(args, "ring_depth", None))
+    anception = traced.world.anception
+    channel_stats = anception.channel.stats()
+    hypervisor = anception.cvm.hypervisor
+    report = {
+        "table1": table1,
+        "batchio": {
+            "elapsed_us": traced.elapsed_ns / 1000,
+            "irqs": hypervisor.interrupt_count,
+            "hypercalls": hypervisor.hypercall_count,
+            "coalesced_doorbells": channel_stats["coalesced_doorbells"],
+            "descriptors_retired": channel_stats["descriptors_retired"],
+            "submit_ring": channel_stats["submit_ring"],
+            "complete_ring": channel_stats["complete_ring"],
+        },
+    }
+    text = json.dumps(report, indent=2, sort_keys=True, default=str)
+    _emit(text, getattr(args, "out", None))
+    print(_ring_summary(anception.channel), file=sys.stderr)
 
 
 COMMANDS = {
@@ -207,10 +259,12 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "chaos": cmd_chaos,
+    "bench-smoke": cmd_bench_smoke,
 }
 
-WORKLOAD_COMMANDS = ("trace", "metrics", "chaos")
-"""Commands taking a traced-workload positional (skipped by ``all``)."""
+WORKLOAD_COMMANDS = ("trace", "metrics", "chaos", "bench-smoke")
+"""Workload/artifact commands skipped by ``all`` (trace/metrics/chaos
+take a traced-workload positional; bench-smoke writes a CI artifact)."""
 
 
 def cmd_all(args):
@@ -264,6 +318,13 @@ def main(argv=None):
         "--trace-out",
         default=None,
         help="also write the chaos run's Chrome trace to this file",
+    )
+    parser.add_argument(
+        "--ring-depth",
+        type=int,
+        default=None,
+        help="override the delegation rings' depth (default: derived "
+             "from the channel's shared-page budget)",
     )
     args = parser.parse_args(argv)
     try:

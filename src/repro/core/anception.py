@@ -21,12 +21,12 @@ from repro.core.marshal import (
     FdTranslationTable,
     RemoteFdStub,
     marshal_call,
-    result_size,
 )
 from repro.core.policy import Decision, RedirectionPolicy
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
 from repro.errors import (
+    ChannelError,
     ChannelStalled,
     ContainerCrashed,
     DelegationError,
@@ -35,7 +35,6 @@ from repro.errors import (
     SimulationError,
     SyscallError,
 )
-from repro.kernel.kernel import KernelCrashed
 from repro.kernel.loader import run_payload
 from repro.kernel.memory import MAP_ANONYMOUS
 from repro.kernel.process import Credentials, ROOT_UID
@@ -46,6 +45,105 @@ ANCEPTION_LINES_OF_CODE = 5_219
 ANCEPTION_MARSHALING_LINES = 2_438
 
 
+class PendingCall:
+    """One submitted-but-not-completed call on the delegation ring."""
+
+    __slots__ = ("seq", "task", "name", "args", "call_args", "kwargs",
+                 "crypto_offset", "outcome")
+
+    def __init__(self, seq, task, name, args, call_args, kwargs,
+                 crypto_offset=None):
+        self.seq = seq
+        self.task = task
+        self.name = name
+        self.args = args
+        self.call_args = call_args
+        self.kwargs = kwargs
+        self.crypto_offset = crypto_offset
+        self.outcome = None
+        """``("ok", result)``, ``("err", SyscallError)`` or
+        ``("cancelled", SyscallError)`` once the window flushed."""
+
+    def __repr__(self):
+        state = "pending" if self.outcome is None else self.outcome[0]
+        return f"PendingCall({self.name}#{self.seq}, {state})"
+
+
+class DelegationBatch:
+    """An open batch window: deferrable calls queue, exit flushes.
+
+    Only ``write``/``pwrite64`` with no keyword arguments defer (their
+    results are byte counts known up front); consecutive plain writes
+    to the same fd merge into a single descriptor.  Everything else —
+    reads, opens, another task's calls — flushes the queue first and
+    runs synchronously, preserving program order.
+    """
+
+    DEFERRABLE = ("write", "pwrite64")
+
+    def __init__(self, layer, task):
+        self.layer = layer
+        self.task = task
+        self._entries = []
+        self.calls_enqueued = 0
+        self.calls_coalesced = 0
+
+    def accepts(self, task, name, kwargs):
+        return (
+            task is self.task
+            and not kwargs
+            and name in self.DEFERRABLE
+            and self.layer.crypto_fs is None
+        )
+
+    def add(self, task, name, args):
+        """Queue one deferrable call, returning its optimistic result."""
+        self.calls_enqueued += 1
+        if name == "write":
+            fd, data = args[0], bytes(args[1])
+            last = self._entries[-1] if self._entries else None
+            if last is not None and last[0] == "write" and last[1] == fd:
+                last[2].append(data)
+                self.calls_coalesced += 1
+            else:
+                self._entries.append(["write", fd, [data]])
+            return len(data)
+        fd, data, offset = args[0], bytes(args[1]), args[2]
+        self._entries.append(("pwrite64", (fd, data, offset)))
+        return len(data)
+
+    def flush(self):
+        """Forward everything queued behind one doorbell pair.
+
+        A queued write that fails raises here (or at window exit) with
+        its real errno — the price of the optimistic early return.
+        """
+        if not self._entries:
+            return
+        entries, self._entries = self._entries, []
+        calls = []
+        for entry in entries:
+            if entry[0] == "write":
+                calls.append(("write", (entry[1], b"".join(entry[2]))))
+            else:
+                calls.append((entry[0], entry[1]))
+        self.layer._run_batch(self.task, calls)
+
+    def __enter__(self):
+        if self.layer._batch is not None:
+            raise SimulationError("delegation batch windows do not nest")
+        self.layer._batch = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.layer._batch = None
+        if exc_type is None:
+            self.flush()
+        else:
+            self._entries = []
+        return False
+
+
 class AnceptionLayer:
     """Host-side redirection layer plus its container VM."""
 
@@ -53,15 +151,23 @@ class AnceptionLayer:
     marshaling_lines = ANCEPTION_MARSHALING_LINES
 
     def __init__(self, machine, host_system, guest_mb=64, channel_pages=8,
-                 file_io_on_host=False):
+                 file_io_on_host=False, ring_depth=None):
         self.machine = machine
         self.host_kernel = machine.kernel
         self.host_system = host_system
         self.cvm = ContainerVM(machine, guest_mb)
         self.channel = AnceptionChannel(
-            self.cvm.hypervisor, machine.costs, channel_pages
+            self.cvm.hypervisor, machine.costs, channel_pages,
+            ring_depth=ring_depth,
         )
         self.proxies = ProxyManager(self.cvm)
+        self.ring_batching = True
+        """Decompose writev/readv into per-iovec ring descriptors that
+        share one doorbell pair (the always-on batched path)."""
+        self._batch = None
+        """The open :class:`DelegationBatch` window, if any."""
+        self._inflight = []
+        """Submitted-but-unflushed :class:`PendingCall` descriptors."""
         self.policy = RedirectionPolicy(
             host_system.ui_service_names(), file_io_on_host=file_io_on_host
         )
@@ -139,6 +245,10 @@ class AnceptionLayer:
             # both kernels and must be torn down on both
             return self._handle_shmdt(task, *args)
         if decision is Decision.REDIRECT:
+            if (self.ring_batching and name in ("writev", "readv")
+                    and len(args) >= 2 and isinstance(args[0], int)
+                    and table.is_remote(args[0])):
+                return self._redirect_vectored(task, name, args[0], args[1])
             return self._redirect(task, name, args, kwargs)
         return self._split(task, name, args, kwargs)
 
@@ -147,7 +257,16 @@ class AnceptionLayer:
     # ------------------------------------------------------------------
 
     def _redirect(self, task, name, args, kwargs, translated=None):
-        """Marshal + forward one call to the task's proxy.
+        """Forward one call to the task's proxy (API-preserving wrapper).
+
+        The transport underneath is the submission/completion ring:
+        :meth:`submit` queues the marshaled call, :meth:`flush` rings
+        the doorbells, :meth:`complete` resolves the result.  Outside a
+        batch window the three run back-to-back, so a lone redirected
+        call still costs exactly one IRQ and one completion hypercall —
+        the classic shape.  Inside an open :meth:`batch` window,
+        deferrable calls are queued instead and the whole window rides
+        one doorbell pair.
 
         Delegation-layer failures (channel corruption, a dead proxy, a
         crashed container) are retried under :attr:`recovery`; when
@@ -155,6 +274,16 @@ class AnceptionLayer:
         redirected call returns a result or a well-defined errno, never
         a hang and never a simulator exception.
         """
+        if self._batch is not None:
+            if self._batch.accepts(task, name, kwargs):
+                return self._batch.add(task, name, args)
+            # Anything the window can't defer forces the queued writes
+            # out first, preserving program order.
+            self._batch.flush()
+        return self._redirect_sync(task, name, args, kwargs, translated)
+
+    def _redirect_sync(self, task, name, args, kwargs, translated=None):
+        """One call, one doorbell pair, synchronous result."""
         attempt = 0
         while True:
             self._ensure_container(name)
@@ -163,9 +292,55 @@ class AnceptionLayer:
                                 f"forward:{name}", task=task,
                                 kernel=self.host_kernel.label,
                                 decision="redirect"):
-                    return self._redirect_body(
-                        task, name, args, kwargs, translated
-                    )
+                    pending = self.submit(task, name, args, kwargs,
+                                          translated)
+                    self.flush(task, reason=name)
+                    return self.complete(pending)
+            except DelegationError as failure:
+                attempt += 1
+                if not self.recovery.enabled \
+                        or attempt > self.recovery.max_retries:
+                    raise SyscallError(
+                        errno.EIO, f"delegation failed: {failure}", call=name
+                    ) from failure
+                self._recover_from(task, failure, attempt, name)
+
+    def _redirect_vectored(self, task, name, fd, vec):
+        """writev/readv: every iovec entry rides one doorbell pair.
+
+        The vector is decomposed into per-entry ``write``/``read`` ring
+        descriptors — the same per-call marshal and per-byte copy costs
+        as issuing them separately — but the whole vector is submitted
+        behind a single IRQ and completed behind a single hypercall,
+        so doorbell count stays flat in the vector length.
+        """
+        vec = tuple(vec)
+        sub_call = "write" if name == "writev" else "read"
+        if not vec:
+            return 0 if name == "writev" else []
+        if self.crypto_fs is not None:
+            # The crypto transform keys off the proxy's live file offset,
+            # which only advances as each entry executes — serialize.
+            results = [
+                self._redirect_sync(task, sub_call, (fd, entry), {})
+                for entry in vec
+            ]
+            return sum(results) if name == "writev" else results
+        attempt = 0
+        while True:
+            self._ensure_container(name)
+            try:
+                with maybe_span(self.machine.clock, "proxy",
+                                f"forward:{name}", task=task,
+                                kernel=self.host_kernel.label,
+                                decision="redirect", batch=len(vec)):
+                    pendings = [
+                        self.submit(task, sub_call, (fd, entry), {})
+                        for entry in vec
+                    ]
+                    self.flush(task, reason=name)
+                    results = [self.complete(p) for p in pendings]
+                return sum(results) if name == "writev" else results
             except DelegationError as failure:
                 attempt += 1
                 if not self.recovery.enabled \
@@ -221,8 +396,16 @@ class AnceptionLayer:
                     kernel=self.host_kernel.label, reason=reason,
                     survivors=survivors)
 
-    def _redirect_body(self, task, name, args, kwargs, translated):
-        proxy = self.proxies.proxy_for(task)
+    def submit(self, task, name, args, kwargs, translated=None):
+        """Marshal one call onto the submit ring; no doorbell yet.
+
+        Returns the :class:`PendingCall` tracking it.  A full ring
+        flushes first (bounded backpressure): the in-flight window is
+        retired behind one doorbell pair before new work queues.
+        """
+        if not self.channel.submit_ring.free_slots():
+            self.flush(task, reason="ring-full")
+        self.proxies.proxy_for(task)  # not enrolled -> SimulationError now
         table = self._fd_table(task)
         call_args = translated if translated is not None else (
             table.translate_args(name, args)
@@ -239,37 +422,109 @@ class AnceptionLayer:
         self.machine.clock.advance(
             self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
         )
-        self.channel.send_to_guest(wire)
-        self._signal_guest_reliably(name, task)
+        seq = self.channel.submit_ring.push(name, wire)
+        pending = PendingCall(seq, task, name, args, call_args, kwargs,
+                              crypto_offset)
+        self._inflight.append(pending)
+        return pending
+
+    def flush(self, task=None, reason=None):
+        """Ring the doorbells: one IRQ submits every in-flight call,
+        the CVM drains the ring, one hypercall completes the batch.
+
+        When every call in the window failed with an errno there is
+        nothing in the completion ring and the hypercall is skipped —
+        the same single-doorbell shape the classic errno path had.
+        """
+        if not self._inflight:
+            return
+        pendings, self._inflight = self._inflight, []
+        count = len(pendings)
+        if reason is None:
+            reason = pendings[0].name if count == 1 else f"batch:{count}"
+        elif count > 1:
+            reason = f"{reason}:{count}"
+        work = {
+            p.seq: (self.proxies.proxy_for(p.task), p.name, p.call_args,
+                    p.kwargs)
+            for p in pendings
+        }
         try:
-            result = self.proxies.execute(proxy, name, call_args, kwargs)
-        except KernelCrashed as crash:
-            raise ContainerCrashed(crash.reason) from crash
-        self.channel.send_to_host(b"\x00" * result_size(result))
-        if not self.channel.signal_host(name):
-            # Completion hypercall lost: the result already sits in the
-            # shared pages, so the host times out and polls it out.
-            self.machine.clock.advance(
-                self.recovery.signal_timeout_ns, "anception:hypercall-poll"
+            self._signal_guest_reliably(reason, pendings[0].task,
+                                        coalesced=count)
+            outcomes = self.proxies.drain(self.channel, work)
+            completions = len(self.channel.complete_ring)
+            self._drain_completions(pendings, outcomes)
+            if completions:
+                self._signal_host_or_poll(reason, pendings[0].task,
+                                          coalesced=completions)
+        except DelegationError:
+            # Whatever was mid-flight is unrecoverable state now; the
+            # retry loop re-submits from scratch against clean rings.
+            self.channel.reset_rings()
+            raise
+
+    def _drain_completions(self, pendings, outcomes):
+        """Pop the completion ring dry and bind outcomes to pendings.
+
+        Completions may arrive out of submission order (the
+        ``ring.reorder`` site); sequence matching absorbs that.  CRC
+        failures and missing outcomes surface as delegation errors for
+        the recovery supervisor.
+        """
+        while True:
+            descriptor = self.channel.complete_ring.pop()
+            if descriptor is None:
+                break
+            if descriptor.seq not in outcomes:
+                raise SimulationError(
+                    f"completion seq {descriptor.seq} matches no "
+                    f"submitted call"
+                )
+        for pending in pendings:
+            outcome = outcomes.get(pending.seq)
+            if outcome is None:
+                raise ChannelError(
+                    f"no outcome for {pending.name}#{pending.seq}"
+                )
+            pending.outcome = outcome
+
+    def complete(self, pending):
+        """Resolve one pending call to its result (or typed errno).
+
+        An unflushed pending flushes its window first, so callers can
+        always ``complete()`` in any order after batched submission.
+        """
+        if pending.outcome is None:
+            self.flush(pending.task)
+        kind, value = pending.outcome
+        if kind == "err":
+            raise value
+        if kind == "cancelled":
+            raise SyscallError(
+                errno.ECANCELED,
+                "aborted by earlier failure in batch",
+                call=pending.name,
             )
-            self.recovery_log.append(("hypercall-poll", name))
-            maybe_event(self.machine.clock, "recovery", "hypercall-poll",
-                        task=task, kernel=self.host_kernel.label, call=name)
-        adopted = self._adopt_result(task, name, args, result)
+        adopted = self._adopt_result(pending.task, pending.name,
+                                     pending.args, value)
         if self.crypto_fs is not None:
             adopted = self._crypto_inbound(
-                task, name, args, adopted, crypto_offset
+                pending.task, pending.name, pending.args, adopted,
+                pending.crypto_offset,
             )
         return adopted
 
-    def _signal_guest_reliably(self, name, task=None):
+    def _signal_guest_reliably(self, name, task=None, coalesced=1):
         """Ring the guest doorbell, re-arming after dropped IRQs.
 
-        Each lost interrupt costs one timeout before the re-signal; when
-        the bounded retries are exhausted the call stalls out as a
+        One doorbell may announce many ring descriptors (``coalesced``),
+        which is the whole point of the batched transport.  Each lost
+        interrupt costs one timeout before the re-signal; when the
+        bounded retries are exhausted the call stalls out as a
         recoverable :class:`ChannelStalled` instead of hanging forever.
         """
-        if self.channel.signal_guest(name):
+        if self.channel.signal_guest(name, coalesced=coalesced):
             return
         for _ in range(self.recovery.signal_retries):
             self.machine.clock.advance(
@@ -278,9 +533,25 @@ class AnceptionLayer:
             self.recovery_log.append(("resignal-irq", name))
             maybe_event(self.machine.clock, "recovery", "resignal-irq",
                         task=task, kernel=self.host_kernel.label, call=name)
-            if self.channel.signal_guest(name):
+            if self.channel.signal_guest(name, coalesced=coalesced):
                 return
         raise ChannelStalled("to-guest", f"irq lost for {name}")
+
+    def _signal_host_or_poll(self, name, task=None, coalesced=1):
+        """Completion hypercall, falling back to a timed host-side poll.
+
+        A lost hypercall is survivable: the completions already sit in
+        the shared pages, so the host times out and polls them out —
+        one timeout per doorbell, however many descriptors it covered.
+        """
+        if self.channel.signal_host(name, coalesced=coalesced):
+            return
+        self.machine.clock.advance(
+            self.recovery.signal_timeout_ns, "anception:hypercall-poll"
+        )
+        self.recovery_log.append(("hypercall-poll", name))
+        maybe_event(self.machine.clock, "recovery", "hypercall-poll",
+                    task=task, kernel=self.host_kernel.label, call=name)
 
     def _crypto_outbound(self, task, name, args, call_args):
         """Encrypt write payloads before they cross into the CVM."""
@@ -538,10 +809,7 @@ class AnceptionLayer:
         data = task.address_space.read(addr, length, need_prot=0)
         self.channel.send_to_guest(data)
         self._signal_guest_reliably("msync", task)
-        if not self.channel.signal_host("msync-ack"):
-            self.machine.clock.advance(
-                self.recovery.signal_timeout_ns, "anception:hypercall-poll"
-            )
+        self._signal_host_or_poll("msync-ack", task)
         return 0
 
     def _find_file_mapping(self, task, addr):
@@ -654,8 +922,9 @@ class AnceptionLayer:
         self.cvm.reboot()
         self.channel = AnceptionChannel(
             self.cvm.hypervisor, self.machine.costs,
-            len(self.channel.shared.frames),
+            self.channel.num_pages, ring_depth=self.channel.ring_depth,
         )
+        self._inflight = []
         self.cvm.kernel.network.firewall = self._firewall_rule
         old_tables = self.fd_tables
         self.fd_tables = {}
@@ -677,6 +946,69 @@ class AnceptionLayer:
                     kernel=self.host_kernel.label,
                     survivors=len(survivors))
         return len(survivors)
+
+    # ------------------------------------------------------------------
+    # explicit batch windows (opt-in syscall batching)
+    # ------------------------------------------------------------------
+
+    def batch(self, task):
+        """Open an explicit batch window for ``task``.
+
+        Inside ``with layer.batch(task):`` deferrable calls (``write``,
+        ``pwrite64``) queue instead of forwarding; consecutive writes to
+        the same fd coalesce into one descriptor; the window's exit
+        flushes everything behind a single doorbell pair.  Deferred
+        writes complete *optimistically* (the byte count returns
+        immediately); a failure surfaces at flush as the usual typed
+        errno.  The crypto filesystem disables deferral — its transform
+        needs the live proxy-side file offset per call.
+        """
+        return DelegationBatch(self, task)
+
+    def run_batch(self, task, calls):
+        """Run ``calls`` — ``(name, *args)`` tuples — under one window.
+
+        The kernel-facing entry for the opt-in batched dispatch path
+        (``libc.syscall_batch``): every call goes through the normal
+        alternate-table dispatch, so host/block/split decisions apply
+        unchanged; only redirected deferrable calls actually batch.
+        """
+        results = []
+        with self.batch(task):
+            for call in calls:
+                name, rest = call[0], tuple(call[1:])
+                results.append(self.host_kernel.syscall(task, name, *rest))
+        return results
+
+    def _run_batch(self, task, calls):
+        """Forward a flushed batch window behind one doorbell pair."""
+        if not calls:
+            return
+        attempt = 0
+        while True:
+            self._ensure_container("batch")
+            try:
+                with maybe_span(self.machine.clock, "proxy",
+                                f"forward:batch:{len(calls)}", task=task,
+                                kernel=self.host_kernel.label,
+                                decision="redirect", batch=len(calls)):
+                    pendings = [
+                        self.submit(task, name, args, {})
+                        for name, args in calls
+                    ]
+                    self.flush(task, reason="batch")
+                    for pending in pendings:
+                        self.complete(pending)
+                return
+            except DelegationError as failure:
+                attempt += 1
+                if not self.recovery.enabled \
+                        or attempt > self.recovery.max_retries:
+                    raise SyscallError(
+                        errno.EIO, f"delegation failed: {failure}",
+                        call="batch",
+                    ) from failure
+                self._recover_from(task, failure, attempt, "batch")
 
     # ------------------------------------------------------------------
     # kernel hooks

@@ -30,12 +30,28 @@ from repro.perf.costs import PAGE_SIZE
 
 
 class AnceptionChannel:
-    """Bounded shared-pages transport with cost accounting."""
+    """Bounded shared-pages transport with cost accounting.
 
-    def __init__(self, hypervisor, costs, num_pages=8):
+    On top of the raw chunked byte path the channel owns one
+    :class:`~repro.core.ring.DelegationRing` pair: the *submit* ring
+    carries marshaled calls host->guest, the *complete* ring carries
+    results guest->host, and one doorbell in each direction retires
+    every descriptor queued since the last ring (doorbell coalescing).
+    """
+
+    def __init__(self, hypervisor, costs, num_pages=8, ring_depth=None):
+        from repro.core.ring import DelegationRing, default_ring_depth
+
         self.hypervisor = hypervisor
         self.costs = costs
         self.shared = hypervisor.kmap_guest_pages(num_pages)
+        self.num_pages = num_pages
+        self.ring_depth = (
+            ring_depth if ring_depth is not None
+            else default_ring_depth(num_pages)
+        )
+        self.submit_ring = DelegationRing("submit", self, self.ring_depth)
+        self.complete_ring = DelegationRing("complete", self, self.ring_depth)
         self.bytes_to_guest = 0
         self.bytes_to_host = 0
         self.transfers = 0
@@ -111,13 +127,21 @@ class AnceptionChannel:
         )
         clock.advance(int(per_byte * nbytes), "channel:copy")
 
-    def signal_guest(self, reason=""):
-        """Ring the guest doorbell; ``False`` when the IRQ was lost."""
-        return self.hypervisor.inject_interrupt(reason)
+    def signal_guest(self, reason="", coalesced=1):
+        """Ring the guest doorbell; ``False`` when the IRQ was lost.
 
-    def signal_host(self, reason=""):
+        ``coalesced`` is how many ring descriptors this one doorbell
+        submits (1 for the classic per-call shape).
+        """
+        return self.hypervisor.inject_interrupt(reason, coalesced=coalesced)
+
+    def signal_host(self, reason="", coalesced=1):
         """Ring the host doorbell; ``False`` when the hypercall was lost."""
-        return self.hypervisor.hypercall(reason)
+        return self.hypervisor.hypercall(reason, coalesced=coalesced)
+
+    def reset_rings(self):
+        """Drop all in-flight descriptors (recovery / rebind path)."""
+        return self.submit_ring.reset() + self.complete_ring.reset()
 
     def stats(self):
         return {
@@ -127,4 +151,8 @@ class AnceptionChannel:
             "hypercalls": self.hypervisor.hypercall_count,
             "interrupts": self.hypervisor.interrupt_count,
             "integrity_failures": self.integrity_failures,
+            "submit_ring": self.submit_ring.stats(),
+            "complete_ring": self.complete_ring.stats(),
+            "coalesced_doorbells": self.hypervisor.coalesced_doorbells,
+            "descriptors_retired": self.hypervisor.descriptors_retired,
         }

@@ -107,9 +107,10 @@ class FdTranslationTable:
         if not args:
             return args
         fd_first = name in {
-            "read", "write", "pread64", "pwrite64", "lseek", "fstat",
-            "fsync", "send", "sendto", "recv", "recvfrom", "ioctl",
-            "close", "connect", "bind", "listen", "accept",
+            "read", "write", "readv", "writev", "pread64", "pwrite64",
+            "lseek", "fstat", "fsync", "send", "sendto", "recv",
+            "recvfrom", "ioctl", "close", "connect", "bind", "listen",
+            "accept",
         }
         if fd_first and isinstance(args[0], int) and args[0] in self:
             return (self.to_proxy(args[0]),) + tuple(args[1:])

@@ -15,8 +15,15 @@ cost.  We reproduce that by charging only ``proxy_dispatch_ns`` per call.
 
 from __future__ import annotations
 
-from repro.errors import ProxyDied, SimulationError
+from repro.core.marshal import result_size
+from repro.errors import (
+    ContainerCrashed,
+    ProxyDied,
+    SimulationError,
+    SyscallError,
+)
 from repro.faults.engine import maybe_engine
+from repro.kernel.kernel import KernelCrashed
 from repro.kernel.process import TaskState
 from repro.obs.bus import maybe_span
 
@@ -129,6 +136,60 @@ class ProxyManager:
         finally:
             if proxy.guest_task.is_alive():
                 proxy.park()
+
+    def drain(self, channel, work):
+        """Service every submitted ring descriptor behind one doorbell.
+
+        The guest-side half of doorbell coalescing: one injected IRQ
+        wakes the CVM, which pops the submit ring dry, executes each
+        descriptor from its owning proxy's parked context, and pushes
+        one completion descriptor per successful result — all before
+        the single completion hypercall.
+
+        ``work`` maps submit sequence numbers to
+        ``(proxy, name, args, kwargs)`` (arguments travel by reference
+        on the Python side; the descriptor's wire bytes carried the
+        honest byte accounting).  Returns ``{seq: (kind, value)}`` with
+        kind ``"ok"`` (result), ``"err"`` (a ``SyscallError`` — no
+        completion descriptor is pushed, mirroring the classic errno
+        path that skips the completion copy), or ``"cancelled"`` (a
+        later descriptor skipped because an earlier one failed —
+        vectored I/O stops at the first error, like the native kernel).
+
+        Delegation-layer failures (a dead proxy, a crashed container,
+        descriptor corruption) propagate as
+        :class:`~repro.errors.DelegationError` for the recovery
+        supervisor; the caller resets the rings before retrying.
+        """
+        outcomes = {}
+        failed = None
+        while True:
+            descriptor = channel.submit_ring.pop()
+            if descriptor is None:
+                break
+            item = work.get(descriptor.seq)
+            if item is None:
+                raise SimulationError(
+                    f"ring descriptor seq {descriptor.seq} has no "
+                    f"submitted call"
+                )
+            proxy, name, args, kwargs = item
+            if failed is not None:
+                outcomes[descriptor.seq] = ("cancelled", failed)
+                continue
+            try:
+                result = self.execute(proxy, name, args, kwargs)
+            except KernelCrashed as crash:
+                raise ContainerCrashed(crash.reason) from crash
+            except SyscallError as exc:
+                outcomes[descriptor.seq] = ("err", exc)
+                failed = exc
+                continue
+            outcomes[descriptor.seq] = ("ok", result)
+            channel.complete_ring.push(
+                name, b"\x00" * result_size(result), seq=descriptor.seq
+            )
+        return outcomes
 
     def _inject_faults(self, engine, proxy, name):
         """Fault sites that strike while a call is being serviced."""

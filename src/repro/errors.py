@@ -93,6 +93,41 @@ class ChannelIntegrityError(ChannelError):
         )
 
 
+class ChannelCapacityError(ChannelError):
+    """A single ring descriptor is larger than the shared-page window.
+
+    The ring transport never silently streams a descriptor past the
+    kmapped window: a payload that cannot fit (payload + descriptor
+    header > channel capacity) is rejected at submission time.  Bulk
+    raw streaming (e.g. the msync write-back) still uses the chunked
+    channel directly and stays unlimited.
+    """
+
+    def __init__(self, nbytes, capacity, call=""):
+        self.nbytes = nbytes
+        self.capacity = capacity
+        self.call = call
+        origin = f" for {call}" if call else ""
+        super().__init__(
+            f"ring descriptor{origin} of {nbytes} bytes exceeds the "
+            f"{capacity}-byte shared-page window"
+        )
+
+
+class RingFull(ChannelError):
+    """A descriptor was pushed into a ring that has no free slots.
+
+    Bounded-capacity backpressure: the submitting side is expected to
+    flush (ring the doorbell and drain completions) before retrying;
+    the Anception layer does this transparently, so apps never see it.
+    """
+
+    def __init__(self, ring, depth):
+        self.ring = ring
+        self.depth = depth
+        super().__init__(f"{ring} ring is full ({depth} descriptors)")
+
+
 class ChannelStalled(ChannelError):
     """A channel doorbell (IRQ or hypercall) was never delivered."""
 

@@ -82,7 +82,8 @@ def chaos_report_json(result):
     return json.dumps(result.report(), indent=2, sort_keys=True)
 
 
-def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True):
+def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
+              ring_depth=None):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -90,7 +91,7 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True):
     :class:`FaultPlan`, or ``None`` for :data:`DEFAULT_PLAN`.
     ``recovery=False`` runs with the default (disabled) policy, which is
     how the degradation guarantee — a well-defined errno, not a hang —
-    is exercised.
+    is exercised.  ``ring_depth`` overrides the delegation rings' depth.
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -102,7 +103,7 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True):
             raise ValueError(f"unknown workload {workload!r} (known: {known})")
     plan = FaultPlan.parse(DEFAULT_PLAN if faults is None else faults)
 
-    world = AnceptionWorld()
+    world = AnceptionWorld(ring_depth=ring_depth)
     running = world.install_and_launch(ChaosApp())
     running.run()
     ctx = running.ctx

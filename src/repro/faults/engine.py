@@ -155,6 +155,34 @@ class FaultEngine:
             return data[: len(data) // 2]
         return data
 
+    def ring_descriptor_payload(self, call, data):
+        """Possibly flip one byte of a ring descriptor payload in place.
+
+        Fires at pop time, *after* the payload crossed the channel —
+        modelling corruption of the descriptor slot itself, which the
+        per-descriptor CRC framing is there to catch.  Empty payloads
+        cross untouched (nothing to mangle).
+        """
+        if not data:
+            return data
+        if self.check("ring.corrupt", call=call) is not None:
+            index = self.rng.randrange(len(data))
+            mangled = bytearray(data)
+            mangled[index] ^= 0xFF
+            return bytes(mangled)
+        return data
+
+    def ring_reorder(self, call=None):
+        """Should the next ring pop deliver descriptors out of order?"""
+        return self.check("ring.reorder", call=call) is not None
+
+    def ring_full_stall_ns(self, call=None):
+        """Backpressure stall charged to a ring push (0 = no stall)."""
+        rule = self.check("ring.full", call=call)
+        if rule is None:
+            return 0
+        return rule.delay_ns or 100_000
+
     def drop_irq(self):
         return self.check("irq.drop") is not None
 

@@ -28,6 +28,9 @@ SITES = {
     "irq.drop": "lose a host->guest doorbell interrupt",
     "irq.dup": "deliver a host->guest interrupt twice",
     "hypercall.drop": "lose a guest->host completion hypercall",
+    "ring.corrupt": "flip one byte of a ring descriptor payload in place",
+    "ring.reorder": "deliver ring descriptors out of submission order",
+    "ring.full": "stall a ring push as if the ring had no free slots",
     "proxy.kill": "kill the CVM proxy mid-call",
     "cvm.crash": "panic the container VM mid-call",
     "cvm.compromise": "give an attacker the container VM kernel",

@@ -93,6 +93,10 @@ class LguestHypervisor:
         self.guest_kernel = None
         self.hypercall_count = 0
         self.interrupt_count = 0
+        self.coalesced_doorbells = 0
+        """Doorbells that retired more than one ring descriptor."""
+        self.descriptors_retired = 0
+        """Total ring descriptors retired across all doorbells."""
 
     @property
     def guest_window(self):
@@ -158,43 +162,57 @@ class LguestHypervisor:
         ]
         return SharedPages(self.machine.physical, frames, self.guest_window)
 
-    def hypercall(self, reason=""):
+    def _account_doorbell(self, reason, coalesced, direction):
+        """Doorbell-coalescing accounting: one ring, N descriptors."""
+        self.descriptors_retired += coalesced
+        if coalesced > 1:
+            self.coalesced_doorbells += 1
+            maybe_event(self.machine.clock, "doorbell-coalesced",
+                        f"{direction}:{reason}", kernel="hypervisor",
+                        direction=direction, coalesced=coalesced)
+
+    def hypercall(self, reason="", coalesced=1):
         """Guest signals the host (one world switch).
 
         Returns ``True`` when the signal was delivered; a fault plan may
         drop it, in which case no world switch happens and the caller is
-        expected to time out and poll.
+        expected to time out and poll.  ``coalesced`` is how many ring
+        descriptors this doorbell completes — the world switch is paid
+        once regardless, which is the whole point of the ring transport.
         """
         engine = maybe_engine(self.machine.clock)
         if engine is not None and engine.drop_hypercall():
             return False
         self.hypercall_count += 1
+        self._account_doorbell(reason, coalesced, "guest->host")
         with maybe_span(self.machine.clock, "world-switch",
                         f"hypercall:{reason}", kernel="hypervisor",
-                        direction="guest->host"):
+                        direction="guest->host", coalesced=coalesced):
             self.machine.clock.advance(
                 self.machine.costs.world_switch_ns, f"hypercall:{reason}"
             )
         return True
 
-    def inject_interrupt(self, reason=""):
+    def inject_interrupt(self, reason="", coalesced=1):
         """Host signals the guest (one world switch).
 
         Returns ``True`` when delivered.  A fault plan may drop the IRQ
         (returns ``False``: the guest never wakes, the sender must
         re-signal) or duplicate it (delivered twice; harmless, because
         doorbell handling is level-triggered/idempotent — a property the
-        differential tests pin down).
+        differential tests pin down).  ``coalesced`` counts the ring
+        descriptors this doorbell submits (see :meth:`hypercall`).
         """
         engine = maybe_engine(self.machine.clock)
         if engine is not None and engine.drop_irq():
             return False
         rounds = 2 if engine is not None and engine.duplicate_irq() else 1
+        self._account_doorbell(reason, coalesced, "host->guest")
         for _ in range(rounds):
             self.interrupt_count += 1
             with maybe_span(self.machine.clock, "world-switch",
                             f"irq:{reason}", kernel="hypervisor",
-                            direction="host->guest"):
+                            direction="host->guest", coalesced=coalesced):
                 self.machine.clock.advance(
                     self.machine.costs.world_switch_ns, f"irq:{reason}"
                 )

@@ -305,6 +305,22 @@ class Kernel:
         finally:
             self.current = previous
 
+    def syscall_batch(self, task, calls):
+        """Opt-in batched dispatch: ``(name, *args)`` tuples in order.
+
+        For an enrolled task the interposition layer opens one batch
+        window around the calls, so consecutive deferrable redirects
+        (same-fd writes) coalesce and share a single doorbell pair.
+        Unenrolled tasks just run the calls sequentially — the batched
+        entry never changes semantics, only doorbell count.
+        """
+        calls = [tuple(call) for call in calls]
+        if self.interposition is not None and task.redirection_entry:
+            return self.interposition.run_batch(task, calls)
+        return [
+            self.syscall(task, call[0], *call[1:]) for call in calls
+        ]
+
     def execute_native(self, task, name, args, kwargs):
         """Run a syscall directly on this kernel (no redirection)."""
         vuln = self.vulnerabilities.get(name)

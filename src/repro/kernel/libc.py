@@ -96,6 +96,20 @@ class Libc:
     def fsync(self, fd):
         return self.syscall("fsync", fd)
 
+    # -- vectored / batched I/O ------------------------------------------
+
+    def readv(self, fd, lengths):
+        """Read ``lengths[i]`` bytes per iovec entry; returns a list."""
+        return self.syscall("readv", fd, tuple(lengths))
+
+    def writev(self, fd, buffers):
+        """Write each buffer in order; returns the total byte count."""
+        return self.syscall("writev", fd, tuple(buffers))
+
+    def syscall_batch(self, calls):
+        """Run ``(name, *args)`` tuples as one batched dispatch window."""
+        return self.kernel.syscall_batch(self.task, calls)
+
     # -- whole-file helpers (read/write loops, like stdio) ---------------
 
     def read_file(self, path):

@@ -34,8 +34,11 @@ SPAN_KINDS = (
     "channel-copy",
     "binder-txn",
     "proxy",
+    "ring-submit",
+    "ring-complete",
 )
-EVENT_KINDS = ("irq", "page-fault", "fault", "recovery")
+EVENT_KINDS = ("irq", "page-fault", "fault", "recovery",
+               "doorbell-coalesced")
 RECORD_KINDS = SPAN_KINDS + EVENT_KINDS
 
 

@@ -45,6 +45,9 @@ DEFAULT_LATENCY_BUCKETS_US = (
 )
 """Fixed per-syscall latency buckets (microseconds); +inf is implicit."""
 
+DEFAULT_RING_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+"""Queue-depth buckets for the delegation rings; +inf is implicit."""
+
 
 class Histogram:
     """Fixed-bucket histogram (cumulative counts, Prometheus-style)."""
@@ -101,8 +104,16 @@ class MetricsRegistry:
             "faults_injected_total", ("site",)
         )
         self.recoveries_total = Counter("recoveries_total", ("action",))
+        self.ring_submits_total = Counter("ring_submits_total", ())
+        self.ring_completes_total = Counter("ring_completes_total", ())
+        self.doorbells_coalesced_total = Counter(
+            "doorbells_coalesced_total", ("direction",)
+        )
         self.syscall_latency_us = Histogram(
             "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
+        )
+        self.ring_depth = Histogram(
+            "ring_depth", DEFAULT_RING_DEPTH_BUCKETS, unit="descriptors"
         )
         self._counters = (
             self.syscalls_total,
@@ -116,6 +127,9 @@ class MetricsRegistry:
             self.page_faults_total,
             self.faults_injected_total,
             self.recoveries_total,
+            self.ring_submits_total,
+            self.ring_completes_total,
+            self.doorbells_coalesced_total,
         )
 
     # -- bus sink ------------------------------------------------------------
@@ -158,6 +172,16 @@ class MetricsRegistry:
             self.faults_injected_total.inc(
                 site=args.get("site", record["name"])
             )
+        elif kind == "ring-submit":
+            self.ring_submits_total.inc()
+            self.ring_depth.observe(args.get("depth", 1))
+        elif kind == "ring-complete":
+            self.ring_completes_total.inc()
+            self.ring_depth.observe(args.get("depth", 1))
+        elif kind == "doorbell-coalesced":
+            self.doorbells_coalesced_total.inc(
+                direction=args.get("direction", "unknown")
+            )
         elif kind == "recovery":
             self.recoveries_total.inc(action=record["name"])
 
@@ -173,5 +197,6 @@ class MetricsRegistry:
             "histograms": {
                 self.syscall_latency_us.name:
                     self.syscall_latency_us.snapshot(),
+                self.ring_depth.name: self.ring_depth.snapshot(),
             },
         }

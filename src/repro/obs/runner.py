@@ -99,6 +99,27 @@ def _workload_table1(ctx):
     _workload_binder(ctx)
 
 
+def _workload_batchio(ctx):
+    """Exercise the ring's batched paths: writev, readv, syscall_batch.
+
+    A 64-entry writev rides one doorbell pair instead of 64; the readv
+    pulls the same bytes back; the closing ``syscall_batch`` window
+    coalesces eight consecutive same-fd writes into one descriptor.
+    """
+    fd = ctx.libc.open(
+        ctx.data_path("batch.bin"),
+        vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC,
+    )
+    buffers = [bytes([0x61 + (i % 26)]) * 64 for i in range(64)]
+    ctx.libc.writev(fd, buffers)
+    ctx.libc.lseek(fd, 0)
+    ctx.libc.readv(fd, [64] * 64)
+    ctx.libc.syscall_batch(
+        [("write", fd, f"tail-{i}".encode()) for i in range(8)]
+    )
+    ctx.libc.close(fd)
+
+
 TRACE_WORKLOADS = {
     "table1": _workload_table1,
     "getpid": _workload_getpid,
@@ -107,6 +128,7 @@ TRACE_WORKLOADS = {
     "binder": _workload_binder,
     "fileops": _workload_fileops,
     "ipc": _workload_ipc,
+    "batchio": _workload_batchio,
 }
 
 
@@ -124,18 +146,20 @@ class TraceResult:
         self.world = world
 
 
-def run_traced(workload, seed=0, observe=True, logcat=True):
+def run_traced(workload, seed=0, observe=True, logcat=True,
+               ring_depth=None):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
     the observability-is-free baseline.  ``logcat`` mirrors span records
     into the host kernel's log device as ``trace:`` lines.
+    ``ring_depth`` overrides the delegation rings' derived depth.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
         known = ", ".join(sorted(TRACE_WORKLOADS))
         raise ValueError(f"unknown workload {workload!r} (known: {known})")
-    world = AnceptionWorld()
+    world = AnceptionWorld(ring_depth=ring_depth)
     running = world.install_and_launch(_ObsApp())
     running.run()
     ctx = running.ctx

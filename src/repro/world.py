@@ -144,12 +144,12 @@ class AnceptionWorld(_World):
     """Android with the Anception layer and its container VM."""
 
     def __init__(self, machine=None, total_mb=1024, guest_mb=64,
-                 file_io_on_host=False):
+                 file_io_on_host=False, ring_depth=None):
         machine = machine or Machine(total_mb=total_mb)
         system = AndroidSystem(machine.kernel, profile="ui_only")
         anception = AnceptionLayer(
             machine, system, guest_mb=guest_mb,
-            file_io_on_host=file_io_on_host,
+            file_io_on_host=file_io_on_host, ring_depth=ring_depth,
         )
         super().__init__(machine, system, anception)
 

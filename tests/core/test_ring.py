@@ -1,0 +1,203 @@
+"""The delegation rings: descriptors, CRC framing, depth, backpressure."""
+
+import pytest
+
+from repro.core.channel import AnceptionChannel
+from repro.core.ring import (
+    DESCRIPTOR_SLOT_BYTES,
+    RING_HEADER_BYTES,
+    DelegationRing,
+    default_ring_depth,
+)
+from repro.errors import (
+    ChannelCapacityError,
+    ChannelError,
+    ChannelIntegrityError,
+    RingFull,
+)
+from repro.faults.engine import FaultEngine
+from repro.hypervisor import LguestHypervisor
+from repro.kernel.kernel import Machine
+from repro.perf.costs import PAGE_SIZE
+
+
+@pytest.fixture
+def machine():
+    return Machine(total_mb=256)
+
+
+@pytest.fixture
+def channel(machine):
+    hypervisor = LguestHypervisor(machine, guest_mb=32)
+    hypervisor.launch_guest()
+    return AnceptionChannel(hypervisor, machine.costs, num_pages=4)
+
+
+class TestDepthDerivation:
+    def test_default_depth_scales_with_pages(self):
+        assert default_ring_depth(8) == 8 * PAGE_SIZE // DESCRIPTOR_SLOT_BYTES
+        assert default_ring_depth(8) == 64
+        assert default_ring_depth(4) == 32
+
+    def test_default_depth_floor(self):
+        assert default_ring_depth(0) == 2
+
+    def test_channel_builds_rings_at_derived_depth(self, channel):
+        assert channel.submit_ring.depth == 32
+        assert channel.complete_ring.depth == 32
+        assert channel.ring_depth == 32
+
+    def test_explicit_ring_depth_knob(self, machine):
+        hypervisor = LguestHypervisor(machine, guest_mb=32)
+        hypervisor.launch_guest()
+        shallow = AnceptionChannel(hypervisor, machine.costs, num_pages=4,
+                                   ring_depth=2)
+        assert shallow.submit_ring.depth == 2
+        assert shallow.complete_ring.depth == 2
+
+    def test_bad_ring_names_and_depths_rejected(self, channel):
+        with pytest.raises(ChannelError):
+            DelegationRing("sideways", channel, 4)
+        with pytest.raises(ChannelError):
+            DelegationRing("submit", channel, 0)
+
+
+class TestPushPop:
+    def test_round_trip_preserves_payload(self, channel):
+        seq = channel.submit_ring.push("write", b"payload-bytes")
+        descriptor = channel.submit_ring.pop()
+        assert descriptor.seq == seq
+        assert descriptor.call == "write"
+        assert descriptor.payload == b"payload-bytes"
+
+    def test_sequence_numbers_are_monotonic(self, channel):
+        seqs = [channel.submit_ring.push("write", b"x") for _ in range(5)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_pop_empty_returns_none(self, channel):
+        assert channel.submit_ring.pop() is None
+
+    def test_payload_crosses_the_shared_pages(self, channel):
+        channel.submit_ring.push("write", b"RING-BYTES")
+        assert channel.shared.read(10, from_guest=True) == b"RING-BYTES"
+
+    def test_completion_ring_uses_caller_seq(self, channel):
+        channel.complete_ring.push("write", b"\x00" * 8, seq=41)
+        descriptor = channel.complete_ring.pop()
+        assert descriptor.seq == 41
+
+    def test_non_bytes_payload_rejected(self, channel):
+        with pytest.raises(ChannelError):
+            channel.submit_ring.push("write", "not-bytes")
+
+    def test_push_charges_the_channel_transfer(self, channel, machine):
+        before = channel.bytes_to_guest
+        channel.submit_ring.push("write", b"d" * 600)
+        assert channel.bytes_to_guest - before == 600
+
+
+class TestCapacityAndBackpressure:
+    def test_oversized_descriptor_raises_typed_error(self, channel):
+        too_big = b"x" * (channel.capacity - RING_HEADER_BYTES + 1)
+        with pytest.raises(ChannelCapacityError) as exc:
+            channel.submit_ring.push("write", too_big)
+        assert exc.value.nbytes == len(too_big)
+        assert exc.value.capacity == channel.capacity
+        assert str(channel.capacity) in str(exc.value)
+
+    def test_largest_fitting_descriptor_accepted(self, channel):
+        just_fits = b"x" * (channel.capacity - RING_HEADER_BYTES)
+        assert channel.submit_ring.push("write", just_fits) > 0
+
+    def test_full_ring_raises_ring_full(self, machine):
+        hypervisor = LguestHypervisor(machine, guest_mb=32)
+        hypervisor.launch_guest()
+        tight = AnceptionChannel(hypervisor, machine.costs, num_pages=4,
+                                 ring_depth=3)
+        for _ in range(3):
+            tight.submit_ring.push("write", b"w")
+        with pytest.raises(RingFull) as exc:
+            tight.submit_ring.push("write", b"w")
+        assert exc.value.depth == 3
+        assert tight.submit_ring.free_slots() == 0
+
+    def test_pop_frees_a_slot(self, machine):
+        hypervisor = LguestHypervisor(machine, guest_mb=32)
+        hypervisor.launch_guest()
+        tight = AnceptionChannel(hypervisor, machine.costs, num_pages=4,
+                                 ring_depth=2)
+        tight.submit_ring.push("write", b"a")
+        tight.submit_ring.push("write", b"b")
+        tight.submit_ring.pop()
+        assert tight.submit_ring.free_slots() == 1
+        tight.submit_ring.push("write", b"c")
+
+
+class TestFaultSites:
+    def test_ring_corrupt_surfaces_as_integrity_error(self, channel,
+                                                      machine):
+        engine = FaultEngine("ring.corrupt:nth=1").arm(machine.clock)
+        try:
+            channel.submit_ring.push("write", b"precious-payload")
+            with pytest.raises(ChannelIntegrityError):
+                channel.submit_ring.pop()
+        finally:
+            engine.disarm()
+        assert channel.integrity_failures == 1
+
+    def test_ring_reorder_delivers_second_first(self, channel, machine):
+        first = channel.submit_ring.push("write", b"first")
+        second = channel.submit_ring.push("write", b"second")
+        engine = FaultEngine("ring.reorder:nth=1").arm(machine.clock)
+        try:
+            assert channel.submit_ring.pop().seq == second
+            assert channel.submit_ring.pop().seq == first
+        finally:
+            engine.disarm()
+        assert channel.submit_ring.out_of_order == 1
+
+    def test_ring_full_fault_stalls_the_push(self, channel, machine):
+        engine = FaultEngine("ring.full:nth=1:delay_us=500").arm(
+            machine.clock
+        )
+        try:
+            before = machine.clock.now_ns
+            channel.submit_ring.push("write", b"w")
+            stalled = machine.clock.now_ns - before
+        finally:
+            engine.disarm()
+        assert stalled >= 500_000
+        assert channel.submit_ring.stalls == 1
+
+
+class TestResetAndStats:
+    def test_reset_drops_queued_descriptors(self, channel):
+        channel.submit_ring.push("write", b"a")
+        channel.submit_ring.push("write", b"b")
+        assert channel.submit_ring.reset() == 2
+        assert channel.submit_ring.pop() is None
+
+    def test_reset_rings_clears_both_directions(self, channel):
+        channel.submit_ring.push("write", b"a")
+        channel.complete_ring.push("write", b"\x00", seq=1)
+        channel.reset_rings()
+        assert len(channel.submit_ring) == 0
+        assert len(channel.complete_ring) == 0
+
+    def test_stats_track_traffic(self, channel):
+        channel.submit_ring.push("write", b"a")
+        channel.submit_ring.push("write", b"b")
+        channel.submit_ring.pop()
+        stats = channel.submit_ring.stats()
+        assert stats["pushed"] == 2
+        assert stats["popped"] == 1
+        assert stats["queued"] == 1
+        assert stats["max_depth_seen"] == 2
+
+    def test_channel_stats_include_rings(self, channel):
+        stats = channel.stats()
+        assert stats["submit_ring"]["depth"] == 32
+        assert stats["complete_ring"]["depth"] == 32
+        assert stats["coalesced_doorbells"] == 0
+        assert stats["descriptors_retired"] == 0

@@ -27,7 +27,7 @@ _SITES = st.sampled_from([
     "syscall.error", "syscall.delay", "channel.corrupt",
     "channel.truncate", "channel.stall", "irq.drop", "irq.dup",
     "hypercall.drop", "proxy.kill", "cvm.crash", "cvm.compromise",
-    "cvm.slow-boot",
+    "cvm.slow-boot", "ring.corrupt", "ring.reorder", "ring.full",
 ])
 
 _rules = st.tuples(_SITES, _TRIGGERS).map(lambda st_: st_[0] + st_[1])

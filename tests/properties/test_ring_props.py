@@ -1,0 +1,134 @@
+"""Ring-transport properties: batching never lies, chaos never hangs.
+
+Random batch shapes crossed with ring-site fault plans must uphold the
+transport's contracts: (1) batched writes land byte-identically to
+sequential writes regardless of vector shape or ring depth; (2) the
+doorbell count for an N-entry vector never exceeds the backpressure
+bound (one pair per ring-depth window), and is always at least 4x
+better than one-pair-per-call for vectors of 8+; (3) ring faults
+(corrupt/reorder/full) terminate with success or a typed errno and
+replay byte-identically across runs.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.chaos import chaos_report_json, run_chaos
+from repro.kernel import vfs
+from repro.world import AnceptionWorld
+from tests.conftest import ScratchApp
+
+
+_SLOW = dict(max_examples=20, deadline=None)
+
+_ring_rules = st.sampled_from([
+    "ring.corrupt:nth=1", "ring.corrupt:nth=3", "ring.corrupt:p=0.2",
+    "ring.reorder:nth=1", "ring.reorder:every=2", "ring.reorder:p=0.5",
+    "ring.full:nth=2", "ring.full:every=3:delay_us=200",
+])
+_ring_plans = st.lists(_ring_rules, min_size=1, max_size=3).map(";".join)
+
+_vectors = st.lists(
+    st.binary(min_size=1, max_size=128), min_size=1, max_size=20
+)
+
+
+def _fresh_ctx(ring_depth=None):
+    world = AnceptionWorld(ring_depth=ring_depth)
+    running = world.install_and_launch(ScratchApp())
+    running.run()
+    return world, running.ctx
+
+
+def _batchio(ctx):
+    fd = ctx.libc.open(
+        ctx.data_path("prop.bin"), vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC
+    )
+    ctx.libc.writev(fd, [b"p" * 32 for _ in range(12)])
+    ctx.libc.lseek(fd, 0)
+    ctx.libc.readv(fd, [32] * 12)
+    ctx.libc.syscall_batch(
+        [("write", fd, b"t%d" % i) for i in range(4)]
+    )
+    ctx.libc.close(fd)
+
+
+class TestBatchingCorrectness:
+    @given(vec=_vectors,
+           ring_depth=st.one_of(st.none(),
+                                st.integers(min_value=2, max_value=64)))
+    @settings(**_SLOW)
+    def test_writev_lands_identically_to_sequential(self, vec, ring_depth):
+        world, ctx = _fresh_ctx(ring_depth=ring_depth)
+        total = sum(len(b) for b in vec)
+        fd_v = ctx.libc.open(ctx.data_path("v.bin"),
+                             vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC)
+        assert ctx.libc.writev(fd_v, vec) == total
+        fd_s = ctx.libc.open(ctx.data_path("s.bin"),
+                             vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC)
+        for buf in vec:
+            ctx.libc.write(fd_s, buf)
+        ctx.libc.lseek(fd_v, 0)
+        ctx.libc.lseek(fd_s, 0)
+        assert ctx.libc.read(fd_v, total) == ctx.libc.read(fd_s, total)
+
+    @given(vec=_vectors)
+    @settings(**_SLOW)
+    def test_readv_reassembles_what_writev_wrote(self, vec):
+        world, ctx = _fresh_ctx()
+        fd = ctx.libc.open(ctx.data_path("rr.bin"),
+                           vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC)
+        ctx.libc.writev(fd, vec)
+        ctx.libc.lseek(fd, 0)
+        chunks = ctx.libc.readv(fd, [len(b) for b in vec])
+        assert chunks == [bytes(b) for b in vec]
+
+    @given(vec=st.lists(st.binary(min_size=1, max_size=64),
+                        min_size=8, max_size=24),
+           depth=st.integers(min_value=4, max_value=64))
+    @settings(**_SLOW)
+    def test_doorbells_bounded_by_backpressure_windows(self, vec, depth):
+        world, ctx = _fresh_ctx(ring_depth=depth)
+        fd = ctx.libc.open(ctx.data_path("db.bin"),
+                           vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC)
+        hypervisor = world.cvm.hypervisor
+        irq_before = hypervisor.interrupt_count
+        hyp_before = hypervisor.hypercall_count
+        ctx.libc.writev(fd, vec)
+        pairs = max(hypervisor.interrupt_count - irq_before,
+                    hypervisor.hypercall_count - hyp_before)
+        windows = -(-len(vec) // depth)  # ceil: ring-full flush bound
+        assert pairs <= windows
+        # acceptance floor: >= 4x fewer doorbells than per-call pairs
+        assert pairs * 4 <= len(vec)
+
+
+class TestRingChaos:
+    @given(plan=_ring_plans, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(**_SLOW)
+    def test_ring_faults_terminate_with_defined_outcome(self, plan, seed):
+        result = run_chaos(_batchio, seed=seed, faults=plan)
+        assert result.status in ("ok", "syscall-error")
+        if result.status == "syscall-error":
+            assert any(code in result.error for code in
+                       ("EIO", "EBADF", "ENOSPC", "EPERM", "ENOENT"))
+
+    @given(plan=_ring_plans, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_ring_faults_replay_byte_identically(self, plan, seed):
+        first = chaos_report_json(run_chaos(_batchio, seed=seed,
+                                            faults=plan))
+        second = chaos_report_json(run_chaos(_batchio, seed=seed,
+                                             faults=plan))
+        assert first == second
+
+    @given(plan=_ring_plans, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(**_SLOW)
+    def test_rings_drain_clean_after_chaos(self, plan, seed):
+        result = run_chaos(_batchio, seed=seed, faults=plan)
+        channel = result.world.anception.channel
+        assert len(channel.submit_ring) == 0
+        assert len(channel.complete_ring) == 0
+        report = json.loads(chaos_report_json(result))
+        assert report["stats"]["channel"]["submit_ring"]["queued"] == 0

@@ -38,6 +38,7 @@ class TestCli:
             "table1", "antutu", "sunspider", "sqlite", "memory",
             "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
             "interactive", "alternatives", "trace", "metrics", "chaos",
+            "bench-smoke",
         }
 
     def test_trace_command_chrome(self, capsys):
