@@ -1,0 +1,47 @@
+"""E1 (warm-read extension) — the host page cache's cold/warm split.
+
+The cache is a delegation-avoidance optimisation layered on top of the
+paper's numbers: a cold miss must still land on Table I's 305.03 us
+redirected read (within the same 2% the E1 gate allows), while the warm
+re-read must come in at or under twice the 6.51 us native read.
+"""
+
+import pytest
+
+from repro.perf.micro import run_read_cache_bench
+
+
+@pytest.fixture(scope="module")
+def read_cache():
+    return run_read_cache_bench()
+
+
+def test_read_cache_bench_regenerates(benchmark, capsys):
+    result = benchmark.pedantic(run_read_cache_bench, rounds=1, iterations=1)
+    for key in ("native_us", "cold_us", "warm_us", "warm_over_native",
+                "hit_rate"):
+        benchmark.extra_info[key] = result[key]
+    with capsys.disabled():
+        print()
+        print(
+            f"read cache: native={result['native_us']}us "
+            f"cold={result['cold_us']}us warm={result['warm_us']}us "
+            f"({result['warm_over_native']}x native, "
+            f"hit_rate={result['hit_rate']})"
+        )
+
+
+def test_cold_miss_matches_the_classic_redirected_read(read_cache):
+    assert read_cache["cold_us"] == pytest.approx(305.03, rel=0.02)
+
+
+def test_native_baseline_matches_paper(read_cache):
+    assert read_cache["native_us"] == pytest.approx(6.51, rel=0.01)
+
+
+def test_warm_read_within_twice_native(read_cache):
+    assert read_cache["warm_us"] <= 2 * read_cache["native_us"]
+
+
+def test_warm_read_beats_cold_by_an_order_of_magnitude(read_cache):
+    assert read_cache["warm_us"] * 10 < read_cache["cold_us"]

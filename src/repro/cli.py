@@ -140,6 +140,29 @@ def _ring_summary(channel):
     )
 
 
+def _cache_summary(anception):
+    """One human line of read-cache state for stderr (or None if off)."""
+    cache = anception.page_cache
+    if cache is None:
+        return None
+    stats = cache.stats()
+    return (
+        f"read-cache: pages={stats['pages']}/{stats['max_pages']}"
+        f" hits={stats['hits']} misses={stats['misses']}"
+        f" hit_rate={stats['hit_rate']}"
+        f" readahead={stats['readahead_pages']}"
+        f" invalidated={stats['invalidated_pages']}"
+    )
+
+
+def _cache_args(args):
+    """The (read_cache, cache_pages) pair the workload runners take."""
+    return {
+        "read_cache": not getattr(args, "no_read_cache", False),
+        "cache_pages": getattr(args, "cache_pages", None) or 1024,
+    }
+
+
 def cmd_trace(args):
     from repro.obs.export import chrome_trace_json, to_ftrace
     from repro.obs.runner import run_traced
@@ -148,7 +171,8 @@ def cmd_trace(args):
     seed = getattr(args, "seed", 0)
     try:
         result = run_traced(workload, seed=seed,
-                            ring_depth=getattr(args, "ring_depth", None))
+                            ring_depth=getattr(args, "ring_depth", None),
+                            **_cache_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     fmt = getattr(args, "format", "chrome") or "chrome"
@@ -162,6 +186,9 @@ def cmd_trace(args):
         )
     _emit(text, getattr(args, "out", None))
     print(_ring_summary(result.world.anception.channel), file=sys.stderr)
+    cache_line = _cache_summary(result.world.anception)
+    if cache_line is not None:
+        print(cache_line, file=sys.stderr)
 
 
 def cmd_metrics(args):
@@ -171,7 +198,8 @@ def cmd_metrics(args):
     seed = getattr(args, "seed", 0)
     try:
         result = run_traced(workload, seed=seed, logcat=False,
-                            ring_depth=getattr(args, "ring_depth", None))
+                            ring_depth=getattr(args, "ring_depth", None),
+                            **_cache_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     snapshot = {
@@ -193,7 +221,8 @@ def cmd_chaos(args):
     try:
         result = run_chaos(workload, seed=seed,
                            faults=getattr(args, "faults", None),
-                           ring_depth=getattr(args, "ring_depth", None))
+                           ring_depth=getattr(args, "ring_depth", None),
+                           **_cache_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     trace_out = getattr(args, "trace_out", None)
@@ -212,17 +241,20 @@ def cmd_bench_smoke(args):
     """The CI benchmark-smoke artifact: E1 micro table + ring counters.
 
     Runs the Table I microbenchmarks for both configurations plus the
-    ``batchio`` traced workload, and emits one JSON document recording
-    the measured latencies next to the ring transport's doorbell
-    accounting — enough to spot either a latency or a coalescing
-    regression from a single uploaded artifact.
+    ``batchio`` traced workload and the read-cache cold/warm probe, and
+    emits one JSON document recording the measured latencies next to
+    the ring transport's doorbell accounting — enough to spot a
+    latency, a coalescing, or a cache regression from a single
+    uploaded artifact.  Exits non-zero if the warm cached read fails to
+    beat the cold miss, or drifts past twice the native read.
     """
     from repro.obs.runner import run_traced
-    from repro.perf.micro import run_full_table1
+    from repro.perf.micro import run_full_table1, run_read_cache_bench
 
     table1 = run_full_table1()
     traced = run_traced("batchio", logcat=False,
                         ring_depth=getattr(args, "ring_depth", None))
+    read_cache = run_read_cache_bench()
     anception = traced.world.anception
     channel_stats = anception.channel.stats()
     hypervisor = anception.cvm.hypervisor
@@ -237,10 +269,35 @@ def cmd_bench_smoke(args):
             "submit_ring": channel_stats["submit_ring"],
             "complete_ring": channel_stats["complete_ring"],
         },
+        "read_cache": {
+            "native_us": read_cache["native_us"],
+            "cold_us": read_cache["cold_us"],
+            "warm_us": read_cache["warm_us"],
+            "warm_over_native": read_cache["warm_over_native"],
+            "hit_rate": read_cache["hit_rate"],
+        },
     }
     text = json.dumps(report, indent=2, sort_keys=True, default=str)
     _emit(text, getattr(args, "out", None))
     print(_ring_summary(anception.channel), file=sys.stderr)
+    print(
+        f"read-cache: native={read_cache['native_us']}us"
+        f" cold={read_cache['cold_us']}us warm={read_cache['warm_us']}us"
+        f" hit_rate={read_cache['hit_rate']}",
+        file=sys.stderr,
+    )
+    if read_cache["warm_us"] >= read_cache["cold_us"]:
+        sys.exit(
+            "anception: error: warm cached read "
+            f"({read_cache['warm_us']} us) did not beat the cold miss "
+            f"({read_cache['cold_us']} us)"
+        )
+    if read_cache["warm_us"] > 2 * read_cache["native_us"]:
+        sys.exit(
+            "anception: error: warm cached read "
+            f"({read_cache['warm_us']} us) exceeds twice the native read "
+            f"({read_cache['native_us']} us)"
+        )
 
 
 COMMANDS = {
@@ -318,6 +375,19 @@ def main(argv=None):
         "--trace-out",
         default=None,
         help="also write the chaos run's Chrome trace to this file",
+    )
+    parser.add_argument(
+        "--no-read-cache",
+        action="store_true",
+        help="disable the host-side page cache for delegated reads "
+             "(trace/metrics/chaos commands; the cache is on by default)",
+    )
+    parser.add_argument(
+        "--cache-pages",
+        type=int,
+        default=1024,
+        help="capacity of the host-side read cache in 4096B pages "
+             "(default: 1024)",
     )
     parser.add_argument(
         "--ring-depth",

@@ -22,9 +22,11 @@ from repro.core.marshal import (
     RemoteFdStub,
     marshal_call,
 )
+from repro.core.page_cache import HostPageCache
 from repro.core.policy import Decision, RedirectionPolicy
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
+from repro.faults.engine import maybe_engine
 from repro.errors import (
     ChannelError,
     ChannelStalled,
@@ -38,7 +40,9 @@ from repro.errors import (
 from repro.kernel.loader import run_payload
 from repro.kernel.memory import MAP_ANONYMOUS
 from repro.kernel.process import Credentials, ROOT_UID
+from repro.kernel.vfs import InodeKind
 from repro.obs.bus import maybe_event, maybe_span
+from repro.perf.costs import PAGE_SIZE
 
 
 ANCEPTION_LINES_OF_CODE = 5_219
@@ -151,7 +155,8 @@ class AnceptionLayer:
     marshaling_lines = ANCEPTION_MARSHALING_LINES
 
     def __init__(self, machine, host_system, guest_mb=64, channel_pages=8,
-                 file_io_on_host=False, ring_depth=None):
+                 file_io_on_host=False, ring_depth=None, read_cache=False,
+                 cache_pages=1024):
         self.machine = machine
         self.host_kernel = machine.kernel
         self.host_system = host_system
@@ -161,6 +166,14 @@ class AnceptionLayer:
             ring_depth=ring_depth,
         )
         self.proxies = ProxyManager(self.cvm)
+        self.page_cache = (
+            HostPageCache(max_pages=cache_pages) if read_cache else None
+        )
+        """Host-side cache of delegated-read pages; ``None`` keeps the
+        classic every-read-delegates behaviour (the paper's numbers)."""
+        self._cache_paths = {}
+        """abs path -> CVM ino for files opened through the layer, so
+        path-keyed mutations (unlink/rename/truncate) can invalidate."""
         self.ring_batching = True
         """Decompose writev/readv into per-iovec ring descriptors that
         share one doorbell pair (the always-on batched path)."""
@@ -280,6 +293,10 @@ class AnceptionLayer:
             # Anything the window can't defer forces the queued writes
             # out first, preserving program order.
             self._batch.flush()
+        if translated is None and not kwargs:
+            served = self._cache_lookup(task, name, args)
+            if served is not None:
+                return served[0]
         return self._redirect_sync(task, name, args, kwargs, translated)
 
     def _redirect_sync(self, task, name, args, kwargs, translated=None):
@@ -318,6 +335,10 @@ class AnceptionLayer:
         sub_call = "write" if name == "writev" else "read"
         if not vec:
             return 0 if name == "writev" else []
+        if name == "readv":
+            served = self._cache_readv(task, fd, vec)
+            if served is not None:
+                return served
         if self.crypto_fs is not None:
             # The crypto transform keys off the proxy's live file offset,
             # which only advances as each entry executes — serialize.
@@ -508,6 +529,9 @@ class AnceptionLayer:
             )
         adopted = self._adopt_result(pending.task, pending.name,
                                      pending.args, value)
+        if self.page_cache is not None and self.crypto_fs is None:
+            self._cache_observe(pending.task, pending.name, pending.args,
+                                adopted)
         if self.crypto_fs is not None:
             adopted = self._crypto_inbound(
                 pending.task, pending.name, pending.args, adopted,
@@ -609,6 +633,220 @@ class AnceptionLayer:
                 host_fds.append(host_fd)
             return tuple(host_fds)
         return result
+
+    # ------------------------------------------------------------------
+    # host-side page cache for delegated reads
+    # ------------------------------------------------------------------
+
+    def _remote_file(self, task, host_fd):
+        """Proxy-side OpenFile behind a remote fd, if it is a plain file.
+
+        Anything that is not a regular CVM file — sockets, pipes, device
+        nodes, host fds — is uncacheable and returns ``None``.
+        """
+        if not isinstance(host_fd, int):
+            return None
+        table = self._fd_table(task)
+        if not table.is_remote(host_fd):
+            return None
+        desc = self.proxies.descriptor_for(task, table.to_proxy(host_fd))
+        inode = getattr(desc, "inode", None)
+        if inode is None or inode.kind is not InodeKind.FILE:
+            return None
+        return desc
+
+    def _cache_lookup(self, task, name, args):
+        """Serve a redirected read from the page cache, if warm.
+
+        Returns ``(result,)`` on a hit, ``None`` to forward the call
+        unchanged (the demand-miss path is byte-identical to the classic
+        redirect).  A hit skips both doorbells and the channel copy and
+        pays only ``cache_hit_ns`` per page.  Crypto-FS files, non-file
+        descriptors, and a crashed/compromised container all bypass.
+        """
+        cache = self.page_cache
+        if cache is None or self.crypto_fs is not None:
+            return None
+        if name not in ("read", "pread64") or len(args) < 2:
+            return None
+        if self.cvm.crashed or self.cvm.compromised:
+            return None
+        desc = self._remote_file(task, args[0])
+        if desc is None or not getattr(desc, "readable", False):
+            return None
+        length = args[1]
+        offset = desc.offset if name == "read" else (
+            args[2] if len(args) > 2 else 0
+        )
+        if not isinstance(length, int) or length < 0 \
+                or not isinstance(offset, int) or offset < 0:
+            return None
+        ino = desc.inode.ino
+        engine = maybe_engine(self.machine.clock)
+        if engine is not None:
+            if engine.cache_evict(call=name):
+                dropped = cache.drop_range(ino, offset, max(length, 1))
+                if dropped:
+                    maybe_event(self.machine.clock, "cache-invalidate",
+                                "evict", task=task,
+                                kernel=self.host_kernel.label, ino=ino,
+                                pages=dropped)
+            if engine.cache_stale(call=name):
+                dropped = cache.invalidate_ino(ino)
+                # the log keys on the host fd, not the ino: inode numbers
+                # come from a process-global counter, and the chaos
+                # report must replay byte-identically across runs
+                self.recovery_log.append(
+                    ("cache-invalidate",
+                     f"stale fd {args[0]} ({dropped} pages), refetching")
+                )
+                maybe_event(self.machine.clock, "cache-invalidate",
+                            "stale", task=task,
+                            kernel=self.host_kernel.label, ino=ino,
+                            pages=dropped)
+                maybe_event(self.machine.clock, "recovery",
+                            "cache-invalidate", task=task,
+                            kernel=self.host_kernel.label, call=name)
+                cache.misses += 1
+                return None
+        result = cache.lookup(ino, offset, length)
+        if result is None:
+            maybe_event(self.machine.clock, "cache-miss", name, task=task,
+                        kernel=self.host_kernel.label, ino=ino)
+            return None
+        pages = max(1, -(-len(result) // PAGE_SIZE))
+        with maybe_span(self.machine.clock, "cache-hit",
+                        f"{name}:{len(result)}B", task=task,
+                        kernel=self.host_kernel.label, ino=ino,
+                        bytes=len(result), pages=pages):
+            self.machine.clock.advance(
+                self.machine.costs.cache_hit_ns * pages,
+                "anception:cache-hit",
+            )
+        if name == "read":
+            # The layer owns the canonical offset for cached sequential
+            # reads; the shadow descriptor *is* the proxy's open file,
+            # so both views stay coherent.
+            desc.offset = offset + len(result)
+        return (result,)
+
+    def _cache_readv(self, task, fd, lengths):
+        """Serve a whole readv from cache iff *every* entry is warm.
+
+        Any cold entry forwards the entire vector through the ring —
+        partial service would split one doorbell pair into two.
+        """
+        cache = self.page_cache
+        if cache is None or self.crypto_fs is not None:
+            return None
+        if self.cvm.crashed or self.cvm.compromised:
+            return None
+        desc = self._remote_file(task, fd)
+        if desc is None or not getattr(desc, "readable", False):
+            return None
+        ino = desc.inode.ino
+        offset = desc.offset
+        results = []
+        pages = 0
+        for length in lengths:
+            if not isinstance(length, int) or length < 0:
+                return None
+            chunk = cache.peek(ino, offset, length)
+            if chunk is None:
+                cache.misses += 1
+                maybe_event(self.machine.clock, "cache-miss", "readv",
+                            task=task, kernel=self.host_kernel.label,
+                            ino=ino)
+                return None
+            results.append(chunk)
+            offset += len(chunk)
+            pages += max(1, -(-len(chunk) // PAGE_SIZE))
+        cache.count_hits(len(results))
+        total = sum(len(r) for r in results)
+        with maybe_span(self.machine.clock, "cache-hit",
+                        f"readv:{total}B", task=task,
+                        kernel=self.host_kernel.label, ino=ino,
+                        bytes=total, pages=pages, batch=len(results)):
+            self.machine.clock.advance(
+                self.machine.costs.cache_hit_ns * pages,
+                "anception:cache-hit",
+            )
+        desc.offset = offset
+        return results
+
+    _CACHE_FD_MUTATORS = ("write", "pwrite64", "ftruncate", "ftruncate64",
+                          "fallocate")
+    _CACHE_PATH_MUTATORS = ("unlink", "rename", "truncate")
+
+    def _cache_observe(self, task, name, args, result):
+        """Fill and write-through coherence at the completion choke point.
+
+        Every redirected call funnels through :meth:`complete`, so this
+        is the single place the cache learns about data movement:
+        completed reads fill (demand pages plus a channel window of
+        read-ahead, staged while the doorbell pair is already paid);
+        completed mutations write through or invalidate *before* any
+        later lookup can run.
+        """
+        cache = self.page_cache
+        if name in ("read", "pread64") and isinstance(result, bytes):
+            desc = self._remote_file(task, args[0] if args else None)
+            if desc is None:
+                return
+            if name == "pread64":
+                start = args[2] if len(args) > 2 else 0
+            else:
+                start = desc.offset - len(result)
+            if not isinstance(start, int) or start < 0:
+                return
+            demanded, ahead = cache.fill_window(
+                desc.inode.ino, bytes(desc.inode.data), start,
+                max(len(result), 1), self.channel.window_bytes,
+            )
+            if demanded or ahead:
+                with maybe_span(self.machine.clock, "cache-fill",
+                                f"{name}:{demanded + ahead}p", task=task,
+                                kernel=self.host_kernel.label,
+                                ino=desc.inode.ino,
+                                pages=demanded + ahead, readahead=ahead):
+                    pass  # overlapped staging: zero simulated time
+            return
+        if name in self._CACHE_FD_MUTATORS:
+            desc = self._remote_file(task, args[0] if args else None)
+            if desc is not None:
+                touched = cache.refresh_ino(desc.inode.ino,
+                                            bytes(desc.inode.data))
+                if touched:
+                    maybe_event(self.machine.clock, "cache-invalidate",
+                                "write-through", task=task,
+                                kernel=self.host_kernel.label,
+                                ino=desc.inode.ino, pages=touched)
+            return
+        if name in self._CACHE_PATH_MUTATORS:
+            for path_arg in args[:2] if name == "rename" else args[:1]:
+                if not isinstance(path_arg, str):
+                    continue
+                path = self._abs(task, path_arg)
+                ino = (self._cache_paths.get(path) if name == "truncate"
+                       else self._cache_paths.pop(path, None))
+                if ino is None:
+                    continue
+                dropped = cache.invalidate_ino(ino)
+                if dropped:
+                    maybe_event(self.machine.clock, "cache-invalidate",
+                                name, task=task,
+                                kernel=self.host_kernel.label, ino=ino,
+                                pages=dropped)
+            return
+        if name == "open" and isinstance(result, int) and args \
+                and isinstance(args[0], str):
+            desc = self._remote_file(task, result)
+            if desc is None:
+                return
+            self._cache_paths[self._abs(task, args[0])] = desc.inode.ino
+            if cache.knows(desc.inode.ino):
+                # Re-snapshot: an O_TRUNC reopen just emptied the file.
+                cache.refresh_ino(desc.inode.ino, bytes(desc.inode.data))
 
     # ------------------------------------------------------------------
     # split-execution handlers
@@ -925,6 +1163,12 @@ class AnceptionLayer:
             self.channel.num_pages, ring_depth=self.channel.ring_depth,
         )
         self._inflight = []
+        if self.page_cache is not None:
+            # The guest filesystem was rebuilt: every cached page (and
+            # learned path->ino binding) describes inodes that no longer
+            # exist.
+            self.page_cache.clear()
+        self._cache_paths = {}
         self.cvm.kernel.network.firewall = self._firewall_rule
         old_tables = self.fd_tables
         self.fd_tables = {}
@@ -1077,6 +1321,10 @@ class AnceptionLayer:
             "blocked_calls": len(self.blocked_calls),
             "killed_apps": len(self.killed_apps),
             "channel": self.channel.stats(),
+            "read_cache": (
+                self.page_cache.stats() if self.page_cache is not None
+                else None
+            ),
             "cvm_crashed": self.cvm.crashed,
             "cvm_reboots": self.cvm.reboot_count,
             "recoveries": len(self.recovery_log),

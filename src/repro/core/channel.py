@@ -61,6 +61,15 @@ class AnceptionChannel:
     def capacity(self):
         return self.shared.capacity
 
+    @property
+    def window_bytes(self):
+        """Bytes of remapped shared window — one read-ahead batch.
+
+        The page cache stages read-ahead in window-sized batches: the
+        doorbell pair for the demand miss is already paid, so anything
+        that fits the window rides along for free."""
+        return self.num_pages * PAGE_SIZE
+
     def _chunked(self, data):
         data = bytes(data)
         if not data:

@@ -39,7 +39,10 @@ class ExecutionCache:
         open_file = self.kernel.vfs.open(
             cache_path, O_WRONLY | O_CREAT | O_TRUNC, self._root, 0o755
         )
-        open_file.write(bytes(data))
+        try:
+            open_file.write(bytes(data))
+        finally:
+            open_file.close()
         return cache_path
 
     def entries(self):

@@ -108,9 +108,12 @@ class FdTranslationTable:
             return args
         fd_first = name in {
             "read", "write", "readv", "writev", "pread64", "pwrite64",
-            "lseek", "fstat", "fsync", "send", "sendto", "recv",
-            "recvfrom", "ioctl", "close", "connect", "bind", "listen",
-            "accept",
+            "lseek", "_llseek", "fstat", "fstat64", "fsync", "fdatasync",
+            "ftruncate", "ftruncate64", "fchmod", "fchown", "fchown32",
+            "flock", "fallocate", "getdents", "getdents64", "send",
+            "sendto", "recv", "recvfrom", "ioctl", "close", "connect",
+            "bind", "listen", "accept", "shutdown", "getsockname",
+            "getpeername", "setsockopt", "getsockopt",
         }
         if fd_first and isinstance(args[0], int) and args[0] in self:
             return (self.to_proxy(args[0]),) + tuple(args[1:])

@@ -136,13 +136,16 @@ class DelegationRing:
                 len(payload), self.channel.capacity, call=call
             )
         clock = self.channel.hypervisor.machine.clock
-        engine = maybe_engine(clock)
-        if engine is not None:
-            stall_ns = engine.ring_full_stall_ns(call=call)
-            if stall_ns:
-                self.stalls += 1
-                clock.advance(stall_ns, f"fault:ring-full:{self.name}")
         if len(self._queue) >= self.depth:
+            # The ring.full stall models a producer spinning on a ring
+            # with no free slot; it is only ever billed when the ring is
+            # actually full.
+            engine = maybe_engine(clock)
+            if engine is not None:
+                stall_ns = engine.ring_full_stall_ns(call=call)
+                if stall_ns:
+                    self.stalls += 1
+                    clock.advance(stall_ns, f"fault:ring-full:{self.name}")
             raise RingFull(self.name, self.depth)
         if seq is None:
             seq = self._next_seq

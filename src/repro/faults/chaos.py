@@ -83,7 +83,7 @@ def chaos_report_json(result):
 
 
 def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
-              ring_depth=None):
+              ring_depth=None, read_cache=False, cache_pages=1024):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -91,7 +91,9 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     :class:`FaultPlan`, or ``None`` for :data:`DEFAULT_PLAN`.
     ``recovery=False`` runs with the default (disabled) policy, which is
     how the degradation guarantee — a well-defined errno, not a hang —
-    is exercised.  ``ring_depth`` overrides the delegation rings' depth.
+    is exercised.  ``ring_depth`` overrides the delegation rings' depth;
+    ``read_cache``/``cache_pages`` enable and size the host-side page
+    cache (the ``cache.stale``/``cache.evict`` sites need it on).
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -103,7 +105,8 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
             raise ValueError(f"unknown workload {workload!r} (known: {known})")
     plan = FaultPlan.parse(DEFAULT_PLAN if faults is None else faults)
 
-    world = AnceptionWorld(ring_depth=ring_depth)
+    world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
+                           cache_pages=cache_pages)
     running = world.install_and_launch(ChaosApp())
     running.run()
     ctx = running.ctx

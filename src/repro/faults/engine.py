@@ -183,6 +183,19 @@ class FaultEngine:
             return 0
         return rule.delay_ns or 100_000
 
+    def cache_stale(self, call=None):
+        """Should this page-cache lookup be treated as stale?
+
+        The layer recovers by invalidating the file's cached pages and
+        refetching through the ring — the demand-miss path — so a stale
+        hit can never serve wrong bytes, only cost the cold latency.
+        """
+        return self.check("cache.stale", call=call) is not None
+
+    def cache_evict(self, call=None):
+        """Evict the demanded pages just before a cache lookup?"""
+        return self.check("cache.evict", call=call) is not None
+
     def drop_irq(self):
         return self.check("irq.drop") is not None
 

@@ -31,6 +31,9 @@ SITES = {
     "ring.corrupt": "flip one byte of a ring descriptor payload in place",
     "ring.reorder": "deliver ring descriptors out of submission order",
     "ring.full": "stall a ring push as if the ring had no free slots",
+    "cache.stale": "treat a delegated-read cache lookup as stale "
+                   "(invalidate the file's pages and refetch)",
+    "cache.evict": "evict the demanded pages just before a cache lookup",
     "proxy.kill": "kill the CVM proxy mid-call",
     "cvm.crash": "panic the container VM mid-call",
     "cvm.compromise": "give an attacker the container VM kernel",

@@ -404,6 +404,7 @@ class Kernel:
             "_llseek": self._do_lseek,
             "truncate": self._do_truncate,
             "ftruncate": self._do_ftruncate,
+            "ftruncate64": self._do_ftruncate,
             "stat": self._do_stat,
             "stat64": self._do_stat,
             "lstat": self._do_lstat,
@@ -422,6 +423,9 @@ class Kernel:
             "readlink": self._do_readlink,
             "chmod": self._do_chmod,
             "chown": self._do_chown,
+            "fchmod": self._do_fchmod,
+            "fchown": self._do_fchown,
+            "fchown32": self._do_fchown,
             "getdents": self._do_getdents,
             "getcwd": self._do_getcwd,
             "chdir": self._do_chdir,
@@ -802,6 +806,32 @@ class Kernel:
     def _do_chown(self, task, path, uid, gid):
         self._charge(self.costs.file_metadata_ns, "chown")
         self.vfs.chown(self._abspath(task, path), uid, gid, task.credentials)
+        return 0
+
+    def _do_fchmod(self, task, fd, mode):
+        desc = task.get_fd(fd)
+        inode = getattr(desc, "inode", None)
+        if inode is None:
+            raise SyscallError(errno.EINVAL, "fchmod target", call="fchmod")
+        self._charge(self.costs.file_metadata_ns, "fchmod")
+        creds = task.credentials
+        if not creds.is_root() and creds.euid != inode.uid:
+            raise SyscallError(errno.EPERM, f"fd {fd}", call="fchmod")
+        inode.mode = mode & 0o7777
+        return 0
+
+    def _do_fchown(self, task, fd, uid, gid):
+        desc = task.get_fd(fd)
+        inode = getattr(desc, "inode", None)
+        if inode is None:
+            raise SyscallError(errno.EINVAL, "fchown target", call="fchown")
+        self._charge(self.costs.file_metadata_ns, "fchown")
+        if not task.credentials.is_root():
+            raise SyscallError(errno.EPERM, f"fd {fd}", call="fchown")
+        if uid >= 0:
+            inode.uid = uid
+        if gid >= 0:
+            inode.gid = gid
         return 0
 
     def _do_getdents(self, task, path):

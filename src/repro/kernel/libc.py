@@ -84,6 +84,18 @@ class Libc:
     def chmod(self, path, mode):
         return self.syscall("chmod", path, mode)
 
+    def fchmod(self, fd, mode):
+        return self.syscall("fchmod", fd, mode)
+
+    def fchown(self, fd, uid, gid):
+        return self.syscall("fchown", fd, uid, gid)
+
+    def ftruncate(self, fd, length):
+        return self.syscall("ftruncate", fd, length)
+
+    def fdatasync(self, fd):
+        return self.syscall("fdatasync", fd)
+
     def listdir(self, path):
         return self.syscall("getdents", path)
 

@@ -96,7 +96,6 @@ class Task:
         self.cwd = "/"
         self.umask = 0o022
         self.fd_table = {}
-        self._next_fd = 3
         self.address_space = None
         self.exe_path = None
         self.argv = ()
@@ -113,11 +112,10 @@ class Task:
 
     def alloc_fd(self, description):
         """Install ``description`` at the lowest free descriptor >= 3."""
-        fd = self._next_fd
+        fd = 3
         while fd in self.fd_table:
             fd += 1
         self.fd_table[fd] = description
-        self._next_fd = fd + 1
         return fd
 
     def install_fd(self, fd, description):

@@ -36,9 +36,11 @@ SPAN_KINDS = (
     "proxy",
     "ring-submit",
     "ring-complete",
+    "cache-hit",
+    "cache-fill",
 )
 EVENT_KINDS = ("irq", "page-fault", "fault", "recovery",
-               "doorbell-coalesced")
+               "doorbell-coalesced", "cache-miss", "cache-invalidate")
 RECORD_KINDS = SPAN_KINDS + EVENT_KINDS
 
 

@@ -109,6 +109,14 @@ class MetricsRegistry:
         self.doorbells_coalesced_total = Counter(
             "doorbells_coalesced_total", ("direction",)
         )
+        self.cache_hits_total = Counter("cache_hits_total", ())
+        self.cache_misses_total = Counter("cache_misses_total", ())
+        self.cache_fill_pages_total = Counter(
+            "cache_fill_pages_total", ("lane",)
+        )
+        self.cache_invalidations_total = Counter(
+            "cache_invalidations_total", ("cause",)
+        )
         self.syscall_latency_us = Histogram(
             "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
         )
@@ -130,6 +138,10 @@ class MetricsRegistry:
             self.ring_submits_total,
             self.ring_completes_total,
             self.doorbells_coalesced_total,
+            self.cache_hits_total,
+            self.cache_misses_total,
+            self.cache_fill_pages_total,
+            self.cache_invalidations_total,
         )
 
     # -- bus sink ------------------------------------------------------------
@@ -184,6 +196,22 @@ class MetricsRegistry:
             )
         elif kind == "recovery":
             self.recoveries_total.inc(action=record["name"])
+        elif kind == "cache-hit":
+            self.cache_hits_total.inc()
+        elif kind == "cache-miss":
+            self.cache_misses_total.inc()
+        elif kind == "cache-fill":
+            demand = args.get("pages", 0) - args.get("readahead", 0)
+            if demand > 0:
+                self.cache_fill_pages_total.inc(demand, lane="demand")
+            if args.get("readahead", 0) > 0:
+                self.cache_fill_pages_total.inc(
+                    args["readahead"], lane="readahead"
+                )
+        elif kind == "cache-invalidate":
+            self.cache_invalidations_total.inc(
+                args.get("pages", 1), cause=record["name"]
+            )
 
     # -- output --------------------------------------------------------------
 

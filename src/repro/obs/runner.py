@@ -147,19 +147,22 @@ class TraceResult:
 
 
 def run_traced(workload, seed=0, observe=True, logcat=True,
-               ring_depth=None):
+               ring_depth=None, read_cache=False, cache_pages=1024):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
     the observability-is-free baseline.  ``logcat`` mirrors span records
     into the host kernel's log device as ``trace:`` lines.
-    ``ring_depth`` overrides the delegation rings' derived depth.
+    ``ring_depth`` overrides the delegation rings' derived depth;
+    ``read_cache``/``cache_pages`` enable and size the host-side page
+    cache for delegated reads.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
         known = ", ".join(sorted(TRACE_WORKLOADS))
         raise ValueError(f"unknown workload {workload!r} (known: {known})")
-    world = AnceptionWorld(ring_depth=ring_depth)
+    world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
+                           cache_pages=cache_pages)
     running = world.install_and_launch(_ObsApp())
     running.run()
     ctx = running.ctx

@@ -144,12 +144,14 @@ class AnceptionWorld(_World):
     """Android with the Anception layer and its container VM."""
 
     def __init__(self, machine=None, total_mb=1024, guest_mb=64,
-                 file_io_on_host=False, ring_depth=None):
+                 file_io_on_host=False, ring_depth=None, read_cache=False,
+                 cache_pages=1024):
         machine = machine or Machine(total_mb=total_mb)
         system = AndroidSystem(machine.kernel, profile="ui_only")
         anception = AnceptionLayer(
             machine, system, guest_mb=guest_mb,
             file_io_on_host=file_io_on_host, ring_depth=ring_depth,
+            read_cache=read_cache, cache_pages=cache_pages,
         )
         super().__init__(machine, system, anception)
 

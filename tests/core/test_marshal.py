@@ -117,3 +117,38 @@ class TestRemoteFdStub:
 
     def test_close_is_inert(self):
         assert RemoteFdStub(3).close() is None
+
+
+class TestFdFirstSweep:
+    """Every fd-first call the proxy can be handed must have its leading
+    host fd rewritten — a call missing from the set reaches the CVM with
+    a dangling host number and hits the wrong (or no) file."""
+
+    @pytest.mark.parametrize("name,rest", [
+        ("ftruncate", (4096,)),
+        ("ftruncate64", (4096,)),
+        ("fchmod", (0o640,)),
+        ("fchown", (1000, 1000)),
+        ("fchown32", (1000, 1000)),
+        ("fdatasync", ()),
+        ("fallocate", (0, 0, 4096)),
+        ("flock", (2,)),
+        ("getdents", ()),
+        ("getdents64", ()),
+        ("_llseek", (0, 0, 0)),
+        ("fstat64", ()),
+        ("pread64", (100, 0)),
+        ("pwrite64", (b"x", 0)),
+    ])
+    def test_translate_args_rewrites_the_new_fd_first_calls(self, name,
+                                                            rest):
+        table = FdTranslationTable()
+        table.bind(7, 3)
+        assert table.translate_args(name, (7,) + rest) == (3,) + rest
+
+    def test_translate_args_still_skips_path_first_calls(self):
+        table = FdTranslationTable()
+        table.bind(7, 3)
+        for name in ("truncate", "chmod", "chown", "unlink", "rename"):
+            args = ("/data/x", 7)
+            assert table.translate_args(name, args) == args

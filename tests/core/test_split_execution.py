@@ -156,3 +156,45 @@ class TestUidChangeKill:
         uid = native_ctx.task.credentials.uid
         assert native_ctx.libc.setuid(uid) == 0
         assert native_ctx.task.is_alive()
+
+
+class TestExecCacheLifecycle:
+    def test_stage_closes_its_open_file(self, anception_world):
+        cache = anception_world.anception.exec_cache
+        staged = []
+        real_open = cache.kernel.vfs.open
+
+        def spying_open(*args, **kwargs):
+            open_file = real_open(*args, **kwargs)
+            staged.append(open_file)
+            return open_file
+
+        cache.kernel.vfs.open = spying_open
+        try:
+            path = cache.stage("/data/app/gen.bin", b"\x7fELFgen")
+        finally:
+            cache.kernel.vfs.open = real_open
+        assert len(staged) == 1
+        # the regression: stage used to leak the handle (refcount stuck
+        # at 1), pinning every staged executable's description forever
+        assert staged[0].refcount == 0
+        assert path in [f"/data/anception-exec-cache/{n}"
+                        for n in cache.entries()]
+
+    def test_stage_closes_even_when_the_write_raises(self, anception_world):
+        cache = anception_world.anception.exec_cache
+        staged = []
+        real_open = cache.kernel.vfs.open
+
+        def spying_open(*args, **kwargs):
+            open_file = real_open(*args, **kwargs)
+            staged.append(open_file)
+            return open_file
+
+        cache.kernel.vfs.open = spying_open
+        try:
+            with pytest.raises(TypeError):
+                cache.stage("/data/app/bad.bin", object())
+        finally:
+            cache.kernel.vfs.open = real_open
+        assert staged[0].refcount == 0

@@ -71,8 +71,21 @@ class TestTaskFdTable:
         task.alloc_fd("a")
         task.alloc_fd("b")
         task.remove_fd(3)
-        task._next_fd = 3
         assert task.alloc_fd("c") == 3
+
+    def test_close_then_reopen_reuses_lowest_fd(self, kernel):
+        # Regression: _next_fd only ever grew, so a long-lived task
+        # leaked descriptor numbers across close/reopen cycles.
+        task = kernel.spawn_task("t", Credentials(1))
+        fds = [task.alloc_fd(f"d{i}") for i in range(3)]
+        assert fds == [3, 4, 5]
+        task.remove_fd(4)
+        assert task.alloc_fd("again") == 4
+        task.remove_fd(3)
+        task.remove_fd(5)
+        assert task.alloc_fd("low") == 3
+        assert task.alloc_fd("mid") == 5
+        assert task.alloc_fd("next") == 6
 
     def test_get_unknown_fd_raises_ebadf(self, kernel):
         task = kernel.spawn_task("t", Credentials(1))

@@ -259,3 +259,68 @@ class TestDirectoryOps:
 
     def test_stat_dir(self, vfs):
         assert vfs.stat("/data", ROOT).is_dir()
+
+
+class TestPositionedIoOffsets:
+    """pread/pwrite never move the shared offset — even on error — and
+    O_APPEND keeps its Linux-faithful quirk of hijacking pwrite."""
+
+    def _open(self, vfs, flags):
+        vfs.open("/data/local/tmp/pos.bin", O_WRONLY | O_CREAT, ROOT,
+                 0o644).close()
+        handle = vfs.open("/data/local/tmp/pos.bin", flags, ROOT, 0o644)
+        return handle
+
+    def test_pread_restores_offset(self, vfs):
+        handle = self._open(vfs, O_RDWR)
+        handle.write(b"0123456789")
+        handle.offset = 2
+        assert handle.pread(4, 6) == b"6789"
+        assert handle.offset == 2
+
+    def test_pwrite_restores_offset(self, vfs):
+        handle = self._open(vfs, O_RDWR)
+        handle.write(b"0123456789")
+        handle.offset = 3
+        handle.pwrite(b"XY", 5)
+        assert handle.offset == 3
+        assert bytes(handle.inode.data) == b"01234XY789"
+
+    def test_pread_restores_offset_when_the_read_fails(self, vfs):
+        handle = self._open(vfs, O_WRONLY)
+        handle.offset = 7
+        with pytest.raises(SyscallError):
+            handle.pread(4, 0)
+        assert handle.offset == 7
+
+    def test_pwrite_restores_offset_when_the_write_fails(self, vfs):
+        handle = self._open(vfs, O_RDONLY)
+        handle.offset = 5
+        with pytest.raises(SyscallError):
+            handle.pwrite(b"nope", 0)
+        assert handle.offset == 5
+
+    def test_append_write_lands_at_eof_regardless_of_offset(self, vfs):
+        handle = self._open(vfs, O_RDWR)
+        handle.write(b"base")
+        handle.close()
+        appender = vfs.open("/data/local/tmp/pos.bin",
+                            O_WRONLY | O_APPEND, ROOT, 0o644)
+        appender.offset = 1  # ignored: O_APPEND seeks to EOF per write
+        appender.write(b"-tail")
+        assert bytes(appender.inode.data) == b"base-tail"
+        assert appender.offset == 9
+
+    def test_pwrite_on_append_fd_writes_at_eof_and_restores(self, vfs):
+        # Linux bug-compat: pwrite(2) on an O_APPEND fd appends at EOF,
+        # ignoring the explicit offset — and still restores the shared
+        # offset afterwards.
+        handle = self._open(vfs, O_RDWR)
+        handle.write(b"base")
+        handle.close()
+        appender = vfs.open("/data/local/tmp/pos.bin",
+                            O_WRONLY | O_APPEND, ROOT, 0o644)
+        appender.offset = 2
+        appender.pwrite(b"!!", 0)
+        assert bytes(appender.inode.data) == b"base!!"
+        assert appender.offset == 2

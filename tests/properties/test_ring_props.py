@@ -100,8 +100,12 @@ class TestBatchingCorrectness:
                     hypervisor.hypercall_count - hyp_before)
         windows = -(-len(vec) // depth)  # ceil: ring-full flush bound
         assert pairs <= windows
-        # acceptance floor: >= 4x fewer doorbells than per-call pairs
-        assert pairs * 4 <= len(vec)
+        # acceptance floor: >= 4x fewer doorbells than per-call pairs.
+        # Only guaranteed for depth >= 8: with len >= 8 that gives
+        # 4 * ceil(len/depth) <= 4 * (len/8 + 1) <= len; shallower
+        # rings (depth 4, len 9 -> 3 windows) legitimately miss it.
+        if depth >= 8:
+            assert pairs * 4 <= len(vec)
 
 
 class TestRingChaos:
