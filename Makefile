@@ -43,7 +43,7 @@ chaos-demo:
 	cmp chaos-a.json chaos-b.json && echo "chaos run is byte-identical across replays"
 
 coverage:
-	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=80
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=85
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

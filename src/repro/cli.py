@@ -163,6 +163,33 @@ def _cache_args(args):
     }
 
 
+def _wb_summary(anception):
+    """One human line of write-behind state for stderr (or None if off)."""
+    wb = anception.write_behind
+    if wb is None:
+        return None
+    stats = wb.stats()
+    return (
+        f"write-behind: depth={stats['depth']}"
+        f" enqueued={stats['enqueued']} drains={stats['drains']}"
+        f" fences={stats['fences']}"
+        f" deferred_errors={stats['deferred_errors']}"
+        f" max_depth_seen={stats['max_depth_seen']}"
+    )
+
+
+def _wb_args(args):
+    """The (write_behind, write_behind_depth) pair the runners take.
+
+    Like the read cache, write-behind is on by default for the tooling
+    commands (trace/metrics/chaos) and off in the library default.
+    """
+    return {
+        "write_behind": not getattr(args, "no_write_behind", False),
+        "write_behind_depth": getattr(args, "write_behind_depth", None),
+    }
+
+
 def cmd_trace(args):
     from repro.obs.export import chrome_trace_json, to_ftrace
     from repro.obs.runner import run_traced
@@ -172,7 +199,7 @@ def cmd_trace(args):
     try:
         result = run_traced(workload, seed=seed,
                             ring_depth=getattr(args, "ring_depth", None),
-                            **_cache_args(args))
+                            **_cache_args(args), **_wb_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     fmt = getattr(args, "format", "chrome") or "chrome"
@@ -189,6 +216,9 @@ def cmd_trace(args):
     cache_line = _cache_summary(result.world.anception)
     if cache_line is not None:
         print(cache_line, file=sys.stderr)
+    wb_line = _wb_summary(result.world.anception)
+    if wb_line is not None:
+        print(wb_line, file=sys.stderr)
 
 
 def cmd_metrics(args):
@@ -199,7 +229,7 @@ def cmd_metrics(args):
     try:
         result = run_traced(workload, seed=seed, logcat=False,
                             ring_depth=getattr(args, "ring_depth", None),
-                            **_cache_args(args))
+                            **_cache_args(args), **_wb_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     snapshot = {
@@ -222,7 +252,7 @@ def cmd_chaos(args):
         result = run_chaos(workload, seed=seed,
                            faults=getattr(args, "faults", None),
                            ring_depth=getattr(args, "ring_depth", None),
-                           **_cache_args(args))
+                           **_cache_args(args), **_wb_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     trace_out = getattr(args, "trace_out", None)
@@ -246,15 +276,22 @@ def cmd_bench_smoke(args):
     the ring transport's doorbell accounting — enough to spot a
     latency, a coalescing, or a cache regression from a single
     uploaded artifact.  Exits non-zero if the warm cached read fails to
-    beat the cold miss, or drifts past twice the native read.
+    beat the cold miss, drifts past twice the native read, or the
+    write-behind E1 workload loses its 3x end-to-end speedup (or its
+    sync baseline drifts off the Table I per-call pin).
     """
     from repro.obs.runner import run_traced
-    from repro.perf.micro import run_full_table1, run_read_cache_bench
+    from repro.perf.micro import (
+        run_full_table1,
+        run_read_cache_bench,
+        run_write_behind_bench,
+    )
 
     table1 = run_full_table1()
     traced = run_traced("batchio", logcat=False,
                         ring_depth=getattr(args, "ring_depth", None))
     read_cache = run_read_cache_bench()
+    write_behind = run_write_behind_bench()
     anception = traced.world.anception
     channel_stats = anception.channel.stats()
     hypervisor = anception.cvm.hypervisor
@@ -276,6 +313,7 @@ def cmd_bench_smoke(args):
             "warm_over_native": read_cache["warm_over_native"],
             "hit_rate": read_cache["hit_rate"],
         },
+        "write_behind": write_behind,
     }
     text = json.dumps(report, indent=2, sort_keys=True, default=str)
     _emit(text, getattr(args, "out", None))
@@ -297,6 +335,29 @@ def cmd_bench_smoke(args):
             "anception: error: warm cached read "
             f"({read_cache['warm_us']} us) exceeds twice the native read "
             f"({read_cache['native_us']} us)"
+        )
+    print(
+        f"write-behind: sync={write_behind['sync_ms']}ms"
+        f" wb={write_behind['wb_ms']}ms"
+        f" speedup={write_behind['speedup']}x"
+        f" bytes_match={write_behind['bytes_match']}",
+        file=sys.stderr,
+    )
+    if write_behind["speedup"] < 3.0:
+        sys.exit(
+            "anception: error: write-behind E1 speedup "
+            f"({write_behind['speedup']}x) fell below the 3x gate"
+        )
+    if not write_behind["bytes_match"]:
+        sys.exit(
+            "anception: error: write-behind E1 file bytes diverged "
+            "from the synchronous run"
+        )
+    if abs(write_behind["sync_per_call_us"] - 384.45) > 0.02 * 384.45:
+        sys.exit(
+            "anception: error: synchronous E1 per-call latency "
+            f"({write_behind['sync_per_call_us']} us) drifted off the "
+            "Table I 384.45 us pin"
         )
 
 
@@ -388,6 +449,20 @@ def main(argv=None):
         default=1024,
         help="capacity of the host-side read cache in 4096B pages "
              "(default: 1024)",
+    )
+    parser.add_argument(
+        "--no-write-behind",
+        action="store_true",
+        help="disable async write-behind delegation windows "
+             "(trace/metrics/chaos commands; write-behind is on by "
+             "default there, off in the library default)",
+    )
+    parser.add_argument(
+        "--write-behind-depth",
+        type=int,
+        default=None,
+        help="in-flight window depth for write-behind delegation "
+             "(default: min(32, ring depth))",
     )
     parser.add_argument(
         "--ring-depth",

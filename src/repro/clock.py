@@ -27,6 +27,9 @@ class SimClock:
         self._now_ns = int(start_ns)
         self._charges = []
         self._trace_depth = 0
+        self._lane_busy = {}
+        self._overlap_lane = None
+        self._overlap_cursor = 0
         self.bus = None
         """Optional :class:`repro.obs.TraceBus` observing this clock.
         Observers only *read* the clock; they never advance it."""
@@ -51,6 +54,20 @@ class SimClock:
         delta_ns = int(delta_ns)
         if delta_ns < 0:
             raise ValueError(f"cannot move time backwards ({delta_ns} ns)")
+        if self._overlap_lane is not None:
+            # Charges inside an overlap window accrue to the lane cursor,
+            # not to host-visible time: the host task keeps running while
+            # the lane (the CVM) works.  ``wait_for`` reconciles at fences.
+            self._overlap_cursor += delta_ns
+            if delta_ns:
+                if self._trace_depth:
+                    self._charges.append((reason or "unlabelled", delta_ns))
+                bus = self.bus
+                if bus is not None and bus.enabled:
+                    bus.on_charge(
+                        reason or "unlabelled", delta_ns, self._overlap_cursor
+                    )
+            return
         self._now_ns += delta_ns
         if delta_ns:
             if self._trace_depth:
@@ -101,8 +118,66 @@ class SimClock:
         """
         return _Span(self)
 
+    # -- overlapped-charge accounting ---------------------------------------
+
+    def overlap(self, lane="cvm"):
+        """Context manager: charge time to ``lane`` instead of the host.
+
+        Inside the window every :meth:`advance` accrues to a per-lane
+        busy-until cursor (starting at ``max(now, lane's watermark)``)
+        while host-visible ``now_ns`` stands still — the simulated
+        equivalent of work proceeding on another vCPU.  The host only
+        pays when it synchronises via :meth:`wait_for`.  Windows do not
+        nest (one lane models one single-threaded drain loop).
+        """
+        return _OverlapWindow(self, lane)
+
+    def wait_for(self, lane, reason=""):
+        """Advance host time to ``lane``'s watermark (a fence).
+
+        Returns the nanoseconds the host actually waited (0 when the
+        lane already finished before the host caught up).
+        """
+        if self._overlap_lane is not None:
+            raise ValueError("cannot wait_for a lane inside an overlap "
+                             "window")
+        backlog = self.lane_backlog_ns(lane)
+        if backlog:
+            self.advance(backlog, reason or f"wait:{lane}")
+        return backlog
+
+    def lane_backlog_ns(self, lane):
+        """How far ``lane``'s watermark runs ahead of host time."""
+        return max(0, self._lane_busy.get(lane, 0) - self._now_ns)
+
     def __repr__(self):
         return f"SimClock(now={self._now_ns} ns)"
+
+
+class _OverlapWindow:
+    """Redirects ``advance`` charges into a lane for the ``with`` body."""
+
+    __slots__ = ("_clock", "_lane")
+
+    def __init__(self, clock, lane):
+        self._clock = clock
+        self._lane = lane
+
+    def __enter__(self):
+        clock = self._clock
+        if clock._overlap_lane is not None:
+            raise ValueError("overlap windows do not nest")
+        clock._overlap_lane = self._lane
+        clock._overlap_cursor = max(
+            clock._now_ns, clock._lane_busy.get(self._lane, 0)
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        clock = self._clock
+        clock._lane_busy[self._lane] = clock._overlap_cursor
+        clock._overlap_lane = None
+        return False
 
 
 class _Span:

@@ -26,6 +26,7 @@ from repro.core.page_cache import HostPageCache
 from repro.core.policy import Decision, RedirectionPolicy
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
+from repro.core.ring import RING_FLAG_WRITE_BEHIND
 from repro.faults.engine import maybe_engine
 from repro.errors import (
     ChannelError,
@@ -148,6 +149,104 @@ class DelegationBatch:
         return False
 
 
+WRITE_BEHIND_DEPTH = 32
+"""Default bound on one task's in-flight write-behind window (clamped
+to the ring depth: a window must drain behind one doorbell pair)."""
+
+
+class WriteBehindEntry:
+    """One deferred side-effect call staged in a write-behind window."""
+
+    __slots__ = ("name", "args", "call_args", "wire", "fd", "result")
+
+    def __init__(self, name, args, call_args, wire, fd, result):
+        self.name = name
+        self.args = args
+        self.call_args = call_args
+        self.wire = wire
+        self.fd = fd
+        self.result = result
+
+    def __repr__(self):
+        return f"WriteBehindEntry({self.name}, fd={self.fd})"
+
+
+class _WbWindow:
+    """One task's open in-flight window of staged entries."""
+
+    __slots__ = ("task", "entries")
+
+    def __init__(self, task):
+        self.task = task
+        self.entries = []
+
+
+class WriteBehind:
+    """Per-task async submission windows plus the deferred-error ledger.
+
+    Deferrable calls (plain writes to validated writable CVM files)
+    return optimistically while their descriptors sit staged in a
+    bounded per-task window; a drain ships the window through the ring
+    while the host keeps running (the CVM lane absorbs the cost).  A
+    drained entry that fails lands in the per-``(pid, fd)`` ledger —
+    first error wins, later same-window entries get ECANCELED — and is
+    surfaced exactly once at the next fence on that fd.
+    """
+
+    def __init__(self, depth=WRITE_BEHIND_DEPTH):
+        self.depth = depth
+        self.windows = {}
+        """pid -> :class:`_WbWindow` of staged entries."""
+        self.errors = {}
+        """(pid, host_fd) -> deferred :class:`SyscallError` (first wins)."""
+        self.enqueued = 0
+        self.drains = 0
+        self.fences = 0
+        self.deferred_errors = 0
+        self.max_depth_seen = 0
+
+    def window(self, task):
+        window = self.windows.get(task.pid)
+        if window is None:
+            window = self.windows[task.pid] = _WbWindow(task)
+        return window
+
+    def pending_windows(self):
+        """Windows with staged entries, in deterministic pid order."""
+        return [w for _pid, w in sorted(self.windows.items())
+                if w.entries]
+
+    def record_error(self, pid, fd, exc):
+        """Ledger ``exc`` for ``(pid, fd)``; ``True`` if it was first."""
+        key = (pid, fd)
+        if key in self.errors:
+            return False
+        self.errors[key] = exc
+        self.deferred_errors += 1
+        return True
+
+    def take_error(self, pid, fd):
+        """Pop (surface-exactly-once) the deferred error for a fd."""
+        return self.errors.pop((pid, fd), None)
+
+    def clear(self):
+        """Drop all windows and ledger entries (container reboot: the
+        descriptors they named died with the old CVM)."""
+        self.windows.clear()
+        self.errors.clear()
+
+    def stats(self):
+        return {
+            "depth": self.depth,
+            "enqueued": self.enqueued,
+            "drains": self.drains,
+            "fences": self.fences,
+            "deferred_errors": self.deferred_errors,
+            "pending": sum(len(w.entries) for w in self.windows.values()),
+            "max_depth_seen": self.max_depth_seen,
+        }
+
+
 class AnceptionLayer:
     """Host-side redirection layer plus its container VM."""
 
@@ -156,7 +255,8 @@ class AnceptionLayer:
 
     def __init__(self, machine, host_system, guest_mb=64, channel_pages=8,
                  file_io_on_host=False, ring_depth=None, read_cache=False,
-                 cache_pages=1024):
+                 cache_pages=1024, async_delegation=False,
+                 write_behind_depth=None):
         self.machine = machine
         self.host_kernel = machine.kernel
         self.host_system = host_system
@@ -181,6 +281,15 @@ class AnceptionLayer:
         """The open :class:`DelegationBatch` window, if any."""
         self._inflight = []
         """Submitted-but-unflushed :class:`PendingCall` descriptors."""
+        if async_delegation:
+            depth = (write_behind_depth if write_behind_depth is not None
+                     else min(WRITE_BEHIND_DEPTH, self.channel.ring_depth))
+            self.write_behind = WriteBehind(depth)
+        else:
+            self.write_behind = None
+        """Async write-behind state (per-task windows + deferred-error
+        ledger); ``None`` keeps every delegated call synchronous — the
+        classic blocking shape the paper measured."""
         self.policy = RedirectionPolicy(
             host_system.ui_service_names(), file_io_on_host=file_io_on_host
         )
@@ -293,6 +402,16 @@ class AnceptionLayer:
             # Anything the window can't defer forces the queued writes
             # out first, preserving program order.
             self._batch.flush()
+        if self.write_behind is not None:
+            if translated is None and self._wb_accepts(task, name, args,
+                                                       kwargs):
+                return self._wb_enqueue(task, name, args)
+            # Every other redirected call is a fence: the staged windows
+            # drain (and the lane settles) before it runs, preserving
+            # program order — and keeping the page cache coherent, since
+            # the drain's completions write through before any cached
+            # read below can hit.
+            self._wb_fence(task, name, args)
         if translated is None and not kwargs:
             served = self._cache_lookup(task, name, args)
             if served is not None:
@@ -335,6 +454,15 @@ class AnceptionLayer:
         sub_call = "write" if name == "writev" else "read"
         if not vec:
             return 0 if name == "writev" else []
+        if self.write_behind is not None:
+            if name == "writev" and self._wb_accepts_writev(task, fd, vec):
+                # Defer per-iovec, matching the sync decomposition: each
+                # entry becomes its own staged write descriptor.
+                return sum(
+                    self._wb_enqueue(task, "write", (fd, entry))
+                    for entry in vec
+                )
+            self._wb_fence(task, name, (fd,))
         if name == "readv":
             served = self._cache_readv(task, fd, vec)
             if served is not None:
@@ -417,12 +545,14 @@ class AnceptionLayer:
                     kernel=self.host_kernel.label, reason=reason,
                     survivors=survivors)
 
-    def submit(self, task, name, args, kwargs, translated=None):
+    def submit(self, task, name, args, kwargs, translated=None, wire=None):
         """Marshal one call onto the submit ring; no doorbell yet.
 
         Returns the :class:`PendingCall` tracking it.  A full ring
         flushes first (bounded backpressure): the in-flight window is
-        retired behind one doorbell pair before new work queues.
+        retired behind one doorbell pair before new work queues.  A
+        pre-staged ``wire`` (write-behind drain) skips the marshal step
+        — the host already paid for packing when the call deferred.
         """
         if not self.channel.submit_ring.free_slots():
             self.flush(task, reason="ring-full")
@@ -432,18 +562,23 @@ class AnceptionLayer:
             table.translate_args(name, args)
         )
         crypto_offset = None
-        if self.crypto_fs is not None and args:
-            call_args, crypto_offset = self._crypto_outbound(
-                task, name, args, call_args
+        prestaged = wire is not None
+        if wire is None:
+            if self.crypto_fs is not None and args:
+                call_args, crypto_offset = self._crypto_outbound(
+                    task, name, args, call_args
+                )
+            wire, _size = marshal_call(name, call_args, kwargs)
+            self.machine.clock.advance(
+                self.machine.costs.marshal_fixed_ns, "anception:marshal"
             )
-        wire, _size = marshal_call(name, call_args, kwargs)
-        self.machine.clock.advance(
-            self.machine.costs.marshal_fixed_ns, "anception:marshal"
-        )
         self.machine.clock.advance(
             self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
         )
-        seq = self.channel.submit_ring.push(name, wire)
+        seq = self.channel.submit_ring.push(
+            name, wire,
+            flags=RING_FLAG_WRITE_BEHIND if prestaged else 0,
+        )
         pending = PendingCall(seq, task, name, args, call_args, kwargs,
                               crypto_offset)
         self._inflight.append(pending)
@@ -871,6 +1006,16 @@ class AnceptionLayer:
             task.remove_fd(fd)
             if self.crypto_fs is not None:
                 self.crypto_fs.on_close(task, fd)
+            if self.write_behind is not None:
+                # close is a fence: teardown completes, then any errno
+                # the window deferred for this fd surfaces (once) here.
+                deferred = self.write_behind.take_error(task.pid, fd)
+                if deferred is not None:
+                    raise SyscallError(
+                        deferred.errno,
+                        f"deferred write-behind error on fd {fd}",
+                        call="close",
+                    ) from deferred
             return 0
         return self.host_kernel.execute_native(task, "close", (fd,), {})
 
@@ -1163,6 +1308,10 @@ class AnceptionLayer:
             self.channel.num_pages, ring_depth=self.channel.ring_depth,
         )
         self._inflight = []
+        if self.write_behind is not None:
+            # Staged windows and ledgered errnos name proxy descriptors
+            # that died with the old container.
+            self.write_behind.clear()
         if self.page_cache is not None:
             # The guest filesystem was rebuilt: every cached page (and
             # learned path->ino binding) describes inodes that no longer
@@ -1255,6 +1404,280 @@ class AnceptionLayer:
                 self._recover_from(task, failure, attempt, "batch")
 
     # ------------------------------------------------------------------
+    # write-behind delegation (async windows, drains, fences)
+    # ------------------------------------------------------------------
+
+    _WB_DEFERRABLE = ("write", "pwrite64", "ftruncate")
+    _WB_FENCE_SURFACING = ("fsync", "fdatasync", "read", "pread64", "readv",
+                           "fence")
+
+    def _wb_accepts(self, task, name, args, kwargs):
+        """Whether this call may defer into a write-behind window.
+
+        Only side-effect-only calls whose results are known up front
+        (byte counts / zero) on pre-validated writable regular CVM
+        files qualify — so in an unfaulted run a deferred call cannot
+        fail, and async results stay byte-identical to sync.
+        """
+        if kwargs or name not in self._WB_DEFERRABLE:
+            return False
+        if self.crypto_fs is not None or self._batch is not None:
+            return False
+        if self.cvm.crashed or self.cvm.compromised:
+            return False
+        if not args or not isinstance(args[0], int):
+            return False
+        desc = self._remote_file(task, args[0])
+        if desc is None or not getattr(desc, "writable", False):
+            return False
+        if name == "write":
+            return (len(args) == 2
+                    and isinstance(args[1], (bytes, bytearray, memoryview)))
+        if name == "pwrite64":
+            return (len(args) == 3
+                    and isinstance(args[1], (bytes, bytearray, memoryview))
+                    and isinstance(args[2], int) and args[2] >= 0)
+        # ftruncate: a negative length must take the sync path so the
+        # kernel's own EINVAL surfaces at the call site.
+        return (len(args) == 2 and isinstance(args[1], int)
+                and args[1] >= 0)
+
+    def _wb_accepts_writev(self, task, fd, vec):
+        """writev defers iff a plain write to the same fd would."""
+        if self.crypto_fs is not None or self._batch is not None:
+            return False
+        if self.cvm.crashed or self.cvm.compromised:
+            return False
+        desc = self._remote_file(task, fd)
+        if desc is None or not getattr(desc, "writable", False):
+            return False
+        return all(isinstance(entry, (bytes, bytearray, memoryview))
+                   for entry in vec)
+
+    def _wb_enqueue(self, task, name, args):
+        """Stage one deferred call; return its optimistic result.
+
+        The host pays only the fixed marshal plus a page-rate staging
+        copy, then keeps running — posting, channel bytes, doorbells,
+        and CVM execution all land on the ``cvm`` lane at drain time.
+        """
+        wb = self.write_behind
+        window = wb.window(task)
+        if len(window.entries) >= wb.depth:
+            # Bounded depth: a full window is the only point deferral
+            # blocks (drain waits for the lane before re-posting).
+            self._wb_drain(task, reason="window-full")
+        if name == "write":
+            payload = bytes(args[1])
+            args = (args[0], payload)
+            result = len(payload)
+        elif name == "pwrite64":
+            payload = bytes(args[1])
+            args = (args[0], payload, args[2])
+            result = len(payload)
+        else:
+            args = (args[0], args[1])
+            result = 0
+        table = self._fd_table(task)
+        call_args = table.translate_args(name, args)
+        wire, size = marshal_call(name, call_args, {})
+        costs = self.machine.costs
+        clock = self.machine.clock
+        clock.advance(costs.marshal_fixed_ns, "anception:marshal")
+        clock.advance(
+            costs.wb_stage_page_ns * max(costs.chunks(size), 1),
+            "anception:wb-stage",
+        )
+        window.entries.append(
+            WriteBehindEntry(name, args, call_args, wire, args[0], result)
+        )
+        wb.enqueued += 1
+        wb.max_depth_seen = max(wb.max_depth_seen, len(window.entries))
+        maybe_event(clock, "wb-submit", name, task=task,
+                    kernel=self.host_kernel.label,
+                    depth=len(window.entries), bytes=size)
+        return result
+
+    def _wb_drain(self, task, reason):
+        """Ship one task's staged window through the ring on the lane."""
+        wb = self.write_behind
+        window = wb.windows.get(task.pid)
+        if window is None or not window.entries:
+            return
+        entries, window.entries = window.entries, []
+        wb.drains += 1
+        clock = self.machine.clock
+        # The previous drain must retire before this one posts — the
+        # bounded in-flight depth is the backpressure contract.
+        clock.wait_for(self.cvm.lane, "anception:wb-backpressure")
+        with maybe_span(clock, "wb-drain", f"{reason}:{len(entries)}",
+                        task=task, kernel=self.host_kernel.label,
+                        batch=len(entries), reason=reason):
+            with clock.overlap(self.cvm.lane):
+                self._run_window(task, entries)
+
+    def _wb_fence(self, task, name, args=()):
+        """Drain all windows, settle the lane, surface deferred errnos.
+
+        fsync/fdatasync/read-after-write (and the explicit ``fence``
+        veneer) additionally pop the ledger entry for their fd — the
+        pop is what makes a deferred errno surface *exactly once*;
+        ``close`` surfaces in :meth:`_split_close` after teardown.
+        """
+        wb = self.write_behind
+        drained = 0
+        for window in wb.pending_windows():
+            drained += len(window.entries)
+            self._wb_drain(window.task, reason=f"fence:{name}")
+        waited = self.machine.clock.wait_for(
+            self.cvm.lane, f"anception:wb-fence:{name}"
+        )
+        if drained or waited:
+            wb.fences += 1
+            maybe_event(self.machine.clock, "wb-fence", name, task=task,
+                        kernel=self.host_kernel.label, drained=drained,
+                        waited_ns=waited)
+        if name in self._WB_FENCE_SURFACING and args \
+                and isinstance(args[0], int):
+            deferred = wb.take_error(task.pid, args[0])
+            if deferred is not None:
+                raise SyscallError(
+                    deferred.errno,
+                    f"deferred write-behind error on fd {args[0]}",
+                    call=name,
+                ) from deferred
+
+    def wb_fence(self, task, fd=None):
+        """Explicit write-behind barrier (the libc ``fence`` veneer).
+
+        Drains every staged window, waits out the CVM lane, and — when
+        ``fd`` names a descriptor with a ledgered deferred error —
+        surfaces that errno exactly once.  No-op when write-behind is
+        off, so the same op-script runs in every mode.
+        """
+        if self.write_behind is None:
+            return 0
+        self._wb_fence(task, "fence", (fd,) if fd is not None else ())
+        return 0
+
+    def _run_window(self, task, entries):
+        """Forward one drained window behind one doorbell pair.
+
+        Runs inside the lane's overlap window.  Failures never raise to
+        the (long-gone) call site: they ledger per fd — first error
+        wins, later entries in the same window get ECANCELED — for the
+        next fence to surface.
+        """
+        engine = maybe_engine(self.machine.clock)
+        attempt = 0
+        while True:
+            self._ensure_container("write-behind")
+            try:
+                pendings = []
+                failed = None
+                with self.channel.bulk_copy():
+                    for entry in entries:
+                        if failed is None and engine is not None:
+                            injected = engine.wb_defer_errno(call=entry.name)
+                            if injected:
+                                failed = SyscallError(
+                                    injected, "injected fault: wb.error",
+                                    call=entry.name,
+                                )
+                                self._wb_record(task, entry.fd, failed)
+                                continue
+                        if failed is not None:
+                            self._wb_record(task, entry.fd, SyscallError(
+                                errno.ECANCELED,
+                                "aborted by earlier failure in window",
+                                call=entry.name,
+                            ))
+                            continue
+                        pendings.append(self.submit(
+                            task, entry.name, entry.args, {},
+                            translated=entry.call_args, wire=entry.wire,
+                        ))
+                    if not pendings:
+                        return
+                    self.flush(task, reason=f"write-behind:{len(pendings)}")
+                if engine is not None and engine.wb_reap_loss():
+                    self._wb_reap_lost(task, pendings)
+                    return
+                for pending in pendings:
+                    try:
+                        self.complete(pending)
+                    except SyscallError as exc:
+                        self._wb_record(task, pending.args[0], exc)
+                return
+            except DelegationError as failure:
+                attempt += 1
+                if not self.recovery.enabled \
+                        or attempt > self.recovery.max_retries:
+                    for index, entry in enumerate(entries):
+                        if index == 0:
+                            exc = SyscallError(
+                                errno.EIO,
+                                f"delegation failed: {failure}",
+                                call=entry.name,
+                            )
+                        else:
+                            exc = SyscallError(
+                                errno.ECANCELED,
+                                "aborted by earlier failure in window",
+                                call=entry.name,
+                            )
+                        self._wb_record(task, entry.fd, exc)
+                    return
+                self._recover_from(task, failure, attempt, "write-behind")
+
+    def _wb_reap_lost(self, task, pendings):
+        """The ``wb.reap-loss`` site struck: the reaper missed a batch.
+
+        With recovery on, the completions already sit in the shared
+        pages, so the reaper times out and polls them back — it never
+        re-submits (a replayed write is not idempotent).  With recovery
+        off the results are simply gone: ledger EIO for the first
+        descriptor, ECANCELED for the rest.
+        """
+        clock = self.machine.clock
+        if self.recovery.enabled:
+            clock.advance(
+                self.recovery.signal_timeout_ns, "anception:wb-reap-poll"
+            )
+            self.recovery_log.append(
+                ("wb-reap-poll", f"{len(pendings)} completions")
+            )
+            maybe_event(clock, "recovery", "wb-reap-poll", task=task,
+                        kernel=self.host_kernel.label, batch=len(pendings))
+            for pending in pendings:
+                try:
+                    self.complete(pending)
+                except SyscallError as exc:
+                    self._wb_record(task, pending.args[0], exc)
+            return
+        for index, pending in enumerate(pendings):
+            if index == 0:
+                exc = SyscallError(
+                    errno.EIO, "write-behind completions lost",
+                    call=pending.name,
+                )
+            else:
+                exc = SyscallError(
+                    errno.ECANCELED,
+                    "aborted by earlier failure in window",
+                    call=pending.name,
+                )
+            self._wb_record(task, pending.args[0], exc)
+
+    def _wb_record(self, task, fd, exc):
+        """Ledger one deferred failure (first per (pid, fd) wins)."""
+        if self.write_behind.record_error(task.pid, fd, exc):
+            maybe_event(self.machine.clock, "wb-error",
+                        getattr(exc, "call", None) or "write-behind",
+                        task=task, kernel=self.host_kernel.label, fd=fd,
+                        errno=exc.errno)
+
+    # ------------------------------------------------------------------
     # kernel hooks
     # ------------------------------------------------------------------
 
@@ -1323,6 +1746,10 @@ class AnceptionLayer:
             "channel": self.channel.stats(),
             "read_cache": (
                 self.page_cache.stats() if self.page_cache is not None
+                else None
+            ),
+            "write_behind": (
+                self.write_behind.stats() if self.write_behind is not None
                 else None
             ),
             "cvm_crashed": self.cvm.crashed,

@@ -56,6 +56,8 @@ class AnceptionChannel:
         self.bytes_to_host = 0
         self.transfers = 0
         self.integrity_failures = 0
+        self._bulk_depth = 0
+        self.bulk_chunks = 0
 
     @property
     def capacity(self):
@@ -126,9 +128,24 @@ class AnceptionChannel:
             self.bytes_to_host += len(data)
         return len(data)
 
+    def bulk_copy(self):
+        """Context manager switching inbound copies to the bulk rate.
+
+        A write-behind drain streams pre-staged, already-flattened
+        buffers through the window, so each inbound chunk costs the
+        page-copy-rate ``wb_drain_page_ns`` instead of the per-byte
+        argument-marshal rate.  Outbound (completion) chunks keep the
+        classic rate — they were never marshaled ahead of time.
+        """
+        return _BulkCopyWindow(self)
+
     def costs_charge_chunk(self, nbytes, inbound):
         clock = self.hypervisor.machine.clock
         clock.advance(self.costs.chunk_fixed_ns, "channel:chunk")
+        if inbound and self._bulk_depth:
+            self.bulk_chunks += 1
+            clock.advance(self.costs.wb_drain_page_ns, "channel:bulk-copy")
+            return
         per_byte = (
             self.costs.marshal_in_per_byte_ns
             if inbound
@@ -157,6 +174,7 @@ class AnceptionChannel:
             "transfers": self.transfers,
             "bytes_to_guest": self.bytes_to_guest,
             "bytes_to_host": self.bytes_to_host,
+            "bulk_chunks": self.bulk_chunks,
             "hypercalls": self.hypervisor.hypercall_count,
             "interrupts": self.hypervisor.interrupt_count,
             "integrity_failures": self.integrity_failures,
@@ -165,3 +183,20 @@ class AnceptionChannel:
             "coalesced_doorbells": self.hypervisor.coalesced_doorbells,
             "descriptors_retired": self.hypervisor.descriptors_retired,
         }
+
+
+class _BulkCopyWindow:
+    """Re-entrant flag window for :meth:`AnceptionChannel.bulk_copy`."""
+
+    __slots__ = ("_channel",)
+
+    def __init__(self, channel):
+        self._channel = channel
+
+    def __enter__(self):
+        self._channel._bulk_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._channel._bulk_depth -= 1
+        return False

@@ -17,6 +17,11 @@ from repro.kernel.process import Credentials, ROOT_UID
 class ContainerVM:
     """The guest: kernel, headless Android, private app directories."""
 
+    lane = "cvm"
+    """Clock overlap-lane identity for this vCPU.  Write-behind drains
+    charge guest-side work onto this lane so the host task keeps running
+    while the container executes the window (one vCPU, one lane)."""
+
     def __init__(self, machine, guest_mb=64):
         from repro.kernel.filesystems import build_data_fs
 

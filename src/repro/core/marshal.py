@@ -17,6 +17,24 @@ from __future__ import annotations
 from repro.errors import SimulationError
 
 
+FD_FIRST_CALLS = frozenset({
+    "read", "write", "readv", "writev", "pread64", "pwrite64",
+    "lseek", "_llseek", "fstat", "fstat64", "fsync", "fdatasync",
+    "ftruncate", "ftruncate64", "fchmod", "fchown", "fchown32",
+    "flock", "fallocate", "getdents", "getdents64", "send",
+    "sendto", "recv", "recvfrom", "ioctl", "close", "connect",
+    "bind", "listen", "accept", "shutdown", "getsockname",
+    "getpeername", "setsockopt", "getsockopt",
+})
+"""Redirected calls whose first argument is a file descriptor and must
+be rewritten into the proxy's fd space.  Module-level so the syscall
+conformance suite can assert coverage (a redirect-class fd call missing
+here would silently ship host fd numbers to the CVM)."""
+
+FD_PAIR_CALLS = frozenset({"sendfile"})
+"""Calls translating two leading descriptors."""
+
+
 def encoded_size(value):
     """Bytes this value occupies in the marshaling buffer."""
     if value is None:
@@ -106,18 +124,10 @@ class FdTranslationTable:
         """Rewrite leading fd arguments into the proxy's fd space."""
         if not args:
             return args
-        fd_first = name in {
-            "read", "write", "readv", "writev", "pread64", "pwrite64",
-            "lseek", "_llseek", "fstat", "fstat64", "fsync", "fdatasync",
-            "ftruncate", "ftruncate64", "fchmod", "fchown", "fchown32",
-            "flock", "fallocate", "getdents", "getdents64", "send",
-            "sendto", "recv", "recvfrom", "ioctl", "close", "connect",
-            "bind", "listen", "accept", "shutdown", "getsockname",
-            "getpeername", "setsockopt", "getsockopt",
-        }
-        if fd_first and isinstance(args[0], int) and args[0] in self:
+        if name in FD_FIRST_CALLS and isinstance(args[0], int) \
+                and args[0] in self:
             return (self.to_proxy(args[0]),) + tuple(args[1:])
-        if name == "sendfile":
+        if name in FD_PAIR_CALLS:
             out_fd, in_fd, *rest = args
             if out_fd in self:
                 out_fd = self.to_proxy(out_fd)

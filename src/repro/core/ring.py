@@ -49,6 +49,11 @@ RING_HEADER_BYTES = 32
 """Wire footprint of one descriptor header: seq (8) + call id (8) +
 payload length (8) + CRC32 (4) + flags/pad (4)."""
 
+RING_FLAG_WRITE_BEHIND = 0x1
+"""Descriptor header flag: this call was staged by a write-behind
+window and its result will be reaped asynchronously (the submitter
+already returned an optimistic result to the app)."""
+
 DESCRIPTOR_SLOT_BYTES = 512
 """Ring slot granularity used to derive the default depth from the
 shared-page window (one slot holds a header plus a small payload;
@@ -68,13 +73,14 @@ def default_ring_depth(num_pages):
 class RingDescriptor:
     """One queued call (or completion) in a delegation ring."""
 
-    __slots__ = ("seq", "call", "payload", "crc")
+    __slots__ = ("seq", "call", "payload", "crc", "flags")
 
-    def __init__(self, seq, call, payload):
+    def __init__(self, seq, call, payload, flags=0):
         self.seq = seq
         self.call = call
         self.payload = payload
         self.crc = zlib.crc32(payload)
+        self.flags = flags
 
     def __repr__(self):
         return (
@@ -102,6 +108,7 @@ class DelegationRing:
         self.max_depth_seen = 0
         self.stalls = 0
         self.out_of_order = 0
+        self.deferred_pushed = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -117,13 +124,15 @@ class DelegationRing:
 
     # -- producer side -------------------------------------------------------
 
-    def push(self, call, payload, seq=None):
+    def push(self, call, payload, seq=None, flags=0):
         """Queue one descriptor; its payload crosses the shared pages.
 
         Returns the descriptor's sequence number.  Raises
         :class:`ChannelCapacityError` for a payload that cannot fit the
         window even alone, and :class:`RingFull` when every slot is
         taken (callers flush and retry — bounded backpressure).
+        ``flags`` travel in the descriptor header (e.g.
+        :data:`RING_FLAG_WRITE_BEHIND` for asynchronously reaped calls).
         """
         if not isinstance(payload, (bytes, bytearray, memoryview)):
             raise ChannelError(
@@ -150,7 +159,9 @@ class DelegationRing:
         if seq is None:
             seq = self._next_seq
             self._next_seq += 1
-        descriptor = RingDescriptor(seq, call, payload)
+        descriptor = RingDescriptor(seq, call, payload, flags)
+        if flags & RING_FLAG_WRITE_BEHIND:
+            self.deferred_pushed += 1
         with maybe_span(clock, self.span_kind, f"{call}#{seq}",
                         kernel="channel", ring=self.name, seq=seq,
                         bytes=len(payload), depth=len(self._queue) + 1):
@@ -216,6 +227,7 @@ class DelegationRing:
             "max_depth_seen": self.max_depth_seen,
             "stalls": self.stalls,
             "out_of_order": self.out_of_order,
+            "deferred_pushed": self.deferred_pushed,
         }
 
     def __repr__(self):

@@ -83,7 +83,8 @@ def chaos_report_json(result):
 
 
 def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
-              ring_depth=None, read_cache=False, cache_pages=1024):
+              ring_depth=None, read_cache=False, cache_pages=1024,
+              write_behind=False, write_behind_depth=None):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -93,7 +94,10 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     how the degradation guarantee — a well-defined errno, not a hang —
     is exercised.  ``ring_depth`` overrides the delegation rings' depth;
     ``read_cache``/``cache_pages`` enable and size the host-side page
-    cache (the ``cache.stale``/``cache.evict`` sites need it on).
+    cache (the ``cache.stale``/``cache.evict`` sites need it on);
+    ``write_behind``/``write_behind_depth`` enable and size the async
+    write-behind windows (the ``wb.error``/``wb.reap-loss`` sites need
+    them on).
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -106,7 +110,9 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     plan = FaultPlan.parse(DEFAULT_PLAN if faults is None else faults)
 
     world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
-                           cache_pages=cache_pages)
+                           cache_pages=cache_pages,
+                           async_delegation=write_behind,
+                           write_behind_depth=write_behind_depth)
     running = world.install_and_launch(ChaosApp())
     running.run()
     ctx = running.ctx

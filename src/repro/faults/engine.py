@@ -196,6 +196,23 @@ class FaultEngine:
         """Evict the demanded pages just before a cache lookup?"""
         return self.check("cache.evict", call=call) is not None
 
+    def wb_defer_errno(self, call=None):
+        """Errno to ledger for a window entry at drain (None = healthy).
+
+        Write-behind drains run long after the call site returned its
+        optimistic result, so the effect is never a raise here: the
+        layer records the errno against the entry's fd and cancels the
+        rest of the window, and the next fence surfaces it.
+        """
+        rule = self.check("wb.error", call=call)
+        if rule is None:
+            return None
+        return rule.errno_value
+
+    def wb_reap_loss(self, call=None):
+        """Should the completion reaper miss this drained batch?"""
+        return self.check("wb.reap-loss", call=call) is not None
+
     def drop_irq(self):
         return self.check("irq.drop") is not None
 

@@ -34,6 +34,10 @@ SITES = {
     "cache.stale": "treat a delegated-read cache lookup as stale "
                    "(invalidate the file's pages and refetch)",
     "cache.evict": "evict the demanded pages just before a cache lookup",
+    "wb.error": "fail a write-behind window entry at drain time with an "
+                "injected errno (ledgered, surfaced at the next fence)",
+    "wb.reap-loss": "the completion reaper misses a drained write-behind "
+                    "batch (recovery re-polls; otherwise results are lost)",
     "proxy.kill": "kill the CVM proxy mid-call",
     "cvm.crash": "panic the container VM mid-call",
     "cvm.compromise": "give an attacker the container VM kernel",

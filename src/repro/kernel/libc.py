@@ -28,6 +28,15 @@ class Libc:
     def getpid(self):
         return self.syscall("getpid")
 
+    def uname(self):
+        return self.syscall("uname")
+
+    def getcwd(self):
+        return self.syscall("getcwd")
+
+    def chdir(self, path):
+        return self.syscall("chdir", path)
+
     def getuid(self):
         return self.syscall("getuid")
 
@@ -63,6 +72,9 @@ class Libc:
     def stat(self, path):
         return self.syscall("stat", path)
 
+    def lstat(self, path):
+        return self.syscall("lstat", path)
+
     def fstat(self, fd):
         return self.syscall("fstat", fd)
 
@@ -83,6 +95,15 @@ class Libc:
 
     def chmod(self, path, mode):
         return self.syscall("chmod", path, mode)
+
+    def chown(self, path, uid, gid):
+        return self.syscall("chown", path, uid, gid)
+
+    def truncate(self, path, length):
+        return self.syscall("truncate", path, length)
+
+    def symlink(self, target, linkpath):
+        return self.syscall("symlink", target, linkpath)
 
     def fchmod(self, fd, mode):
         return self.syscall("fchmod", fd, mode)
@@ -107,6 +128,16 @@ class Libc:
 
     def fsync(self, fd):
         return self.syscall("fsync", fd)
+
+    def fence(self, fd=None):
+        """Write-behind barrier: drain staged windows, surface deferred
+        errnos for ``fd``.  A no-op (returning 0) on a native kernel or
+        when write-behind is off, so the same program runs everywhere.
+        """
+        layer = getattr(self.kernel, "interposition", None)
+        if layer is None or getattr(layer, "write_behind", None) is None:
+            return 0
+        return layer.wb_fence(self.task, fd)
 
     # -- vectored / batched I/O ------------------------------------------
 
@@ -161,6 +192,12 @@ class Libc:
     def bind(self, fd, address):
         return self.syscall("bind", fd, address)
 
+    def listen(self, fd, backlog=8):
+        return self.syscall("listen", fd, backlog)
+
+    def accept(self, fd):
+        return self.syscall("accept", fd)
+
     def send(self, fd, data):
         return self.syscall("send", fd, data)
 
@@ -183,6 +220,9 @@ class Libc:
 
     def shmdt(self, addr):
         return self.syscall("shmdt", addr)
+
+    def shmctl(self, shmid, cmd=0):
+        return self.syscall("shmctl", shmid, cmd)
 
     # -- memory --------------------------------------------------------------
 

@@ -38,9 +38,11 @@ SPAN_KINDS = (
     "ring-complete",
     "cache-hit",
     "cache-fill",
+    "wb-drain",
 )
 EVENT_KINDS = ("irq", "page-fault", "fault", "recovery",
-               "doorbell-coalesced", "cache-miss", "cache-invalidate")
+               "doorbell-coalesced", "cache-miss", "cache-invalidate",
+               "wb-submit", "wb-fence", "wb-error")
 RECORD_KINDS = SPAN_KINDS + EVENT_KINDS
 
 

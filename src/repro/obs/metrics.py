@@ -117,11 +117,21 @@ class MetricsRegistry:
         self.cache_invalidations_total = Counter(
             "cache_invalidations_total", ("cause",)
         )
+        self.wb_submits_total = Counter("wb_submits_total", ())
+        self.wb_drains_total = Counter("wb_drains_total", ())
+        self.wb_fences_total = Counter("wb_fences_total", ())
+        self.wb_deferred_errors_total = Counter(
+            "wb_deferred_errors_total", ()
+        )
         self.syscall_latency_us = Histogram(
             "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
         )
         self.ring_depth = Histogram(
             "ring_depth", DEFAULT_RING_DEPTH_BUCKETS, unit="descriptors"
+        )
+        self.wb_inflight_depth = Histogram(
+            "wb_inflight_depth", DEFAULT_RING_DEPTH_BUCKETS,
+            unit="descriptors",
         )
         self._counters = (
             self.syscalls_total,
@@ -142,6 +152,10 @@ class MetricsRegistry:
             self.cache_misses_total,
             self.cache_fill_pages_total,
             self.cache_invalidations_total,
+            self.wb_submits_total,
+            self.wb_drains_total,
+            self.wb_fences_total,
+            self.wb_deferred_errors_total,
         )
 
     # -- bus sink ------------------------------------------------------------
@@ -212,6 +226,15 @@ class MetricsRegistry:
             self.cache_invalidations_total.inc(
                 args.get("pages", 1), cause=record["name"]
             )
+        elif kind == "wb-submit":
+            self.wb_submits_total.inc()
+            self.wb_inflight_depth.observe(args.get("depth", 1))
+        elif kind == "wb-drain":
+            self.wb_drains_total.inc()
+        elif kind == "wb-fence":
+            self.wb_fences_total.inc()
+        elif kind == "wb-error":
+            self.wb_deferred_errors_total.inc()
 
     # -- output --------------------------------------------------------------
 
@@ -226,5 +249,7 @@ class MetricsRegistry:
                 self.syscall_latency_us.name:
                     self.syscall_latency_us.snapshot(),
                 self.ring_depth.name: self.ring_depth.snapshot(),
+                self.wb_inflight_depth.name:
+                    self.wb_inflight_depth.snapshot(),
             },
         }

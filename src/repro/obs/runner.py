@@ -120,6 +120,29 @@ def _workload_batchio(ctx):
     ctx.libc.close(fd)
 
 
+def _workload_writeburst(ctx):
+    """A write burst with a fence mid-stream and an fsync at the end.
+
+    With write-behind on, the burst stages into async windows (visible
+    as ``wb-submit``/``wb-drain`` records) and the fence/fsync show the
+    drain-and-wait barrier; with it off the same stream degenerates to
+    the classic per-call shape — the traces diff cleanly.
+    """
+    fd = ctx.libc.open(
+        ctx.data_path("burst.bin"),
+        vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC,
+    )
+    block = b"b" * 4096
+    for _ in range(48):
+        ctx.libc.write(fd, block)
+    ctx.libc.fence(fd)
+    for _ in range(16):
+        ctx.libc.write(fd, block)
+    ctx.libc.fsync(fd)
+    ctx.libc.pread(fd, 4096, 0)
+    ctx.libc.close(fd)
+
+
 TRACE_WORKLOADS = {
     "table1": _workload_table1,
     "getpid": _workload_getpid,
@@ -129,6 +152,7 @@ TRACE_WORKLOADS = {
     "fileops": _workload_fileops,
     "ipc": _workload_ipc,
     "batchio": _workload_batchio,
+    "writeburst": _workload_writeburst,
 }
 
 
@@ -147,7 +171,8 @@ class TraceResult:
 
 
 def run_traced(workload, seed=0, observe=True, logcat=True,
-               ring_depth=None, read_cache=False, cache_pages=1024):
+               ring_depth=None, read_cache=False, cache_pages=1024,
+               write_behind=False, write_behind_depth=None):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
@@ -155,14 +180,17 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     into the host kernel's log device as ``trace:`` lines.
     ``ring_depth`` overrides the delegation rings' derived depth;
     ``read_cache``/``cache_pages`` enable and size the host-side page
-    cache for delegated reads.
+    cache for delegated reads; ``write_behind``/``write_behind_depth``
+    turn on and size the async write-behind delegation windows.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
         known = ", ".join(sorted(TRACE_WORKLOADS))
         raise ValueError(f"unknown workload {workload!r} (known: {known})")
     world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
-                           cache_pages=cache_pages)
+                           cache_pages=cache_pages,
+                           async_delegation=write_behind,
+                           write_behind_depth=write_behind_depth)
     running = world.install_and_launch(_ObsApp())
     running.run()
     ctx = running.ctx

@@ -123,6 +123,20 @@ class CostModel:
     point — so a warm 4096 B read costs ``syscall_base + cache_hit``
     (~9.8 us), within 2x native versus ~47x for the cold path."""
 
+    wb_stage_page_ns: int = _us(0.9)
+    """Staging one chunk of a deferred write into the host-side pinned
+    submission buffer (a straight memcpy at page-copy bandwidth; the
+    argument packing itself is still ``marshal_fixed_ns``).  The host
+    pays this plus the fixed marshal and then keeps running — everything
+    else about a write-behind call lands on the CVM lane."""
+
+    wb_drain_page_ns: int = _us(0.9)
+    """Bulk-copying one pre-staged chunk through the kmapped window
+    during an asynchronous window drain.  The classic per-byte marshal
+    rate (~28 ns/B) models synchronous argument marshaling with pointer
+    chasing interleaved into the copy; a drain streams already-flattened
+    page-aligned buffers, so it moves at the page-copy rate instead."""
+
     # --- derived helpers -------------------------------------------------
     extra: dict = field(default_factory=dict, compare=False)
 

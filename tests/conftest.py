@@ -50,6 +50,21 @@ def both_worlds():
     return {"native": NativeWorld(), "anception": AnceptionWorld()}
 
 
+@pytest.fixture
+def tri_worlds():
+    """Native, synchronous delegation, and write-behind delegation.
+
+    The three configurations every equivalence suite compares: the same
+    op script must produce identical outcomes, errnos, and final VFS
+    trees in all of them.
+    """
+    return {
+        "native": NativeWorld(),
+        "anception": AnceptionWorld(),
+        "write-behind": AnceptionWorld(async_delegation=True),
+    }
+
+
 @pytest.fixture(autouse=True)
 def _drain_compromise_events():
     """Isolate the global compromise-event log between tests."""

@@ -1,0 +1,157 @@
+"""Syscall-coverage conformance: the redirect table is fully plumbed.
+
+For every redirect-class syscall the simulated kernel actually
+implements, three things must exist:
+
+1. a **marshal entry** — fd-taking calls must appear in the marshal
+   layer's fd-translation sets, or host descriptor numbers would ship
+   verbatim into the CVM's fd space;
+2. a **libc veneer** — a method on :class:`~repro.kernel.libc.Libc`
+   (possibly under an alias, e.g. ``pread64`` -> ``pread``) so scripted
+   programs can reach the call;
+3. **>= 1 differential op-script** in the catalogue exercising it in
+   all three modes, or a documented exemption.
+
+Each check fails with the list of missing names, so adding a syscall
+handler without finishing its plumbing turns CI red with a to-do list.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.core.marshal import FD_FIRST_CALLS, FD_PAIR_CALLS
+from repro.core.policy import FD_CALLS
+from repro.kernel.kernel import Machine
+from repro.kernel.libc import Libc
+from repro.kernel.syscalls import CATALOGUE, SyscallClass, classify
+
+from tests.differential.catalogue import (
+    EXEMPT,
+    SCRIPTS,
+    SYSCALL_ALIASES,
+    covered_ops,
+)
+
+
+def redirect_universe():
+    """Redirect-class syscalls with a live kernel handler."""
+    machine = Machine()
+    handlers = set(machine.kernel._handlers)
+    return sorted(
+        name for name in handlers
+        if name in CATALOGUE and classify(name) is SyscallClass.REDIRECT
+    )
+
+
+FD_TAKING = frozenset({
+    # Universe calls whose first argument is a descriptor and therefore
+    # must be rewritten into the proxy's fd space when forwarded.
+    "read", "write", "readv", "writev", "pread64", "pwrite64",
+    "lseek", "_llseek", "fstat", "fstat64", "fsync", "fdatasync",
+    "ftruncate", "ftruncate64", "fchmod", "fchown", "fchown32",
+    "send", "sendto", "recv", "recvfrom", "connect", "bind",
+    "listen", "accept",
+})
+
+FD_PAIR_TAKING = frozenset({"sendfile"})
+
+
+class TestUniverse:
+    def test_universe_is_nonempty_and_stable_floor(self):
+        universe = redirect_universe()
+        assert len(universe) >= 52, universe
+
+    def test_exemptions_are_real_syscalls(self):
+        universe = set(redirect_universe())
+        ghosts = sorted(set(EXEMPT) - universe)
+        assert not ghosts, (
+            f"EXEMPT names not in the redirect universe: {ghosts}"
+        )
+
+    def test_aliases_point_at_real_veneers(self):
+        missing = sorted(
+            alias for alias in set(SYSCALL_ALIASES.values())
+            if not callable(getattr(Libc, alias, None))
+        )
+        assert not missing, f"alias targets without a veneer: {missing}"
+
+
+class TestMarshalEntries:
+    def test_fd_taking_calls_have_translation_entries(self):
+        universe = set(redirect_universe())
+        missing = sorted((FD_TAKING & universe) - FD_FIRST_CALLS)
+        assert not missing, (
+            f"fd-taking redirect calls missing from FD_FIRST_CALLS "
+            f"(host fds would leak into the CVM): {missing}"
+        )
+
+    def test_fd_pair_calls_have_translation_entries(self):
+        universe = set(redirect_universe())
+        missing = sorted((FD_PAIR_TAKING & universe) - FD_PAIR_CALLS)
+        assert not missing, (
+            f"two-fd redirect calls missing from FD_PAIR_CALLS: {missing}"
+        )
+
+    def test_no_path_call_masquerades_as_fd_first(self):
+        # getdents takes a path in this simulation (listdir veneer);
+        # translate_args only rewrites int first arguments, so a path
+        # name in FD_FIRST_CALLS is harmless — but a genuinely
+        # fd-taking name OUTSIDE the union above must not exist.
+        universe = set(redirect_universe())
+        unaccounted = sorted(
+            (FD_FIRST_CALLS | FD_PAIR_CALLS) & universe
+            - FD_TAKING - FD_PAIR_TAKING - {"getdents"}
+        )
+        assert not unaccounted, (
+            f"calls translated as fd-first but not catalogued as "
+            f"fd-taking here — update FD_TAKING: {unaccounted}"
+        )
+
+
+class TestLibcVeneers:
+    def test_every_redirect_call_has_a_veneer(self):
+        missing = []
+        for name in redirect_universe():
+            veneer = SYSCALL_ALIASES.get(name, name)
+            method = getattr(Libc, veneer, None)
+            if not callable(method):
+                missing.append(f"{name} (expected veneer {veneer!r})")
+        assert not missing, f"redirect calls without a libc veneer: {missing}"
+
+    def test_veneers_are_thin(self):
+        # A veneer must stay a one-call wrapper: it forwards to
+        # self.syscall and adds no semantics the interposition layer
+        # would miss.
+        for name in redirect_universe():
+            veneer = SYSCALL_ALIASES.get(name, name)
+            source = inspect.getsource(getattr(Libc, veneer))
+            assert "self.syscall(" in source, (
+                f"veneer {veneer!r} does not forward through "
+                f"kernel.syscall"
+            )
+
+
+class TestScriptCoverage:
+    def test_every_redirect_call_has_a_differential_script(self):
+        ops = covered_ops()
+        missing = []
+        for name in redirect_universe():
+            if name in EXEMPT:
+                continue
+            veneer = SYSCALL_ALIASES.get(name, name)
+            if veneer not in ops:
+                missing.append(f"{name} (veneer {veneer!r})")
+        assert not missing, (
+            f"redirect calls with no catalogue op-script: {missing}"
+        )
+
+    def test_catalogue_scripts_are_well_formed(self):
+        for label, entry in SCRIPTS.items():
+            assert entry["script"], f"catalogue script {label!r} is empty"
+            assert isinstance(entry["needs_server"], bool)
+            for step in entry["script"]:
+                assert isinstance(step[0], str), (label, step)
+                assert callable(getattr(Libc, step[0], None)), (
+                    f"script {label!r} uses unknown op {step[0]!r}"
+                )

@@ -85,6 +85,10 @@ def _normalize(name, result, step, handles):
         }
     if name == "listdir":
         return sorted(result)
+    if name == "readv":
+        # iovec reads come back as a list of buffers; freeze it so the
+        # outcome tuple hashes/compares like every other step.
+        return tuple(bytes(chunk) for chunk in result)
     return result
 
 
@@ -124,18 +128,40 @@ def data_kernel(world):
     return world.kernel
 
 
+def run_modes(worlds, script, app_factory):
+    """Run ``script`` in every world of ``worlds``; return all halves.
+
+    ``worlds`` maps label -> world (e.g. native / anception /
+    write-behind); the result maps the same labels to
+    ``(outcomes, final_tree)`` for the same app package.  Scripts that
+    end with buffered write-behind state still compare equal: the final
+    step of every script should fence or close its descriptors, and the
+    tree walk reads the delegated kernel *after* the stream returned.
+    """
+    halves = {}
+    for label, world in worlds.items():
+        running = world.install_and_launch(app_factory())
+        running.run()
+        ctx = running.ctx
+        outcomes = run_script(ctx, script)
+        anception = getattr(world, "anception", None)
+        if anception is not None:
+            # Process exit closes descriptors, which drains any staged
+            # write-behind windows; the tree walk sees settled state
+            # (a no-op when write-behind is off).
+            anception.wb_fence(ctx.libc.task)
+        tree = vfs_tree(data_kernel(world), ctx.data_dir)
+        halves[label] = (outcomes, tree)
+    return halves
+
+
 def run_differential(both_worlds, script, app_factory):
     """Run ``script`` in both worlds; return (native, redirected) halves.
 
     Each half is ``(outcomes, final_tree)`` for the same app package.
     """
-    halves = {}
-    for label in ("native", "anception"):
-        world = both_worlds[label]
-        running = world.install_and_launch(app_factory())
-        running.run()
-        ctx = running.ctx
-        outcomes = run_script(ctx, script)
-        tree = vfs_tree(data_kernel(world), ctx.data_dir)
-        halves[label] = (outcomes, tree)
+    halves = run_modes(
+        {label: both_worlds[label] for label in ("native", "anception")},
+        script, app_factory,
+    )
     return halves["native"], halves["anception"]
