@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke examples all-experiments lint trace-demo chaos-demo coverage clean
+.PHONY: test bench bench-smoke bench-engine examples all-experiments lint trace-demo chaos-demo profile-demo coverage clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +12,9 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench-smoke --out BENCH_e1.json
+
+bench-engine:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-engine --out BENCH_engine.json
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -42,6 +45,11 @@ chaos-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos fileops --seed 7 --out chaos-b.json
 	cmp chaos-a.json chaos-b.json && echo "chaos run is byte-identical across replays"
 
+profile-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile fileops --flame fileops-flame.txt
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace writeburst --out writeburst-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli report writeburst-trace.json
+
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=85
 
@@ -49,3 +57,4 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis *.egg-info
 	rm -f chaos-a.json chaos-b.json chaos-trace.json table1-trace.json BENCH_e1.json
+	rm -f BENCH_engine.json fileops-flame.txt writeburst-trace.json

@@ -15,6 +15,9 @@ Usage (installed as the ``anception`` script)::
     anception trace table1        # whole-stack trace (Chrome/Perfetto JSON)
     anception metrics table1      # counters + histograms as JSON
     anception chaos fileops --seed 7 --faults PLAN   # fault injection
+    anception profile fileops     # wall-clock zone attribution table
+    anception report t.json       # analyze an exported Chrome trace
+    anception bench-engine        # BENCH_engine.json + regression gate
     anception all                 # everything, in order
 """
 
@@ -24,6 +27,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def _print_json(data):
@@ -196,12 +200,14 @@ def cmd_trace(args):
 
     workload = getattr(args, "workload", None) or "table1"
     seed = getattr(args, "seed", 0)
+    host_t0 = time.perf_counter_ns()
     try:
         result = run_traced(workload, seed=seed,
                             ring_depth=getattr(args, "ring_depth", None),
                             **_cache_args(args), **_wb_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
+    host_ns = time.perf_counter_ns() - host_t0
     fmt = getattr(args, "format", "chrome") or "chrome"
     if fmt == "chrome":
         text = chrome_trace_json(
@@ -212,6 +218,14 @@ def cmd_trace(args):
             result.records, trace_id=result.trace_id, workload=workload
         )
     _emit(text, getattr(args, "out", None))
+    # Every trace run doubles as a coarse perf probe: total host time
+    # (boot + workload) next to the simulated time the workload claims.
+    print(
+        f"wall-clock: host_ms={host_ns / 1e6:.1f}"
+        f" sim_ms={result.elapsed_ns / 1e6:.3f}"
+        f" sim/host={result.elapsed_ns / host_ns:.3f}",
+        file=sys.stderr,
+    )
     print(_ring_summary(result.world.anception.channel), file=sys.stderr)
     cache_line = _cache_summary(result.world.anception)
     if cache_line is not None:
@@ -232,11 +246,13 @@ def cmd_metrics(args):
                             **_cache_args(args), **_wb_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
+    bus = getattr(result.world.clock, "bus", None)
     snapshot = {
         "workload": workload,
         "trace_id": result.trace_id,
         "elapsed_us": result.elapsed_ns / 1000,
         "metrics": result.metrics.snapshot(),
+        "obs_sink_errors": getattr(bus, "sink_errors", 0),
     }
     text = json.dumps(snapshot, indent=2, sort_keys=True)
     _emit(text, getattr(args, "out", None))
@@ -361,6 +377,109 @@ def cmd_bench_smoke(args):
         )
 
 
+def cmd_profile(args):
+    """Wall-clock zone attribution for one workload (repro.obs.prof)."""
+    from repro.perf.engine_bench import profile_workload
+
+    workload = getattr(args, "workload", None) or "fileops"
+    try:
+        result = profile_workload(
+            workload, inner=getattr(args, "inner", None) or 4
+        )
+    except ValueError as exc:
+        sys.exit(f"anception: error: {exc}")
+    _emit(result["table"], getattr(args, "out", None))
+    flame = getattr(args, "flame", None)
+    if flame:
+        try:
+            with open(flame, "w") as handle:
+                handle.write(result["collapsed"])
+        except OSError as exc:
+            sys.exit(f"anception: error: cannot write {flame}: {exc}")
+        print(f"wrote {flame}")
+    print(
+        f"profile: workload={workload} syscalls={result['syscalls']}"
+        f" wall_ms={result['wall_ms']} sim_ms={result['sim_ms']}"
+        f" syscalls_per_sec={result['syscalls_per_sec']}",
+        file=sys.stderr,
+    )
+
+
+def cmd_report(args):
+    """Offline analysis of an exported Chrome trace (repro.obs.report)."""
+    from repro.obs.report import report_json
+
+    path = getattr(args, "workload", None)
+    if not path:
+        sys.exit(
+            "anception: error: report needs a Chrome trace file "
+            "(produce one with: anception trace <workload> --out t.json)"
+        )
+    try:
+        with open(path) as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"anception: error: cannot read trace {path}: {exc}")
+    _emit(report_json(trace, top=getattr(args, "top", None) or 10),
+          getattr(args, "out", None))
+
+
+def cmd_bench_engine(args):
+    """The CI engine-throughput artifact plus its regression gate.
+
+    Emits ``BENCH_engine.json`` (simulated syscalls per wall-clock
+    second for the gated workloads, with profiler attribution shares)
+    and exits non-zero when any workload falls below the configured
+    ratio of the committed baseline.  ``--update-baseline`` rewrites
+    the baseline from this run instead of gating.
+    """
+    from repro.perf.engine_bench import (
+        DEFAULT_BASELINE_PATH,
+        baseline_summary,
+        check_regression,
+        load_baseline,
+        run_engine_bench,
+    )
+
+    report = run_engine_bench()
+    text = json.dumps(report, indent=2, sort_keys=True)
+    _emit(text, getattr(args, "out", None))
+    for workload, entry in sorted(report["workloads"].items()):
+        print(
+            f"engine: {workload} {entry['syscalls_per_sec']:.0f} syscalls/s"
+            f" (best {entry['wall_ms']['best']} ms,"
+            f" sim_ratio {entry['sim_time_ratio']})",
+            file=sys.stderr,
+        )
+    baseline_path = getattr(args, "baseline", None) or DEFAULT_BASELINE_PATH
+    if getattr(args, "update_baseline", False):
+        try:
+            with open(baseline_path, "w") as handle:
+                json.dump(baseline_summary(report), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            sys.exit(
+                f"anception: error: cannot write {baseline_path}: {exc}"
+            )
+        print(f"wrote baseline {baseline_path}", file=sys.stderr)
+        return
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"engine: no baseline at {baseline_path}; gate skipped",
+              file=sys.stderr)
+        return
+    failures = check_regression(
+        report, baseline, min_ratio=getattr(args, "gate_ratio", None)
+    )
+    if failures:
+        sys.exit(
+            "anception: error: engine throughput regression: "
+            + "; ".join(failures)
+        )
+    print("engine: throughput gate passed", file=sys.stderr)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "antutu": cmd_antutu,
@@ -378,11 +497,16 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "chaos": cmd_chaos,
     "bench-smoke": cmd_bench_smoke,
+    "profile": cmd_profile,
+    "report": cmd_report,
+    "bench-engine": cmd_bench_engine,
 }
 
-WORKLOAD_COMMANDS = ("trace", "metrics", "chaos", "bench-smoke")
-"""Workload/artifact commands skipped by ``all`` (trace/metrics/chaos
-take a traced-workload positional; bench-smoke writes a CI artifact)."""
+WORKLOAD_COMMANDS = ("trace", "metrics", "chaos", "bench-smoke",
+                     "profile", "report", "bench-engine")
+"""Workload/artifact commands skipped by ``all`` (trace/metrics/chaos/
+profile take a traced-workload positional, report takes a trace file;
+bench-smoke/bench-engine write CI artifacts and measure wall clock)."""
 
 
 def cmd_all(args):
@@ -463,6 +587,46 @@ def main(argv=None):
         default=None,
         help="in-flight window depth for write-behind delegation "
              "(default: min(32, ring depth))",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many top-self-time spans the report command keeps "
+             "(default: 10)",
+    )
+    parser.add_argument(
+        "--inner",
+        type=int,
+        default=None,
+        help="workload iterations per profiled pass for the profile "
+             "command (default: 4)",
+    )
+    parser.add_argument(
+        "--flame",
+        default=None,
+        help="also write the profile command's collapsed-stack "
+             "(flamegraph.pl compatible) output to this file",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file for the bench-engine gate (default: "
+             "benchmarks/BENCH_engine_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the bench-engine baseline from this run instead "
+             "of gating against it",
+    )
+    parser.add_argument(
+        "--gate-ratio",
+        type=float,
+        default=None,
+        help="bench-engine regression threshold as a fraction of the "
+             "baseline (default: 0.8, i.e. fail on a >20%% drop; also "
+             "via ANCEPTION_ENGINE_GATE_RATIO)",
     )
     parser.add_argument(
         "--ring-depth",

@@ -33,6 +33,11 @@ class SimClock:
         self.bus = None
         """Optional :class:`repro.obs.TraceBus` observing this clock.
         Observers only *read* the clock; they never advance it."""
+        self.prof = None
+        """Optional :class:`repro.obs.prof.WallProfiler` timing the host
+        cost of clock mutation.  A plain attribute (set by the
+        profiler's ``install``) so this module never imports repro.obs;
+        profiling reads wall time only and never moves simulated time."""
 
     @property
     def now_ns(self):
@@ -51,6 +56,13 @@ class SimClock:
             delta_ns: non-negative duration to add.
             reason: short label recorded when tracing is enabled.
         """
+        prof = self.prof
+        if prof is None:
+            return self._advance(delta_ns, reason)
+        with prof.zone("clock.advance"):
+            return self._advance(delta_ns, reason)
+
+    def _advance(self, delta_ns, reason):
         delta_ns = int(delta_ns)
         if delta_ns < 0:
             raise ValueError(f"cannot move time backwards ({delta_ns} ns)")
@@ -141,6 +153,13 @@ class SimClock:
         if self._overlap_lane is not None:
             raise ValueError("cannot wait_for a lane inside an overlap "
                              "window")
+        prof = self.prof
+        if prof is None:
+            return self._wait_for(lane, reason)
+        with prof.zone("clock.wait"):
+            return self._wait_for(lane, reason)
+
+    def _wait_for(self, lane, reason):
         backlog = self.lane_backlog_ns(lane)
         if backlog:
             self.advance(backlog, reason or f"wait:{lane}")

@@ -43,6 +43,7 @@ from repro.kernel.memory import MAP_ANONYMOUS
 from repro.kernel.process import Credentials, ROOT_UID
 from repro.kernel.vfs import InodeKind
 from repro.obs.bus import maybe_event, maybe_span
+from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import PAGE_SIZE
 
 
@@ -554,35 +555,36 @@ class AnceptionLayer:
         pre-staged ``wire`` (write-behind drain) skips the marshal step
         — the host already paid for packing when the call deferred.
         """
-        if not self.channel.submit_ring.free_slots():
-            self.flush(task, reason="ring-full")
-        self.proxies.proxy_for(task)  # not enrolled -> SimulationError now
-        table = self._fd_table(task)
-        call_args = translated if translated is not None else (
-            table.translate_args(name, args)
-        )
-        crypto_offset = None
-        prestaged = wire is not None
-        if wire is None:
-            if self.crypto_fs is not None and args:
-                call_args, crypto_offset = self._crypto_outbound(
-                    task, name, args, call_args
-                )
-            wire, _size = marshal_call(name, call_args, kwargs)
-            self.machine.clock.advance(
-                self.machine.costs.marshal_fixed_ns, "anception:marshal"
+        with wall_zone("anception.submit"):
+            if not self.channel.submit_ring.free_slots():
+                self.flush(task, reason="ring-full")
+            self.proxies.proxy_for(task)  # not enrolled -> SimulationError
+            table = self._fd_table(task)
+            call_args = translated if translated is not None else (
+                table.translate_args(name, args)
             )
-        self.machine.clock.advance(
-            self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
-        )
-        seq = self.channel.submit_ring.push(
-            name, wire,
-            flags=RING_FLAG_WRITE_BEHIND if prestaged else 0,
-        )
-        pending = PendingCall(seq, task, name, args, call_args, kwargs,
-                              crypto_offset)
-        self._inflight.append(pending)
-        return pending
+            crypto_offset = None
+            prestaged = wire is not None
+            if wire is None:
+                if self.crypto_fs is not None and args:
+                    call_args, crypto_offset = self._crypto_outbound(
+                        task, name, args, call_args
+                    )
+                wire, _size = marshal_call(name, call_args, kwargs)
+                self.machine.clock.advance(
+                    self.machine.costs.marshal_fixed_ns, "anception:marshal"
+                )
+            self.machine.clock.advance(
+                self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
+            )
+            seq = self.channel.submit_ring.push(
+                name, wire,
+                flags=RING_FLAG_WRITE_BEHIND if prestaged else 0,
+            )
+            pending = PendingCall(seq, task, name, args, call_args, kwargs,
+                                  crypto_offset)
+            self._inflight.append(pending)
+            return pending
 
     def flush(self, task=None, reason=None):
         """Ring the doorbells: one IRQ submits every in-flight call,
@@ -594,31 +596,32 @@ class AnceptionLayer:
         """
         if not self._inflight:
             return
-        pendings, self._inflight = self._inflight, []
-        count = len(pendings)
-        if reason is None:
-            reason = pendings[0].name if count == 1 else f"batch:{count}"
-        elif count > 1:
-            reason = f"{reason}:{count}"
-        work = {
-            p.seq: (self.proxies.proxy_for(p.task), p.name, p.call_args,
-                    p.kwargs)
-            for p in pendings
-        }
-        try:
-            self._signal_guest_reliably(reason, pendings[0].task,
-                                        coalesced=count)
-            outcomes = self.proxies.drain(self.channel, work)
-            completions = len(self.channel.complete_ring)
-            self._drain_completions(pendings, outcomes)
-            if completions:
-                self._signal_host_or_poll(reason, pendings[0].task,
-                                          coalesced=completions)
-        except DelegationError:
-            # Whatever was mid-flight is unrecoverable state now; the
-            # retry loop re-submits from scratch against clean rings.
-            self.channel.reset_rings()
-            raise
+        with wall_zone("anception.flush"):
+            pendings, self._inflight = self._inflight, []
+            count = len(pendings)
+            if reason is None:
+                reason = pendings[0].name if count == 1 else f"batch:{count}"
+            elif count > 1:
+                reason = f"{reason}:{count}"
+            work = {
+                p.seq: (self.proxies.proxy_for(p.task), p.name, p.call_args,
+                        p.kwargs)
+                for p in pendings
+            }
+            try:
+                self._signal_guest_reliably(reason, pendings[0].task,
+                                            coalesced=count)
+                outcomes = self.proxies.drain(self.channel, work)
+                completions = len(self.channel.complete_ring)
+                self._drain_completions(pendings, outcomes)
+                if completions:
+                    self._signal_host_or_poll(reason, pendings[0].task,
+                                              coalesced=completions)
+            except DelegationError:
+                # Whatever was mid-flight is unrecoverable state now; the
+                # retry loop re-submits from scratch against clean rings.
+                self.channel.reset_rings()
+                raise
 
     def _drain_completions(self, pendings, outcomes):
         """Pop the completion ring dry and bind outcomes to pendings.
@@ -1510,11 +1513,16 @@ class AnceptionLayer:
         # The previous drain must retire before this one posts — the
         # bounded in-flight depth is the backpressure contract.
         clock.wait_for(self.cvm.lane, "anception:wb-backpressure")
-        with maybe_span(clock, "wb-drain", f"{reason}:{len(entries)}",
-                        task=task, kernel=self.host_kernel.label,
-                        batch=len(entries), reason=reason):
+        with wall_zone("wb.drain"), \
+                maybe_span(clock, "wb-drain", f"{reason}:{len(entries)}",
+                           task=task, kernel=self.host_kernel.label,
+                           batch=len(entries), reason=reason) as span:
             with clock.overlap(self.cvm.lane):
                 self._run_window(task, entries)
+            # The backpressure fence above settled the lane, so the
+            # post-window backlog is exactly the lane time this drain
+            # consumed — the overlap-ratio numerator for the analyzer.
+            span.set(lane_ns=clock.lane_backlog_ns(self.cvm.lane))
 
     def _wb_fence(self, task, name, args=()):
         """Drain all windows, settle the lane, surface deferred errnos.

@@ -26,6 +26,7 @@ import zlib
 from repro.errors import ChannelError, ChannelIntegrityError
 from repro.faults.engine import maybe_engine
 from repro.obs.bus import maybe_span
+from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import PAGE_SIZE
 
 
@@ -106,9 +107,10 @@ class AnceptionChannel:
             if stall_ns:
                 clock.advance(stall_ns, f"fault:channel-stall:{direction}")
             delivered = engine.channel_payload(direction, data)
-        with maybe_span(clock, "channel-copy", direction, kernel="channel",
-                        direction=direction, bytes=len(data),
-                        chunks=max(1, self.costs.chunks(len(data)))):
+        with wall_zone("channel.copy"), \
+                maybe_span(clock, "channel-copy", direction, kernel="channel",
+                           direction=direction, bytes=len(data),
+                           chunks=max(1, self.costs.chunks(len(data)))):
             for chunk in self._chunked(delivered):
                 self.costs_charge_chunk(len(chunk), inbound=inbound)
                 if chunk:

@@ -15,6 +15,7 @@ serves two purposes:
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.obs.prof import zone as wall_zone
 
 
 FD_FIRST_CALLS = frozenset({
@@ -72,21 +73,25 @@ def marshal_call(name, args, kwargs):
     Python side (a documented simulation shortcut), but their *sizes* are
     faithful.
     """
-    size = len(name.encode())
-    size += sum(encoded_size(a) for a in args)
-    size += sum(encoded_size(k) + encoded_size(v) for k, v in kwargs.items())
-    blob = bytearray(name.encode())
-    for arg in args:
-        if isinstance(arg, (bytes, bytearray)):
-            blob += bytes(arg)
-        else:
-            blob += repr(arg).encode()
-    return bytes(blob[:size].ljust(size, b"\x00")), size
+    with wall_zone("marshal.encode"):
+        size = len(name.encode())
+        size += sum(encoded_size(a) for a in args)
+        size += sum(
+            encoded_size(k) + encoded_size(v) for k, v in kwargs.items()
+        )
+        blob = bytearray(name.encode())
+        for arg in args:
+            if isinstance(arg, (bytes, bytearray)):
+                blob += bytes(arg)
+            else:
+                blob += repr(arg).encode()
+        return bytes(blob[:size].ljust(size, b"\x00")), size
 
 
 def result_size(result):
     """Outbound payload size of a syscall result."""
-    return encoded_size(result)
+    with wall_zone("marshal.decode"):
+        return encoded_size(result)
 
 
 class FdTranslationTable:

@@ -42,6 +42,7 @@ from repro.errors import (
 )
 from repro.faults.engine import maybe_engine
 from repro.obs.bus import maybe_span
+from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import PAGE_SIZE
 
 
@@ -162,9 +163,10 @@ class DelegationRing:
         descriptor = RingDescriptor(seq, call, payload, flags)
         if flags & RING_FLAG_WRITE_BEHIND:
             self.deferred_pushed += 1
-        with maybe_span(clock, self.span_kind, f"{call}#{seq}",
-                        kernel="channel", ring=self.name, seq=seq,
-                        bytes=len(payload), depth=len(self._queue) + 1):
+        with wall_zone("ring.push"), \
+                maybe_span(clock, self.span_kind, f"{call}#{seq}",
+                           kernel="channel", ring=self.name, seq=seq,
+                           bytes=len(payload), depth=len(self._queue) + 1):
             self.channel._transfer(payload, self.direction)
         self._queue.append(descriptor)
         self.pushed += 1
@@ -184,33 +186,34 @@ class DelegationRing:
         """
         if not self._queue:
             return None
-        clock = self.channel.hypervisor.machine.clock
-        engine = maybe_engine(clock)
-        index = 0
-        if engine is not None and len(self._queue) > 1 \
-                and engine.ring_reorder(call=self._queue[0].call):
-            index = 1
-            self.out_of_order += 1
-        if index:
-            first = self._queue.popleft()
-            descriptor = self._queue.popleft()
-            self._queue.appendleft(first)
-        else:
-            descriptor = self._queue.popleft()
-        self.popped += 1
-        payload = descriptor.payload
-        if engine is not None:
-            payload = engine.ring_descriptor_payload(
-                descriptor.call, payload
-            )
-        if zlib.crc32(payload) != descriptor.crc:
-            self.channel.integrity_failures += 1
-            raise ChannelIntegrityError(
-                self.direction, descriptor.crc, zlib.crc32(payload),
-                len(descriptor.payload),
-            )
-        descriptor.payload = payload
-        return descriptor
+        with wall_zone("ring.pop"):
+            clock = self.channel.hypervisor.machine.clock
+            engine = maybe_engine(clock)
+            index = 0
+            if engine is not None and len(self._queue) > 1 \
+                    and engine.ring_reorder(call=self._queue[0].call):
+                index = 1
+                self.out_of_order += 1
+            if index:
+                first = self._queue.popleft()
+                descriptor = self._queue.popleft()
+                self._queue.appendleft(first)
+            else:
+                descriptor = self._queue.popleft()
+            self.popped += 1
+            payload = descriptor.payload
+            if engine is not None:
+                payload = engine.ring_descriptor_payload(
+                    descriptor.call, payload
+                )
+            if zlib.crc32(payload) != descriptor.crc:
+                self.channel.integrity_failures += 1
+                raise ChannelIntegrityError(
+                    self.direction, descriptor.crc, zlib.crc32(payload),
+                    len(descriptor.payload),
+                )
+            descriptor.payload = payload
+            return descriptor
 
     def reset(self):
         """Drop every queued descriptor (CVM reboot / recovery rebind)."""

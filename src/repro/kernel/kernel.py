@@ -50,6 +50,7 @@ from repro.kernel.net import Internet, NetworkStack
 from repro.kernel.process import Credentials, PidTable, Task, TaskState
 from repro.kernel.syscalls import CATALOGUE, classify
 from repro.obs.bus import NULL_SPAN, maybe_event, maybe_span
+from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import DEFAULT_COSTS, PAGE_SIZE
 
 
@@ -273,7 +274,7 @@ class Kernel:
             raise KernelCrashed(self, self.panic_log[-1] if self.panic_log else "")
         if not task.is_alive():
             raise SyscallError(errno.ESRCH, f"pid {task.pid} dead", call=name)
-        with maybe_span(
+        with wall_zone("syscall.dispatch"), maybe_span(
             self.clock, "syscall", name, task=task, kernel=self.label,
             sclass=classify(name).value,
         ) as span:

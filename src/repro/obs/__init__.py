@@ -18,6 +18,12 @@ This package is the measurement substrate that makes such attribution a
   deterministic (per-run ``trace_id`` derived from workload + seed).
 * :mod:`~repro.obs.runner` — canned traced workloads behind the
   ``anception trace`` / ``anception metrics`` CLI subcommands.
+* :mod:`~repro.obs.prof` — the *wall-clock* axis: near-zero-cost-when-
+  disabled scoped probes attributing real host time to the engine's hot
+  paths (``anception profile``, the ``BENCH_engine.json`` gate).
+* :mod:`~repro.obs.report` — offline analyzer over exported Chrome
+  traces: critical-path breakdowns, doorbell-coalescing efficiency,
+  cache hit ratio, write-behind overlap (``anception report``).
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from __future__ import annotations
 from repro.obs.bus import NULL_SPAN, TraceBus, maybe_event, maybe_span
 from repro.obs.export import make_trace_id, to_chrome_trace, to_ftrace
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.prof import NULL_ZONE, WallProfiler, zone
+from repro.obs.report import analyze, report_json
 
 
 def __getattr__(name):
@@ -47,6 +55,11 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "NULL_ZONE",
+    "WallProfiler",
+    "zone",
+    "analyze",
+    "report_json",
     "TRACE_WORKLOADS",
     "run_traced",
 ]

@@ -131,12 +131,20 @@ class Capture:
 class TraceBus:
     """Publish/subscribe hub for one machine's telemetry."""
 
+    SINK_FAILURE_LIMIT = 3
+    """Consecutive-failure budget before a raising sink is dropped."""
+
     def __init__(self, clock):
         self.clock = clock
         self.records = []
         self._depth = 0
         self._seq = 0
         self._sinks = []
+        self._sink_failures = {}
+        self.sink_errors = 0
+        """Total ``obs_sink_errors``: exceptions swallowed from sinks."""
+        self.dropped_sinks = 0
+        """Sinks evicted after exhausting :data:`SINK_FAILURE_LIMIT`."""
 
     # -- attachment ----------------------------------------------------------
 
@@ -161,6 +169,7 @@ class TraceBus:
     def unsubscribe(self, sink):
         if sink in self._sinks:
             self._sinks.remove(sink)
+        self._sink_failures.pop(id(sink), None)
 
     # -- capture windows -----------------------------------------------------
 
@@ -253,9 +262,34 @@ class TraceBus:
         self.records.append(record)
 
     def _publish(self, record):
+        """Append and fan out; a raising sink never aborts the caller.
+
+        Observability must stay side-effect-free on the workload: a
+        buggy subscriber (a logcat sink hitting a full log device, a
+        user callback with a typo) is isolated, counted in
+        ``sink_errors``, and evicted after
+        :data:`SINK_FAILURE_LIMIT` failures so a hot loop cannot drown
+        dispatch in swallowed exceptions.
+        """
         self.records.append(record)
-        for sink in self._sinks:
-            sink(record)
+        if not self._sinks:
+            return
+        dead = None
+        for sink in tuple(self._sinks):
+            try:
+                sink(record)
+            except Exception:
+                self.sink_errors += 1
+                failures = self._sink_failures.get(id(sink), 0) + 1
+                self._sink_failures[id(sink)] = failures
+                if failures >= self.SINK_FAILURE_LIMIT:
+                    if dead is None:
+                        dead = []
+                    dead.append(sink)
+        if dead:
+            for sink in dead:
+                self.unsubscribe(sink)
+                self.dropped_sinks += 1
 
 
 def maybe_span(clock, kind, name, task=None, kernel=None, sclass=None,

@@ -69,6 +69,34 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q):
+        """Bucket-interpolated quantile of the observed values.
+
+        Prometheus ``histogram_quantile`` semantics: the target rank is
+        located in the cumulative bucket counts and position within the
+        owning bucket is linearly interpolated between its bounds (the
+        first bucket interpolates from 0).  The overflow bucket has no
+        upper bound, so any rank landing there reports the last finite
+        bound — a deliberate underestimate rather than an invention.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= target and self.counts[i]:
+                fraction = (target - previous) / self.counts[i]
+                fraction = min(1.0, max(0.0, fraction))
+                return lower + (bound - lower) * fraction
+            lower = float(bound)
+        return float(self.buckets[-1]) if self.buckets else 0.0
+
     def snapshot(self):
         return {
             "buckets": list(self.buckets),
@@ -76,6 +104,11 @@ class Histogram:
             "unit": self.unit,
             "count": self.count,
             "sum": round(self.total, 6),
+            "quantiles": {
+                "p50": round(self.quantile(0.50), 3),
+                "p95": round(self.quantile(0.95), 3),
+                "p99": round(self.quantile(0.99), 3),
+            },
         }
 
 
@@ -132,6 +165,11 @@ class MetricsRegistry:
         self.wb_inflight_depth = Histogram(
             "wb_inflight_depth", DEFAULT_RING_DEPTH_BUCKETS,
             unit="descriptors",
+        )
+        self._histograms = (
+            self.syscall_latency_us,
+            self.ring_depth,
+            self.wb_inflight_depth,
         )
         self._counters = (
             self.syscalls_total,
@@ -239,17 +277,19 @@ class MetricsRegistry:
     # -- output --------------------------------------------------------------
 
     def snapshot(self):
-        """JSON-able snapshot; round-trips losslessly through json."""
+        """JSON-able snapshot; round-trips losslessly through json.
+
+        Both sections are built in sorted-name order, so the snapshot
+        prints deterministically even without ``sort_keys``.
+        """
         return {
             "counters": {
                 counter.name: counter.snapshot()
-                for counter in self._counters
+                for counter in sorted(self._counters, key=lambda c: c.name)
             },
             "histograms": {
-                self.syscall_latency_us.name:
-                    self.syscall_latency_us.snapshot(),
-                self.ring_depth.name: self.ring_depth.snapshot(),
-                self.wb_inflight_depth.name:
-                    self.wb_inflight_depth.snapshot(),
+                histogram.name: histogram.snapshot()
+                for histogram in sorted(self._histograms,
+                                        key=lambda h: h.name)
             },
         }

@@ -1,0 +1,259 @@
+"""Wall-clock profiler: where the *engine itself* spends host time.
+
+Everything else in ``repro.obs`` accounts **simulated** nanoseconds —
+deterministic, machine-independent, and exactly what the paper's tables
+report.  This module is the other axis: scoped probes timed with
+``time.perf_counter_ns`` that attribute real host CPU to the engine's
+hot paths (clock advancement, channel copies, marshaling, ring traffic,
+cache lookups, write-behind drains, fault checks, syscall dispatch), so
+the ``BENCH_engine.json`` throughput gate can say not only *that* the
+engine slowed down but *where*.
+
+Design mirrors the TraceBus' "disabled means dormant" contract:
+
+* call sites guard with :func:`zone`, which returns a shared
+  :data:`NULL_ZONE` whenever no profiler is installed — no timer reads,
+  no allocation, just one global load and a no-op context manager;
+* :class:`SimClock` cooperates through a plain ``clock.prof`` attribute
+  (set by :meth:`WallProfiler.install`), so :mod:`repro.clock` never
+  imports this package and the import graph stays acyclic;
+* profiling never touches the simulated clock — wall attribution is a
+  read-only overlay, simulated elapsed time is bit-identical with the
+  profiler on or off.
+
+Zone accounting is gprof-shaped: per zone, call count, *cumulative*
+nanoseconds (outermost activations only, so recursion is not double
+counted) and *self* nanoseconds (cumulative minus time spent in nested
+zones).  Self times are additionally kept per call path, which is what
+the collapsed-stack (flamegraph.pl compatible) export renders.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+_ACTIVE = None
+"""The installed :class:`WallProfiler`, or ``None`` (profiling off)."""
+
+
+class _NullZone:
+    """Shared no-op zone handed out when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_ZONE = _NullZone()
+
+
+def zone(name):
+    """Scoped probe: times the ``with`` body when a profiler is active.
+
+    The disabled path is one global read and the shared no-op context
+    manager — cheap enough to leave in every engine hot path.
+    """
+    prof = _ACTIVE
+    if prof is None:
+        return NULL_ZONE
+    return _Zone(prof, name)
+
+
+def active_profiler():
+    """The installed profiler, or ``None``."""
+    return _ACTIVE
+
+
+class _Zone:
+    """One live activation of a named zone on the profiler's stack."""
+
+    __slots__ = ("_prof", "_name", "_t0", "_child_ns", "_outermost")
+
+    def __init__(self, prof, name):
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self):
+        prof = self._prof
+        depth = prof._depths.get(self._name, 0)
+        prof._depths[self._name] = depth + 1
+        self._outermost = depth == 0
+        self._child_ns = 0
+        prof._stack.append(self)
+        self._t0 = prof._timer()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        prof = self._prof
+        dur = prof._timer() - self._t0
+        stack = prof._stack
+        stack.pop()
+        prof._depths[self._name] -= 1
+        self_ns = dur - self._child_ns
+        if self_ns < 0:
+            self_ns = 0
+        stats = prof._zones.get(self._name)
+        if stats is None:
+            stats = prof._zones[self._name] = [0, 0, 0]
+        stats[0] += 1
+        if self._outermost:
+            stats[1] += dur
+        stats[2] += self_ns
+        path = tuple(frame._name for frame in stack) + (self._name,)
+        prof._paths[path] = prof._paths.get(path, 0) + self_ns
+        if stack:
+            stack[-1]._child_ns += dur
+        return False
+
+
+class WallProfiler:
+    """Scoped wall-clock probes with self/cumulative attribution.
+
+    Usage::
+
+        prof = WallProfiler()
+        with prof.activate(world.clock):
+            run_workload()
+        print(prof.format_table())
+
+    ``timer`` is injectable (a ``() -> int`` nanosecond source) so tests
+    can drive the accounting deterministically.
+    """
+
+    def __init__(self, timer=time.perf_counter_ns):
+        self._timer = timer
+        self._zones = {}
+        self._paths = {}
+        self._stack = []
+        self._depths = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def enabled(self):
+        return _ACTIVE is self
+
+    def install(self, clock=None):
+        """Make this the process-wide profiler (and ``clock``'s)."""
+        global _ACTIVE
+        _ACTIVE = self
+        if clock is not None:
+            clock.prof = self
+        return self
+
+    def uninstall(self, clock=None):
+        """Detach; :func:`zone` hands out :data:`NULL_ZONE` again."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+        if clock is not None and getattr(clock, "prof", None) is self:
+            clock.prof = None
+        return self
+
+    def activate(self, clock=None):
+        """Context manager installing for the ``with`` body only."""
+        return _Activation(self, clock)
+
+    def reset(self):
+        """Drop all accumulated zone and path accounting."""
+        self._zones.clear()
+        self._paths.clear()
+        self._stack.clear()
+        self._depths.clear()
+
+    # -- direct probe (for call sites that hold the profiler) ---------------
+
+    def zone(self, name):
+        """A live probe on *this* profiler, regardless of installation."""
+        return _Zone(self, name)
+
+    # -- output --------------------------------------------------------------
+
+    @property
+    def total_self_ns(self):
+        return sum(stats[2] for stats in self._zones.values())
+
+    def table(self):
+        """Attribution rows sorted by self time (descending), then name."""
+        total = self.total_self_ns or 1
+        rows = [
+            {
+                "zone": name,
+                "calls": stats[0],
+                "cum_ns": stats[1],
+                "self_ns": stats[2],
+                "self_share": stats[2] / total,
+            }
+            for name, stats in self._zones.items()
+        ]
+        rows.sort(key=lambda row: (-row["self_ns"], row["zone"]))
+        return rows
+
+    def format_table(self):
+        """The sorted attribution table as aligned text."""
+        rows = self.table()
+        lines = [
+            f"{'ZONE':<20} {'CALLS':>10} {'SELF(ms)':>10} "
+            f"{'CUM(ms)':>10} {'SELF%':>7}"
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['zone']:<20} {row['calls']:>10} "
+                f"{row['self_ns'] / 1e6:>10.3f} "
+                f"{row['cum_ns'] / 1e6:>10.3f} "
+                f"{row['self_share'] * 100:>6.1f}%"
+            )
+        if not rows:
+            lines.append("(no zones recorded)")
+        return "\n".join(lines)
+
+    def collapsed(self):
+        """Collapsed-stack export (``a;b;c <self_us>`` per line).
+
+        Feed straight to flamegraph.pl / speedscope; sample values are
+        integer microseconds of self time on that exact call path.
+        """
+        lines = [
+            f"{';'.join(path)} {value // 1000}"
+            for path, value in sorted(self._paths.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def attribution(self):
+        """JSON-able shares for ``BENCH_engine.json``."""
+        total = self.total_self_ns
+        return {
+            "total_self_ms": round(total / 1e6, 3),
+            "zones": [
+                {
+                    "zone": row["zone"],
+                    "calls": row["calls"],
+                    "self_ms": round(row["self_ns"] / 1e6, 3),
+                    "share": round(row["self_share"], 4),
+                }
+                for row in self.table()
+            ],
+        }
+
+
+class _Activation:
+    """Install/uninstall window for :meth:`WallProfiler.activate`."""
+
+    __slots__ = ("_prof", "_clock")
+
+    def __init__(self, prof, clock):
+        self._prof = prof
+        self._clock = clock
+
+    def __enter__(self):
+        self._prof.install(self._clock)
+        return self._prof
+
+    def __exit__(self, exc_type, exc, tb):
+        self._prof.uninstall(self._clock)
+        return False

@@ -156,6 +156,23 @@ TRACE_WORKLOADS = {
 }
 
 
+def boot_obs_world(ring_depth=None, read_cache=False, cache_pages=1024,
+                   write_behind=False, write_behind_depth=None):
+    """Boot an AnceptionWorld with an enrolled app; returns (world, ctx).
+
+    The shared setup for :func:`run_traced` and the engine-throughput
+    harness in :mod:`repro.perf.engine_bench`, which times workload
+    bodies against a pre-booted world (boot cost excluded).
+    """
+    world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
+                           cache_pages=cache_pages,
+                           async_delegation=write_behind,
+                           write_behind_depth=write_behind_depth)
+    running = world.install_and_launch(_ObsApp())
+    running.run()
+    return world, running.ctx
+
+
 class TraceResult:
     """Everything one traced run produced."""
 
@@ -187,13 +204,11 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     if fn is None:
         known = ", ".join(sorted(TRACE_WORKLOADS))
         raise ValueError(f"unknown workload {workload!r} (known: {known})")
-    world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
-                           cache_pages=cache_pages,
-                           async_delegation=write_behind,
-                           write_behind_depth=write_behind_depth)
-    running = world.install_and_launch(_ObsApp())
-    running.run()
-    ctx = running.ctx
+    world, ctx = boot_obs_world(
+        ring_depth=ring_depth, read_cache=read_cache,
+        cache_pages=cache_pages, write_behind=write_behind,
+        write_behind_depth=write_behind_depth,
+    )
     metrics = MetricsRegistry()
     records = []
     if observe:

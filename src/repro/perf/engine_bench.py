@@ -1,0 +1,258 @@
+"""Engine-throughput benchmark: simulated syscalls per wall-clock second.
+
+Everything else under ``repro.perf`` measures *simulated* latency — the
+paper's numbers, deterministic on any machine.  This harness measures
+the other thing the ROADMAP's "engine raw speed" item needs: how fast
+the single-threaded Python engine grinds through those simulated calls
+in real time, per workload, with the :class:`~repro.obs.prof.WallProfiler`
+attributing the hot zones.  The output is ``BENCH_engine.json``
+(``anception bench-engine``), gated in CI against a committed baseline:
+a >20% drop in syscalls/sec on any workload fails the build.
+
+Methodology (per workload):
+
+1. boot one :class:`~repro.world.AnceptionWorld` (cache + write-behind
+   on, the tooling defaults) and run one warm-up iteration so files
+   exist and the cache is primed — every later iteration replays an
+   identical steady-state call stream;
+2. count the stream once under the TraceBus (simulated syscalls and
+   nanoseconds per iteration are deterministic, so one census serves
+   every timed pass);
+3. time ``runs`` passes of ``inner`` iterations with observation and
+   profiling dormant; the *best* pass (least scheduler noise) is the
+   throughput numerator;
+4. one more profiled pass yields the per-zone attribution shares and
+   the profiler's own overhead ratio (enabled wall / disabled wall —
+   the "near-zero when disabled" claim is the *disabled* sites' cost,
+   pinned separately by ``tests/obs/test_prof.py``).
+
+Wall-clock numbers are machine-dependent by nature, which is why the
+regression gate compares *ratios* against the committed baseline (and
+why the pytest coverage in ``benchmarks/`` asserts structure, never
+absolute throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.errors import SyscallError
+from repro.obs.bus import TraceBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import WallProfiler
+from repro.obs.runner import TRACE_WORKLOADS, boot_obs_world
+
+
+SCHEMA = "anception-bench-engine/1"
+
+ENGINE_WORKLOADS = ("fileops", "batchio", "writeburst")
+"""The gated workloads: mixed metadata/file I/O, ring-batched vectored
+I/O, and the write-behind burst — together they cover every delegation
+hot path the profiler instruments."""
+
+DEFAULT_INNER = 8
+"""Workload iterations per timed pass (amortizes timer granularity)."""
+
+DEFAULT_RUNS = 5
+"""Timed passes per workload; the best one is the throughput number."""
+
+DEFAULT_GATE_RATIO = 0.8
+"""Gate: current syscalls/sec must stay >= ratio * baseline (>20% drop
+fails).  Override with ``ANCEPTION_ENGINE_GATE_RATIO`` for noisy CI."""
+
+DEFAULT_BASELINE_PATH = os.path.normpath(os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "..", "..", "benchmarks", "BENCH_engine_baseline.json",
+))
+
+_ATTRIBUTION_ZONES = 12
+"""Zones kept in the per-workload attribution (sorted by self share)."""
+
+
+def _reset_workload(ctx, workload):
+    """Undo the one non-idempotent effect so iterations replay cleanly.
+
+    ``fileops`` leaves ``chaos-dir/moved.bin`` behind and its ``mkdir``
+    would fail with EEXIST on replay; everything else opens with
+    O_TRUNC and is idempotent.  The cleanup calls are themselves part
+    of the measured stream — the census pass runs the identical loop.
+    """
+    if workload == "fileops":
+        try:
+            ctx.libc.unlink(ctx.data_path("chaos-dir/moved.bin"))
+        except SyscallError:
+            pass
+        try:
+            ctx.libc.rmdir(ctx.data_path("chaos-dir"))
+        except SyscallError:
+            pass
+
+
+def _iterate(ctx, workload, n):
+    fn = TRACE_WORKLOADS[workload]
+    for _ in range(n):
+        _reset_workload(ctx, workload)
+        fn(ctx)
+
+
+def _census(world, ctx, workload):
+    """One observed steady-state iteration: (syscalls, simulated ns)."""
+    metrics = MetricsRegistry()
+    bus = TraceBus.install(world.clock)
+    bus.subscribe(metrics.observe_record)
+    try:
+        with bus.capture():
+            sim0 = world.clock.now_ns
+            _iterate(ctx, workload, 1)
+            sim_ns = world.clock.now_ns - sim0
+    finally:
+        bus.unsubscribe(metrics.observe_record)
+    return metrics.syscalls_total.total(), sim_ns
+
+
+def bench_workload(workload, inner=DEFAULT_INNER, runs=DEFAULT_RUNS,
+                   timer=time.perf_counter_ns):
+    """Measure one workload; returns its ``BENCH_engine.json`` entry."""
+    if workload not in TRACE_WORKLOADS:
+        known = ", ".join(sorted(TRACE_WORKLOADS))
+        raise ValueError(f"unknown workload {workload!r} (known: {known})")
+    world, ctx = boot_obs_world(read_cache=True, write_behind=True)
+    _iterate(ctx, workload, 1)  # warm-up: reach the steady-state stream
+    syscalls, sim_ns = _census(world, ctx, workload)
+    walls = []
+    for _ in range(runs):
+        t0 = timer()
+        _iterate(ctx, workload, inner)
+        walls.append(timer() - t0)
+    best = min(walls)
+    prof = WallProfiler(timer=timer)
+    with prof.activate(world.clock):
+        t0 = timer()
+        _iterate(ctx, workload, inner)
+        profiled_wall = timer() - t0
+    attribution = prof.attribution()
+    attribution["zones"] = attribution["zones"][:_ATTRIBUTION_ZONES]
+    rate = (syscalls * inner) / (best / 1e9) if best else 0.0
+    return {
+        "syscalls_per_iter": syscalls,
+        "sim_us_per_iter": round(sim_ns / 1000, 3),
+        "inner": inner,
+        "runs": runs,
+        "wall_ms": {
+            "best": round(best / 1e6, 3),
+            "median": round(statistics.median(walls) / 1e6, 3),
+        },
+        "syscalls_per_sec": round(rate, 1),
+        "sim_time_ratio": round((sim_ns * inner) / best, 3) if best else 0.0,
+        "profiler": {
+            "overhead_ratio": (
+                round(profiled_wall / best, 3) if best else 0.0
+            ),
+            "attribution": attribution,
+        },
+    }
+
+
+def run_engine_bench(workloads=ENGINE_WORKLOADS, inner=None, runs=None):
+    """The full ``BENCH_engine.json`` document for the gated workloads."""
+    inner = inner or int(os.environ.get("ANCEPTION_ENGINE_INNER",
+                                        DEFAULT_INNER))
+    runs = runs or int(os.environ.get("ANCEPTION_ENGINE_RUNS",
+                                      DEFAULT_RUNS))
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "inner": inner,
+            "runs": runs,
+            "read_cache": True,
+            "write_behind": True,
+        },
+        "workloads": {
+            workload: bench_workload(workload, inner=inner, runs=runs)
+            for workload in workloads
+        },
+    }
+
+
+def profile_workload(workload, inner=4, timer=time.perf_counter_ns):
+    """One profiled run for ``anception profile``: table + flamegraph."""
+    if workload not in TRACE_WORKLOADS:
+        known = ", ".join(sorted(TRACE_WORKLOADS))
+        raise ValueError(f"unknown workload {workload!r} (known: {known})")
+    world, ctx = boot_obs_world(read_cache=True, write_behind=True)
+    _iterate(ctx, workload, 1)  # warm-up
+    syscalls, sim_ns = _census(world, ctx, workload)
+    prof = WallProfiler(timer=timer)
+    with prof.activate(world.clock):
+        t0 = timer()
+        _iterate(ctx, workload, inner)
+        wall_ns = timer() - t0
+    return {
+        "workload": workload,
+        "inner": inner,
+        "syscalls": syscalls * inner,
+        "wall_ms": round(wall_ns / 1e6, 3),
+        "sim_ms": round(sim_ns * inner / 1e6, 3),
+        "syscalls_per_sec": round(
+            (syscalls * inner) / (wall_ns / 1e9), 1
+        ) if wall_ns else 0.0,
+        "table": prof.format_table(),
+        "collapsed": prof.collapsed(),
+        "attribution": prof.attribution(),
+    }
+
+
+# -- regression gate ---------------------------------------------------------
+
+def gate_ratio():
+    """The configured regression threshold (env-overridable)."""
+    return float(os.environ.get("ANCEPTION_ENGINE_GATE_RATIO",
+                                DEFAULT_GATE_RATIO))
+
+
+def check_regression(report, baseline, min_ratio=None):
+    """Failure strings for every workload below the baseline gate."""
+    if min_ratio is None:
+        min_ratio = gate_ratio()
+    failures = []
+    for workload, base in sorted(baseline.get("workloads", {}).items()):
+        base_rate = base.get("syscalls_per_sec") or 0
+        current = report.get("workloads", {}).get(workload)
+        if current is None:
+            failures.append(f"{workload}: missing from current report")
+            continue
+        rate = current.get("syscalls_per_sec") or 0
+        if base_rate and rate < min_ratio * base_rate:
+            failures.append(
+                f"{workload}: {rate:.0f} syscalls/s fell below "
+                f"{min_ratio:.0%} of the baseline {base_rate:.0f}"
+            )
+    return failures
+
+
+def baseline_summary(report):
+    """The slim committed-baseline document for a bench report."""
+    return {
+        "schema": SCHEMA,
+        "note": (
+            "committed engine-throughput baseline; regenerate on a "
+            "comparable machine with: anception bench-engine "
+            "--update-baseline"
+        ),
+        "workloads": {
+            workload: {"syscalls_per_sec": entry["syscalls_per_sec"]}
+            for workload, entry in sorted(report["workloads"].items())
+        },
+    }
+
+
+def load_baseline(path=DEFAULT_BASELINE_PATH):
+    """The committed baseline dict, or ``None`` when absent."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError:
+        return None

@@ -141,3 +141,87 @@ class TestLogcatSink:
         ]
         assert any("syscall write" in line for line in lines)
         assert sink.lines == len(lines)
+
+
+class TestSinkHardening:
+    """A raising sink is isolated, counted, and eventually evicted."""
+
+    def _bus(self):
+        return TraceBus.install(SimClock())
+
+    def test_raising_sink_does_not_abort_dispatch(self):
+        bus = self._bus()
+        seen = []
+
+        def bad(_record):
+            raise RuntimeError("sink bug")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        with bus.capture() as capture:
+            bus.event("irq", "tick")
+        assert len(capture.events()) == 1
+        assert len(seen) == 1  # the later sink still ran
+        assert bus.sink_errors == 1
+
+    def test_sink_errors_counted_per_failure(self):
+        bus = self._bus()
+
+        def bad(_record):
+            raise ValueError("boom")
+
+        bus.subscribe(bad)
+        with bus.capture():
+            bus.event("irq", "a")
+            bus.event("irq", "b")
+        assert bus.sink_errors == 2
+
+    def test_sink_dropped_after_failure_limit(self):
+        bus = self._bus()
+        calls = []
+
+        def bad(record):
+            calls.append(record)
+            raise RuntimeError("always fails")
+
+        bus.subscribe(bad)
+        with bus.capture():
+            for i in range(bus.SINK_FAILURE_LIMIT + 2):
+                bus.event("irq", f"tick-{i}")
+        # Exactly LIMIT deliveries reached the sink before eviction.
+        assert len(calls) == bus.SINK_FAILURE_LIMIT
+        assert bus.sink_errors == bus.SINK_FAILURE_LIMIT
+        assert bus.dropped_sinks == 1
+        assert bad not in bus._sinks
+
+    def test_healthy_sink_survives_neighbour_eviction(self):
+        bus = self._bus()
+        seen = []
+
+        def bad(_record):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        total = bus.SINK_FAILURE_LIMIT + 3
+        with bus.capture():
+            for i in range(total):
+                bus.event("irq", f"tick-{i}")
+        assert len(seen) == total
+        assert bus.dropped_sinks == 1
+
+    def test_unsubscribe_clears_failure_tally(self):
+        bus = self._bus()
+
+        def flaky(_record):
+            raise RuntimeError("boom")
+
+        bus.subscribe(flaky)
+        with bus.capture():
+            bus.event("irq", "a")
+        bus.unsubscribe(flaky)
+        bus.subscribe(flaky)  # re-attached: the budget starts fresh
+        with bus.capture():
+            bus.event("irq", "b")
+        assert bus.dropped_sinks == 0
+        assert flaky in bus._sinks

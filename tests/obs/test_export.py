@@ -149,3 +149,84 @@ class TestFtrace:
         records = _trace_redirected_write(anception_world, enrolled_ctx)
         parsed = json.loads(chrome_trace_json(records))
         assert isinstance(parsed["traceEvents"], list)
+
+
+class TestLaneMapping:
+    """Edge cases in the kernel->pid / task->tid lane assignment."""
+
+    def test_lane_ids_are_stable_and_sorted(self):
+        records = [
+            {"type": "span", "kernel": "host"},
+            {"type": "event", "kernel": "cvm:chrome"},
+            {"type": "span", "kernel": "host"},
+        ]
+        from repro.obs.export import _lane_ids
+        assert _lane_ids(records) == {"cvm:chrome": 1, "host": 2}
+
+    def test_missing_kernel_falls_back_to_none_lane(self):
+        from repro.obs.export import _lane_ids, _record_lane
+        records = [{"type": "span"}, {"type": "span", "kernel": ""}]
+        pids = _lane_ids(records)
+        assert pids == {"(none)": 1}
+        pid, _tid = _record_lane({"type": "span"}, pids)
+        assert pid == 1
+
+    def test_missing_pid_maps_to_tid_zero(self):
+        from repro.obs.export import _lane_ids, _record_lane
+        records = [{"type": "span", "kernel": "host"}]
+        pids = _lane_ids(records)
+        _pid, tid = _record_lane(records[0], pids)
+        assert tid == 0
+
+    def test_charge_records_do_not_claim_lanes(self):
+        from repro.obs.export import _lane_ids
+        records = [
+            {"type": "charge", "kernel": "ghost"},
+            {"type": "span", "kernel": "host"},
+        ]
+        assert _lane_ids(records) == {"host": 1}
+
+
+class TestNestedSpanOrdering:
+    def _records(self, clock):
+        bus = TraceBus.install(clock)
+        with bus.capture() as capture:
+            with bus.span("syscall", "outer", kernel="host"):
+                with bus.span("channel-copy", "inner", kernel="host"):
+                    clock.advance(1_000, "copy")
+                clock.advance(2_000, "rest")
+        return capture.records
+
+    def test_parent_sorts_before_equal_ts_child(self):
+        from repro.clock import SimClock
+        trace = to_chrome_trace(self._records(SimClock()))
+        spans = _complete_events(trace)
+        # Same start timestamp: the longer (outer) span must come first
+        # so Chrome nests the child under it.
+        assert [s["name"] for s in spans] == ["outer", "inner"]
+        assert spans[0]["dur"] > spans[1]["dur"]
+
+
+class TestFtraceRoundTrip:
+    """Every captured record surfaces as exactly one ftrace body line."""
+
+    def test_line_per_record_with_args(self, anception_world,
+                                       enrolled_ctx):
+        records = _trace_redirected_write(anception_world, enrolled_ctx)
+        printable = [r for r in records if r["type"] in ("span", "event")]
+        text = to_ftrace(records, trace_id="rt", workload="w")
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(lines) == len(printable)
+        assert "# workload: w" in text
+        # Span lines carry their duration; sorted args ride along.
+        syscall_lines = [l for l in lines if "syscall: write" in l]
+        assert syscall_lines and all("dur=" in l for l in syscall_lines)
+
+    def test_missing_task_prints_placeholder(self):
+        from repro.clock import SimClock
+        clock = SimClock()
+        bus = TraceBus.install(clock)
+        with bus.capture() as capture:
+            bus.event("irq", "bare")
+        text = to_ftrace(capture.records)
+        assert "<none>-0" in text

@@ -114,3 +114,60 @@ class TestRegistry:
         assert metrics.syscalls_total.total() >= 3
         snapshot = metrics.snapshot()
         assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestQuantiles:
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram("h", (10, 20, 30))
+        for value in (5, 15, 25, 28):
+            histogram.observe(value)
+        # p50 rank = 2.0 lands at the top of the (10, 20] bucket.
+        assert histogram.quantile(0.50) == 20.0
+        # p25 rank = 1.0 -> the first bucket, interpolated from 0.
+        assert histogram.quantile(0.25) == 10.0
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = Histogram("h", (100,))
+        histogram.observe(1)
+        histogram.observe(1)
+        assert histogram.quantile(0.5) == 50.0
+
+    def test_overflow_bucket_reports_last_finite_bound(self):
+        histogram = Histogram("h", (10, 100))
+        histogram.observe(5000)
+        assert histogram.quantile(0.99) == 100.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h", (10,)).quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range(self):
+        histogram = Histogram("h", (10,))
+        try:
+            histogram.quantile(1.5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_snapshot_surfaces_p50_p95_p99(self):
+        histogram = Histogram("h", DEFAULT_LATENCY_BUCKETS_US, unit="us")
+        for value in range(1, 101):
+            histogram.observe(value)
+        quantiles = histogram.snapshot()["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+        assert quantiles["p99"] <= 200  # inside the (100, 200] bucket
+
+    def test_registry_snapshot_sorted_and_quantiled(self):
+        registry = MetricsRegistry()
+        registry.observe_record({
+            "type": "span", "kind": "syscall", "name": "write",
+            "begin_ns": 0, "end_ns": 42_000, "sclass": "fs",
+            "args": {"disposition": "delegated"},
+        })
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+        assert list(snapshot["histograms"]) == sorted(snapshot["histograms"])
+        latency = snapshot["histograms"]["syscall_latency_us"]
+        # One sample in (20, 50]: p50 interpolates halfway up the bucket.
+        assert latency["quantiles"]["p50"] == 35.0

@@ -1,0 +1,204 @@
+"""WallProfiler tests: accounting, dormancy, and clock neutrality.
+
+The accounting tests drive the profiler with a scripted fake timer, so
+self/cumulative splits and the collapsed-stack export are asserted
+exactly.  The dormancy tests pin the "near-zero when disabled" contract:
+with no profiler installed, :func:`repro.obs.prof.zone` returns the
+shared :data:`NULL_ZONE` singleton — no timer reads, no allocation.
+"""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.obs.prof import NULL_ZONE, WallProfiler, active_profiler, zone
+
+
+class FakeTimer:
+    """Deterministic ns source: returns scripted values, then ticks."""
+
+    def __init__(self, values=(), tick=1):
+        self.values = list(values)
+        self.tick = tick
+        self.now = 0
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.values:
+            self.now = self.values.pop(0)
+        else:
+            self.now += self.tick
+        return self.now
+
+
+@pytest.fixture
+def prof():
+    profiler = WallProfiler(timer=FakeTimer())
+    yield profiler
+    profiler.uninstall()
+
+
+class TestDisabledPath:
+    def test_zone_is_null_singleton_when_uninstalled(self):
+        assert active_profiler() is None
+        assert zone("channel.copy") is NULL_ZONE
+        assert zone("anything.else") is NULL_ZONE
+
+    def test_null_zone_is_inert_context_manager(self):
+        with NULL_ZONE as z:
+            assert z is NULL_ZONE
+
+    def test_disabled_sites_never_read_the_timer(self, prof):
+        timer = prof._timer
+        with zone("clock.advance"):
+            pass
+        assert timer.calls == 0
+
+    def test_uninstalled_clock_attribute_cleared(self, prof):
+        clock = SimClock()
+        prof.install(clock)
+        assert clock.prof is prof
+        prof.uninstall(clock)
+        assert clock.prof is None
+        assert zone("x") is NULL_ZONE
+
+
+class TestZoneAccounting:
+    def test_single_zone_self_equals_cum(self):
+        timer = FakeTimer(values=[100, 350])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("a"):
+            pass
+        rows = prof.table()
+        assert rows == [
+            {"zone": "a", "calls": 1, "cum_ns": 250, "self_ns": 250,
+             "self_share": 1.0},
+        ]
+
+    def test_nested_zone_splits_self_from_cum(self):
+        # a: [0, 1000]; b nested: [200, 500] -> a self 700, b self 300.
+        timer = FakeTimer(values=[0, 200, 500, 1000])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("a"):
+            with prof.zone("b"):
+                pass
+        stats = {row["zone"]: row for row in prof.table()}
+        assert stats["a"]["cum_ns"] == 1000
+        assert stats["a"]["self_ns"] == 700
+        assert stats["b"]["cum_ns"] == 300
+        assert stats["b"]["self_ns"] == 300
+
+    def test_recursion_counts_cum_once(self):
+        # Outer a: [0, 1000]; inner a: [200, 500].  Cumulative counts
+        # the outermost activation only (gprof semantics); self sums
+        # both frames' exclusive time: (1000-0-300) + (500-200) = 1000.
+        timer = FakeTimer(values=[0, 200, 500, 1000])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("a"):
+            with prof.zone("a"):
+                pass
+        (row,) = prof.table()
+        assert row["calls"] == 2
+        assert row["cum_ns"] == 1000
+        assert row["self_ns"] == 1000
+
+    def test_table_sorted_by_self_time_then_name(self):
+        prof = WallProfiler(timer=FakeTimer())
+        prof._zones["b"] = [1, 50, 50]
+        prof._zones["a"] = [1, 50, 50]
+        prof._zones["hot"] = [1, 900, 900]
+        assert [row["zone"] for row in prof.table()] == ["hot", "a", "b"]
+
+    def test_collapsed_stack_paths_and_units(self):
+        # a [0us..10us] with b nested [2us..5us]: a self 7us, a;b 3us.
+        timer = FakeTimer(values=[0, 2000, 5000, 10_000])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("a"):
+            with prof.zone("b"):
+                pass
+        assert prof.collapsed() == "a 7\na;b 3\n"
+
+    def test_collapsed_empty_profiler(self):
+        assert WallProfiler(timer=FakeTimer()).collapsed() == ""
+
+    def test_attribution_shares_sum_to_one(self):
+        timer = FakeTimer(values=[0, 100, 900, 1000])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("a"):
+            with prof.zone("b"):
+                pass
+        attribution = prof.attribution()
+        assert attribution["total_self_ms"] == 0.001
+        assert sum(z["share"] for z in attribution["zones"]) == 1.0
+
+    def test_reset_drops_accounting(self):
+        prof = WallProfiler(timer=FakeTimer())
+        with prof.zone("a"):
+            pass
+        prof.reset()
+        assert prof.table() == []
+        assert prof.collapsed() == ""
+
+    def test_format_table_mentions_every_zone(self):
+        timer = FakeTimer(values=[0, 10, 20, 30])
+        prof = WallProfiler(timer=timer)
+        with prof.zone("ring.push"):
+            pass
+        with prof.zone("cache.lookup"):
+            pass
+        text = prof.format_table()
+        assert "ring.push" in text and "cache.lookup" in text
+        assert text.splitlines()[0].startswith("ZONE")
+
+    def test_format_table_empty(self):
+        assert "(no zones recorded)" in WallProfiler(
+            timer=FakeTimer()).format_table()
+
+
+class TestActivation:
+    def test_activate_installs_and_uninstalls(self, prof):
+        clock = SimClock()
+        with prof.activate(clock) as active:
+            assert active is prof
+            assert active_profiler() is prof
+            assert clock.prof is prof
+            assert zone("x") is not NULL_ZONE
+        assert active_profiler() is None
+        assert clock.prof is None
+
+    def test_module_zone_records_on_active_profiler(self, prof):
+        with prof.activate():
+            with zone("marshal.encode"):
+                pass
+        assert [row["zone"] for row in prof.table()] == ["marshal.encode"]
+
+
+class TestEngineNeutrality:
+    """Profiling is a read-only overlay on simulated time."""
+
+    def _run(self, profiled):
+        from repro.obs.runner import boot_obs_world
+        world, ctx = boot_obs_world(read_cache=True, write_behind=True)
+        from repro.obs.runner import TRACE_WORKLOADS
+        workload = TRACE_WORKLOADS["writeburst"]
+        if profiled:
+            prof = WallProfiler()
+            with prof.activate(world.clock):
+                workload(ctx)
+            assert prof.total_self_ns > 0
+        else:
+            workload(ctx)
+        return world.clock.now_ns
+
+    def test_simulated_time_bit_identical_with_profiler_on(self):
+        assert self._run(profiled=False) == self._run(profiled=True)
+
+    def test_clock_zones_recorded_when_installed_on_clock(self):
+        from repro.obs.runner import boot_obs_world
+        world, ctx = boot_obs_world()
+        prof = WallProfiler()
+        with prof.activate(world.clock):
+            ctx.libc.getpid()
+        zones = {row["zone"] for row in prof.table()}
+        assert "clock.advance" in zones
+        assert "syscall.dispatch" in zones

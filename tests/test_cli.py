@@ -38,7 +38,7 @@ class TestCli:
             "table1", "antutu", "sunspider", "sqlite", "memory",
             "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
             "interactive", "alternatives", "trace", "metrics", "chaos",
-            "bench-smoke",
+            "bench-smoke", "profile", "report", "bench-engine",
         }
 
     def test_trace_command_chrome(self, capsys):
@@ -70,6 +70,79 @@ class TestCli:
         snapshot = json.loads(capsys.readouterr().out)
         assert snapshot["workload"] == "write4k"
         assert "syscalls_total" in snapshot["metrics"]["counters"]
+
+    def test_trace_prints_wall_clock_summary(self, capsys):
+        assert main(["trace", "getpid", "--format", "ftrace"]) == 0
+        err = capsys.readouterr().err
+        assert err.startswith("wall-clock: host_ms=")
+        assert "sim/host=" in err
+
+    def test_metrics_reports_sink_errors(self, capsys):
+        assert main(["metrics", "write4k"]) == 0
+        import json
+
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["obs_sink_errors"] == 0
+
+    def test_profile_command(self, capsys, tmp_path):
+        flame = tmp_path / "flame.txt"
+        assert main(["profile", "write4k", "--inner", "2",
+                     "--flame", str(flame)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("ZONE")
+        assert "syscall.dispatch" in captured.out
+        assert "profile: workload=write4k" in captured.err
+        collapsed = flame.read_text()
+        assert "syscall.dispatch" in collapsed
+
+    def test_report_command_deterministic(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(["trace", "write4k", "--out", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace_path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", str(trace_path)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        report = json.loads(first)
+        assert report["workload"] == "write4k"
+        assert report["critical_path"]["syscalls"] > 0
+
+    def test_report_command_missing_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["report", "/nonexistent/trace.json"])
+
+    def test_bench_engine_gate_failure_exits(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("ANCEPTION_ENGINE_INNER", "1")
+        monkeypatch.setenv("ANCEPTION_ENGINE_RUNS", "1")
+        baseline = tmp_path / "base.json"
+        import json
+
+        baseline.write_text(json.dumps({
+            "schema": "anception-bench-engine/1",
+            "workloads": {"fileops": {"syscalls_per_sec": 1e12}},
+        }))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench-engine", "--baseline", str(baseline)])
+        assert "fell below" in str(excinfo.value)
+
+    def test_bench_engine_update_baseline(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("ANCEPTION_ENGINE_INNER", "1")
+        monkeypatch.setenv("ANCEPTION_ENGINE_RUNS", "1")
+        baseline = tmp_path / "base.json"
+        assert main(["bench-engine", "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        import json
+
+        written = json.loads(baseline.read_text())
+        assert written["schema"] == "anception-bench-engine/1"
+        assert set(written["workloads"]) == {
+            "fileops", "batchio", "writeburst",
+        }
 
     def test_alternatives_command(self, capsys):
         assert main(["alternatives"]) == 0
