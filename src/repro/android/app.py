@@ -9,7 +9,12 @@ app, which is the paper's "supports unmodified apps" property.
 
 from __future__ import annotations
 
-from repro.android.binder import BINDER_WRITE_READ, IOC_WAIT_INPUT_EVT, Transaction
+from repro.android.binder import (
+    BINDER_WRITE_READ,
+    IOC_WAIT_INPUT_EVT,
+    TF_ONE_WAY,
+    Transaction,
+)
 from repro.errors import ReproError
 from repro.kernel.libc import Libc
 
@@ -88,6 +93,17 @@ class AppContext:
     def call_service(self, target, method, payload=None):
         """Synchronous binder call into a system service."""
         transaction = Transaction(target, method, payload)
+        return self.libc.ioctl(self.binder_fd, BINDER_WRITE_READ, transaction)
+
+    def call_service_oneway(self, target, method, payload=None):
+        """Fire-and-forget (TF_ONE_WAY) binder call: always ``None``.
+
+        The target must exist (ENOENT surfaces at the call site like any
+        binder call), but the sender never sees the reply — service-side
+        errors are swallowed, and under batched binder delegation the
+        transaction may still be in flight when this returns.
+        """
+        transaction = Transaction(target, method, payload, flags=TF_ONE_WAY)
         return self.libc.ioctl(self.binder_fd, BINDER_WRITE_READ, transaction)
 
     def wait_input(self):

@@ -194,6 +194,35 @@ def _wb_args(args):
     }
 
 
+def _binder_summary(anception):
+    """One human line of binder-ring state for stderr (or None if off)."""
+    ring = anception.binder_ring
+    if ring is None:
+        return None
+    stats = ring.stats()
+    return (
+        f"binder-ring: depth={stats['depth']}"
+        f" enqueued={stats['enqueued']} drains={stats['drains']}"
+        f" fences={stats['fences']}"
+        f" deferred_errors={stats['deferred_errors']}"
+        f" bulk_parcels={stats['bulk_parcels']}"
+        f" max_depth_seen={stats['max_depth_seen']}"
+    )
+
+
+def _binder_args(args):
+    """The (binder_ring, binder_ring_depth) pair the runners take.
+
+    Like write-behind, the batched binder path is on by default for the
+    tooling commands (trace/metrics/chaos) and off in the library
+    default.
+    """
+    return {
+        "binder_ring": not getattr(args, "no_binder_ring", False),
+        "binder_ring_depth": getattr(args, "binder_ring_depth", None),
+    }
+
+
 def cmd_trace(args):
     from repro.obs.export import chrome_trace_json, to_ftrace
     from repro.obs.runner import run_traced
@@ -204,7 +233,8 @@ def cmd_trace(args):
     try:
         result = run_traced(workload, seed=seed,
                             ring_depth=getattr(args, "ring_depth", None),
-                            **_cache_args(args), **_wb_args(args))
+                            **_cache_args(args), **_wb_args(args),
+                            **_binder_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     host_ns = time.perf_counter_ns() - host_t0
@@ -233,6 +263,9 @@ def cmd_trace(args):
     wb_line = _wb_summary(result.world.anception)
     if wb_line is not None:
         print(wb_line, file=sys.stderr)
+    binder_line = _binder_summary(result.world.anception)
+    if binder_line is not None:
+        print(binder_line, file=sys.stderr)
 
 
 def cmd_metrics(args):
@@ -243,7 +276,8 @@ def cmd_metrics(args):
     try:
         result = run_traced(workload, seed=seed, logcat=False,
                             ring_depth=getattr(args, "ring_depth", None),
-                            **_cache_args(args), **_wb_args(args))
+                            **_cache_args(args), **_wb_args(args),
+                            **_binder_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     bus = getattr(result.world.clock, "bus", None)
@@ -268,7 +302,8 @@ def cmd_chaos(args):
         result = run_chaos(workload, seed=seed,
                            faults=getattr(args, "faults", None),
                            ring_depth=getattr(args, "ring_depth", None),
-                           **_cache_args(args), **_wb_args(args))
+                           **_cache_args(args), **_wb_args(args),
+                           **_binder_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     trace_out = getattr(args, "trace_out", None)
@@ -298,6 +333,7 @@ def cmd_bench_smoke(args):
     """
     from repro.obs.runner import run_traced
     from repro.perf.micro import (
+        run_binder_bench,
         run_full_table1,
         run_read_cache_bench,
         run_write_behind_bench,
@@ -308,6 +344,7 @@ def cmd_bench_smoke(args):
                         ring_depth=getattr(args, "ring_depth", None))
     read_cache = run_read_cache_bench()
     write_behind = run_write_behind_bench()
+    binder = run_binder_bench()
     anception = traced.world.anception
     channel_stats = anception.channel.stats()
     hypervisor = anception.cvm.hypervisor
@@ -330,6 +367,7 @@ def cmd_bench_smoke(args):
             "hit_rate": read_cache["hit_rate"],
         },
         "write_behind": write_behind,
+        "binder": binder,
     }
     text = json.dumps(report, indent=2, sort_keys=True, default=str)
     _emit(text, getattr(args, "out", None))
@@ -374,6 +412,29 @@ def cmd_bench_smoke(args):
             "anception: error: synchronous E1 per-call latency "
             f"({write_behind['sync_per_call_us']} us) drifted off the "
             "Table I 384.45 us pin"
+        )
+    print(
+        f"binder: sync={binder['sync_ms']}ms"
+        f" batched={binder['batched_ms']}ms"
+        f" speedup={binder['speedup']}x"
+        f" doorbell_ratio={binder['doorbell_ratio']}"
+        f" replies_match={binder['replies_match']}",
+        file=sys.stderr,
+    )
+    if binder["speedup"] < 2.0:
+        sys.exit(
+            "anception: error: batched binder speedup "
+            f"({binder['speedup']}x) fell below the 2x gate"
+        )
+    if binder["doorbell_ratio"] > 0.125:
+        sys.exit(
+            "anception: error: batched binder doorbell ratio "
+            f"({binder['doorbell_ratio']}) exceeds the 1/8 coalescing gate"
+        )
+    if not binder["replies_match"]:
+        sys.exit(
+            "anception: error: batched binder replies diverged "
+            "from the synchronous run"
         )
 
 
@@ -586,6 +647,20 @@ def main(argv=None):
         type=int,
         default=None,
         help="in-flight window depth for write-behind delegation "
+             "(default: min(32, ring depth))",
+    )
+    parser.add_argument(
+        "--no-binder-ring",
+        action="store_true",
+        help="disable batched binder delegation windows "
+             "(trace/metrics/chaos commands; the binder ring is on by "
+             "default there, off in the library default)",
+    )
+    parser.add_argument(
+        "--binder-ring-depth",
+        type=int,
+        default=None,
+        help="in-flight window depth for batched binder delegation "
              "(default: min(32, ring depth))",
     )
     parser.add_argument(

@@ -26,7 +26,7 @@ from repro.core.page_cache import HostPageCache
 from repro.core.policy import Decision, RedirectionPolicy
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
-from repro.core.ring import RING_FLAG_WRITE_BEHIND
+from repro.core.ring import RING_FLAG_BINDER, RING_FLAG_WRITE_BEHIND
 from repro.faults.engine import maybe_engine
 from repro.errors import (
     ChannelError,
@@ -248,6 +248,126 @@ class WriteBehind:
         }
 
 
+BINDER_RING_DEPTH = 32
+"""Default bound on one task's staged oneway-binder window (clamped to
+the ring depth, like write-behind: a window drains behind one doorbell
+pair)."""
+
+
+class BinderRingEntry:
+    """One oneway binder transaction staged in a batched window."""
+
+    __slots__ = ("transaction", "target", "payload_bytes", "call_args",
+                 "wire")
+
+    def __init__(self, transaction, call_args, wire):
+        self.transaction = transaction
+        self.target = transaction.target
+        self.payload_bytes = transaction.payload_size
+        self.call_args = call_args
+        self.wire = wire
+
+    def __repr__(self):
+        return f"BinderRingEntry({self.transaction!r})"
+
+
+class _BinderWindow:
+    """One task's open window of staged oneway transactions."""
+
+    __slots__ = ("task", "entries")
+
+    def __init__(self, task):
+        self.task = task
+        self.entries = []
+
+
+class BinderRing:
+    """Batched binder delegation state: per-task oneway windows plus the
+    per-``(pid, target)`` deferred-error ledger.
+
+    Oneway (TF_ONE_WAY) transactions to pre-validated CVM services
+    return ``None`` optimistically while their marshaled descriptors sit
+    in a bounded per-task window; a drain ships the whole window through
+    the delegation ring behind one IRQ+hypercall doorbell pair, paying
+    the fixed cross-VM binder latency once per window instead of once
+    per call, with execution riding the CVM clock lane.  A delivery that
+    fails (injected ``binder.*`` faults, delegation failures) lands in
+    the ledger — first error per ``(pid, target)`` wins — and surfaces
+    exactly once at the next fence: the next reply-carrying transaction
+    to that target (fence-on-reply) or an explicit barrier.
+    """
+
+    def __init__(self, depth=BINDER_RING_DEPTH):
+        self.depth = depth
+        self.windows = {}
+        """pid -> :class:`_BinderWindow` of staged entries."""
+        self.errors = {}
+        """(pid, target) -> deferred :class:`SyscallError` (first wins)."""
+        self.enqueued = 0
+        self.drains = 0
+        self.fences = 0
+        self.deferred_errors = 0
+        self.bulk_parcels = 0
+        self.dropped = 0
+        self.reordered = 0
+        self.max_depth_seen = 0
+
+    def window(self, task):
+        window = self.windows.get(task.pid)
+        if window is None:
+            window = self.windows[task.pid] = _BinderWindow(task)
+        return window
+
+    def pending_windows(self):
+        """Windows with staged entries, in deterministic pid order."""
+        return [w for _pid, w in sorted(self.windows.items())
+                if w.entries]
+
+    def record_error(self, pid, target, exc):
+        """Ledger ``exc`` for ``(pid, target)``; ``True`` if first."""
+        key = (pid, target)
+        if key in self.errors:
+            return False
+        self.errors[key] = exc
+        self.deferred_errors += 1
+        return True
+
+    def take_error(self, pid, target):
+        """Pop (surface-exactly-once) the deferred error for a target."""
+        return self.errors.pop((pid, target), None)
+
+    def take_any_error(self, pid):
+        """Pop this pid's first ledgered error, in sorted target order.
+
+        The explicit fence barrier names no target, but must not let a
+        deferred delivery failure vanish silently — it surfaces the
+        earliest key deterministically.
+        """
+        for key in sorted(k for k in self.errors if k[0] == pid):
+            return self.errors.pop(key)
+        return None
+
+    def clear(self):
+        """Drop all windows and ledger entries (container reboot: the
+        services they named died with the old CVM)."""
+        self.windows.clear()
+        self.errors.clear()
+
+    def stats(self):
+        return {
+            "depth": self.depth,
+            "enqueued": self.enqueued,
+            "drains": self.drains,
+            "fences": self.fences,
+            "deferred_errors": self.deferred_errors,
+            "bulk_parcels": self.bulk_parcels,
+            "dropped": self.dropped,
+            "reordered": self.reordered,
+            "pending": sum(len(w.entries) for w in self.windows.values()),
+            "max_depth_seen": self.max_depth_seen,
+        }
+
+
 class AnceptionLayer:
     """Host-side redirection layer plus its container VM."""
 
@@ -257,7 +377,8 @@ class AnceptionLayer:
     def __init__(self, machine, host_system, guest_mb=64, channel_pages=8,
                  file_io_on_host=False, ring_depth=None, read_cache=False,
                  cache_pages=1024, async_delegation=False,
-                 write_behind_depth=None):
+                 write_behind_depth=None, binder_ring=False,
+                 binder_ring_depth=None):
         self.machine = machine
         self.host_kernel = machine.kernel
         self.host_system = host_system
@@ -291,6 +412,16 @@ class AnceptionLayer:
         """Async write-behind state (per-task windows + deferred-error
         ledger); ``None`` keeps every delegated call synchronous — the
         classic blocking shape the paper measured."""
+        if binder_ring:
+            bdepth = (binder_ring_depth if binder_ring_depth is not None
+                      else min(BINDER_RING_DEPTH, self.channel.ring_depth))
+            self.binder_ring = BinderRing(bdepth)
+        else:
+            self.binder_ring = None
+        """Batched binder delegation state (oneway windows + per-target
+        ledger + bulk-parcel fast path); ``None`` keeps every forwarded
+        transaction a synchronous per-call round trip — the Table I
+        shape."""
         self.policy = RedirectionPolicy(
             host_system.ui_service_names(), file_io_on_host=file_io_on_host
         )
@@ -546,14 +677,17 @@ class AnceptionLayer:
                     kernel=self.host_kernel.label, reason=reason,
                     survivors=survivors)
 
-    def submit(self, task, name, args, kwargs, translated=None, wire=None):
+    def submit(self, task, name, args, kwargs, translated=None, wire=None,
+               ring_flags=0):
         """Marshal one call onto the submit ring; no doorbell yet.
 
         Returns the :class:`PendingCall` tracking it.  A full ring
         flushes first (bounded backpressure): the in-flight window is
         retired behind one doorbell pair before new work queues.  A
-        pre-staged ``wire`` (write-behind drain) skips the marshal step
-        — the host already paid for packing when the call deferred.
+        pre-staged ``wire`` (write-behind or binder-window drain) skips
+        the marshal step — the host already paid for packing when the
+        call deferred.  ``ring_flags`` overrides the descriptor flags
+        (the binder drain tags its descriptors ``RING_FLAG_BINDER``).
         """
         with wall_zone("anception.submit"):
             if not self.channel.submit_ring.free_slots():
@@ -579,7 +713,8 @@ class AnceptionLayer:
             )
             seq = self.channel.submit_ring.push(
                 name, wire,
-                flags=RING_FLAG_WRITE_BEHIND if prestaged else 0,
+                flags=ring_flags if ring_flags
+                else (RING_FLAG_WRITE_BEHIND if prestaged else 0),
             )
             pending = PendingCall(seq, task, name, args, call_args, kwargs,
                                   crypto_offset)
@@ -1072,7 +1207,15 @@ class AnceptionLayer:
         table = self._fd_table(task)
         if table.is_remote(fd):
             return self._redirect(task, "ioctl", (fd, request, arg), {})
-        # Host fd: binder traffic gets the UI inspection.
+        # Host fd: binder traffic gets the UI inspection.  Waiting for
+        # input is an observation point — anything the app fired at the
+        # services must land before the world answers back
+        # (fence-on-read).
+        if self.binder_ring is not None:
+            from repro.android.binder import IOC_WAIT_INPUT_EVT
+
+            if request == IOC_WAIT_INPUT_EVT:
+                self._binder_settle(task, "wait-input")
         if self.policy.ioctl_is_ui(request, arg):
             return self.host_kernel.execute_native(
                 task, "ioctl", (fd, request, arg), {}
@@ -1097,17 +1240,41 @@ class AnceptionLayer:
         transaction against the CVM's service instances.  Cost: the fixed
         cross-VM binder latency plus per-byte payload (the channel's world
         switches are charged by the generic forward path).
+
+        With the batched binder ring on, oneway transactions to known
+        CVM services defer into a per-task window instead
+        (:meth:`_binder_enqueue`); everything reply-carrying is a fence —
+        every staged oneway delivers first, and a deferred delivery
+        error for this ``(pid, target)`` surfaces here (fence-on-reply).
+        Parcels above a page then skip the marshal-interleaved per-byte
+        rate and stream through the ring's bulk-copy window at the
+        ``binder_parcel_page_ns`` page rate.
         """
+        if self.binder_ring is not None:
+            if self._binder_accepts(task, transaction):
+                return self._binder_enqueue(task, request, transaction)
+            self._binder_fence(task, transaction.target, "transact")
         costs = self.machine.costs
-        self.machine.clock.advance(
-            costs.binder_cvm_fixed_ns, "anception:binder-cvm"
-        )
-        self.machine.clock.advance(
-            int(costs.binder_cvm_per_byte_ns * transaction.payload_size),
-            "anception:binder-bytes",
-        )
+        clock = self.machine.clock
+        clock.advance(costs.binder_cvm_fixed_ns, "anception:binder-cvm")
+        payload = transaction.payload_size
         proxy = self.proxies.proxy_for(task)
         proxy_binder_fd = self._ensure_proxy_binder(proxy)
+        if self.binder_ring is not None and payload > PAGE_SIZE:
+            self.binder_ring.bulk_parcels += 1
+            clock.advance(
+                costs.binder_parcel_page_ns * costs.chunks(payload),
+                "anception:binder-parcel",
+            )
+            with self.channel.bulk_copy():
+                return self._redirect(
+                    task, "ioctl", (fd, request, transaction), {},
+                    translated=(proxy_binder_fd, request, transaction),
+                )
+        clock.advance(
+            int(costs.binder_cvm_per_byte_ns * payload),
+            "anception:binder-bytes",
+        )
         return self._redirect(
             task, "ioctl", (fd, request, transaction), {},
             translated=(proxy_binder_fd, request, transaction),
@@ -1315,6 +1482,10 @@ class AnceptionLayer:
             # Staged windows and ledgered errnos name proxy descriptors
             # that died with the old container.
             self.write_behind.clear()
+        if self.binder_ring is not None:
+            # Staged oneway windows name service instances (and a proxy
+            # binder fd) that died with the old container.
+            self.binder_ring.clear()
         if self.page_cache is not None:
             # The guest filesystem was rebuilt: every cached page (and
             # learned path->ino binding) describes inodes that no longer
@@ -1686,6 +1857,281 @@ class AnceptionLayer:
                         errno=exc.errno)
 
     # ------------------------------------------------------------------
+    # batched binder delegation (oneway windows, drains, fences)
+    # ------------------------------------------------------------------
+
+    def _binder_accepts(self, task, transaction):
+        """Whether this transaction may defer into a binder window.
+
+        Only oneway transactions to services that already exist in the
+        CVM qualify — the name lookup happens at enqueue time, so a
+        missing target raises ENOENT at the call site in every mode and
+        an unfaulted deferred delivery cannot fail (the driver swallows
+        service-side errors for oneway in every mode too).
+        """
+        if not transaction.is_oneway:
+            return False
+        if self._batch is not None:
+            return False
+        if self.cvm.crashed or self.cvm.compromised:
+            return False
+        return self.cvm.android.has_service(transaction.target)
+
+    def _binder_enqueue(self, task, request, transaction):
+        """Stage one oneway transaction; return ``None`` optimistically.
+
+        The parcel is serialized now (snapshot semantics: a later
+        payload mutation must not reach the service), the host pays the
+        fixed marshal plus a page-rate staging copy, and keeps running —
+        the cross-VM fixed cost, channel bytes, doorbells, and CVM
+        execution all land on the ``cvm`` lane at drain time, shared
+        across the whole window.
+        """
+        from repro.android.binder import Transaction
+
+        ring = self.binder_ring
+        window = ring.window(task)
+        if len(window.entries) >= ring.depth:
+            self._binder_drain(task, reason="window-full")
+        payload = transaction.payload
+        if isinstance(payload, dict):
+            payload = dict(payload)
+        staged = Transaction(transaction.target, transaction.method,
+                             payload, transaction.flags)
+        proxy = self.proxies.proxy_for(task)
+        proxy_binder_fd = self._ensure_proxy_binder(proxy)
+        call_args = (proxy_binder_fd, request, staged)
+        wire, size = marshal_call("ioctl", call_args, {})
+        costs = self.machine.costs
+        clock = self.machine.clock
+        clock.advance(costs.marshal_fixed_ns, "anception:marshal")
+        clock.advance(
+            costs.wb_stage_page_ns * max(costs.chunks(size), 1),
+            "anception:binder-stage",
+        )
+        window.entries.append(BinderRingEntry(staged, call_args, wire))
+        ring.enqueued += 1
+        ring.max_depth_seen = max(ring.max_depth_seen, len(window.entries))
+        maybe_event(clock, "binder-submit",
+                    f"{staged.target}.{staged.method}", task=task,
+                    kernel=self.host_kernel.label,
+                    depth=len(window.entries), bytes=size)
+        return None
+
+    def _binder_drain(self, task, reason):
+        """Ship one task's staged window through the ring on the lane."""
+        ring = self.binder_ring
+        window = ring.windows.get(task.pid)
+        if window is None or not window.entries:
+            return
+        entries, window.entries = window.entries, []
+        ring.drains += 1
+        clock = self.machine.clock
+        # The previous drain must retire before this one posts — the
+        # bounded in-flight depth is the backpressure contract.
+        clock.wait_for(self.cvm.lane, "anception:binder-backpressure")
+        with wall_zone("binder.drain"), \
+                maybe_span(clock, "binder-drain",
+                           f"{reason}:{len(entries)}", task=task,
+                           kernel=self.host_kernel.label,
+                           batch=len(entries), reason=reason) as span:
+            with clock.overlap(self.cvm.lane):
+                self._run_binder_window(task, entries)
+            span.set(lane_ns=clock.lane_backlog_ns(self.cvm.lane))
+
+    def _binder_settle(self, task, name):
+        """Drain every staged binder window and settle the CVM lane."""
+        ring = self.binder_ring
+        drained = 0
+        for window in ring.pending_windows():
+            drained += len(window.entries)
+            self._binder_drain(window.task, reason=f"fence:{name}")
+        waited = self.machine.clock.wait_for(
+            self.cvm.lane, f"anception:binder-fence:{name}"
+        )
+        if drained or waited:
+            ring.fences += 1
+            maybe_event(self.machine.clock, "binder-fence", name,
+                        task=task, kernel=self.host_kernel.label,
+                        drained=drained, waited_ns=waited)
+
+    def _binder_fence(self, task, target, name):
+        """Fence-on-reply: settle the lane, surface this target's errno.
+
+        Every staged oneway (to any target, preserving submission order
+        across services) delivers before the fencing transaction runs;
+        the ledger pop makes a deferred delivery error surface *exactly
+        once*, at the next reply-carrying call to that target.
+        """
+        self._binder_settle(task, name)
+        deferred = self.binder_ring.take_error(task.pid, target)
+        if deferred is not None:
+            raise SyscallError(
+                deferred.errno,
+                f"deferred binder delivery error for {target!r}",
+                call="ioctl",
+            ) from deferred
+
+    def async_fence(self, task, fd=None):
+        """Explicit async-delegation barrier (the libc ``fence`` veneer).
+
+        Drains every staged write-behind *and* binder window, waits out
+        the CVM lane, and surfaces a ledgered deferred errno exactly
+        once — by ``fd`` for write-behind, earliest-target-first for
+        binder (the barrier names no target).  No-op when both async
+        lanes are off, so the same program runs in every mode.
+        """
+        if self.write_behind is not None:
+            self._wb_fence(task, "fence", (fd,) if fd is not None else ())
+        if self.binder_ring is not None:
+            self._binder_settle(task, "fence")
+            deferred = self.binder_ring.take_any_error(task.pid)
+            if deferred is not None:
+                raise SyscallError(
+                    deferred.errno,
+                    "deferred binder delivery error",
+                    call="fence",
+                ) from deferred
+        return 0
+
+    def _run_binder_window(self, task, entries):
+        """Forward one drained binder window behind one doorbell pair.
+
+        Runs inside the lane's overlap window.  The fixed cross-VM
+        binder cost is paid once for the whole window — that is the
+        batching win — while per-entry parcel bytes still cross the
+        channel (above a page at the bulk-parcel page rate).  Failures
+        never raise to the (long-gone) call site: they ledger per
+        ``(pid, target)`` for the next fence to surface.
+        """
+        engine = maybe_engine(self.machine.clock)
+        ring = self.binder_ring
+        costs = self.machine.costs
+        clock = self.machine.clock
+        attempt = 0
+        while True:
+            self._ensure_container("binder-ring")
+            try:
+                live = list(entries)
+                if engine is not None and len(live) > 1 \
+                        and engine.binder_reorder(call="ioctl"):
+                    live[0], live[1] = live[1], live[0]
+                    ring.reordered += 1
+                pendings = []
+                with self.channel.bulk_copy():
+                    clock.advance(
+                        costs.binder_cvm_fixed_ns, "anception:binder-window"
+                    )
+                    for entry in live:
+                        if engine is not None:
+                            injected = engine.binder_drop(call="ioctl")
+                            if injected:
+                                ring.dropped += 1
+                                self._binder_record(
+                                    task, entry.target, SyscallError(
+                                        injected,
+                                        "injected fault: binder.drop",
+                                        call="ioctl",
+                                    ))
+                                continue
+                        if entry.payload_bytes > PAGE_SIZE:
+                            ring.bulk_parcels += 1
+                            clock.advance(
+                                costs.binder_parcel_page_ns
+                                * costs.chunks(entry.payload_bytes),
+                                "anception:binder-parcel",
+                            )
+                        else:
+                            clock.advance(
+                                int(costs.binder_cvm_per_byte_ns
+                                    * entry.payload_bytes),
+                                "anception:binder-bytes",
+                            )
+                        pendings.append((entry, self.submit(
+                            task, "ioctl", entry.call_args, {},
+                            translated=entry.call_args, wire=entry.wire,
+                            ring_flags=RING_FLAG_BINDER,
+                        )))
+                    if not pendings:
+                        return
+                    self.flush(task, reason=f"binder:{len(pendings)}")
+                if engine is not None and engine.binder_reply_loss(
+                        call="ioctl"):
+                    self._binder_reap_lost(task, pendings)
+                    return
+                for entry, pending in pendings:
+                    try:
+                        self.complete(pending)
+                    except SyscallError as exc:
+                        self._binder_record(task, entry.target, exc)
+                return
+            except DelegationError as failure:
+                attempt += 1
+                if not self.recovery.enabled \
+                        or attempt > self.recovery.max_retries:
+                    for index, entry in enumerate(entries):
+                        if index == 0:
+                            exc = SyscallError(
+                                errno.EIO,
+                                f"delegation failed: {failure}",
+                                call="ioctl",
+                            )
+                        else:
+                            exc = SyscallError(
+                                errno.ECANCELED,
+                                "aborted by earlier failure in window",
+                                call="ioctl",
+                            )
+                        self._binder_record(task, entry.target, exc)
+                    return
+                self._recover_from(task, failure, attempt, "binder-ring")
+
+    def _binder_reap_lost(self, task, pendings):
+        """The ``binder.reply-loss`` site struck: completions missed.
+
+        With recovery on, the completion descriptors already sit in the
+        shared pages — the reaper times out and polls them back (never
+        re-submits; a replayed transaction is not idempotent).  With
+        recovery off the outcomes are gone: ledger EIO for the first
+        descriptor, ECANCELED for the rest, per target.
+        """
+        clock = self.machine.clock
+        if self.recovery.enabled:
+            clock.advance(
+                self.recovery.signal_timeout_ns, "anception:binder-reap-poll"
+            )
+            self.recovery_log.append(
+                ("binder-reap-poll", f"{len(pendings)} completions")
+            )
+            maybe_event(clock, "recovery", "binder-reap-poll", task=task,
+                        kernel=self.host_kernel.label, batch=len(pendings))
+            for entry, pending in pendings:
+                try:
+                    self.complete(pending)
+                except SyscallError as exc:
+                    self._binder_record(task, entry.target, exc)
+            return
+        for index, (entry, _pending) in enumerate(pendings):
+            if index == 0:
+                exc = SyscallError(
+                    errno.EIO, "binder completions lost", call="ioctl",
+                )
+            else:
+                exc = SyscallError(
+                    errno.ECANCELED,
+                    "aborted by earlier failure in window",
+                    call="ioctl",
+                )
+            self._binder_record(task, entry.target, exc)
+
+    def _binder_record(self, task, target, exc):
+        """Ledger one deferred failure (first per (pid, target) wins)."""
+        if self.binder_ring.record_error(task.pid, target, exc):
+            maybe_event(self.machine.clock, "binder-error", target,
+                        task=task, kernel=self.host_kernel.label,
+                        target=target, errno=exc.errno)
+
+    # ------------------------------------------------------------------
     # kernel hooks
     # ------------------------------------------------------------------
 
@@ -1758,6 +2204,10 @@ class AnceptionLayer:
             ),
             "write_behind": (
                 self.write_behind.stats() if self.write_behind is not None
+                else None
+            ),
+            "binder_ring": (
+                self.binder_ring.stats() if self.binder_ring is not None
                 else None
             ),
             "cvm_crashed": self.cvm.crashed,

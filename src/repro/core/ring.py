@@ -55,6 +55,11 @@ RING_FLAG_WRITE_BEHIND = 0x1
 window and its result will be reaped asynchronously (the submitter
 already returned an optimistic result to the app)."""
 
+RING_FLAG_BINDER = 0x2
+"""Descriptor header flag: a batched oneway binder transaction drained
+from a binder window (the sender already let go; delivery failures go
+to the per-target ledger, not a call site)."""
+
 DESCRIPTOR_SLOT_BYTES = 512
 """Ring slot granularity used to derive the default depth from the
 shared-page window (one slot holds a header plus a small payload;
@@ -110,6 +115,7 @@ class DelegationRing:
         self.stalls = 0
         self.out_of_order = 0
         self.deferred_pushed = 0
+        self.binder_pushed = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -163,6 +169,8 @@ class DelegationRing:
         descriptor = RingDescriptor(seq, call, payload, flags)
         if flags & RING_FLAG_WRITE_BEHIND:
             self.deferred_pushed += 1
+        if flags & RING_FLAG_BINDER:
+            self.binder_pushed += 1
         with wall_zone("ring.push"), \
                 maybe_span(clock, self.span_kind, f"{call}#{seq}",
                            kernel="channel", ring=self.name, seq=seq,
@@ -231,6 +239,7 @@ class DelegationRing:
             "stalls": self.stalls,
             "out_of_order": self.out_of_order,
             "deferred_pushed": self.deferred_pushed,
+            "binder_pushed": self.binder_pushed,
         }
 
     def __repr__(self):

@@ -84,7 +84,8 @@ def chaos_report_json(result):
 
 def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
               ring_depth=None, read_cache=False, cache_pages=1024,
-              write_behind=False, write_behind_depth=None):
+              write_behind=False, write_behind_depth=None,
+              binder_ring=False, binder_ring_depth=None):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -97,7 +98,8 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     cache (the ``cache.stale``/``cache.evict`` sites need it on);
     ``write_behind``/``write_behind_depth`` enable and size the async
     write-behind windows (the ``wb.error``/``wb.reap-loss`` sites need
-    them on).
+    them on); ``binder_ring``/``binder_ring_depth`` enable and size the
+    batched binder windows (the ``binder.*`` sites need them on).
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -112,7 +114,9 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
                            cache_pages=cache_pages,
                            async_delegation=write_behind,
-                           write_behind_depth=write_behind_depth)
+                           write_behind_depth=write_behind_depth,
+                           binder_ring=binder_ring,
+                           binder_ring_depth=binder_ring_depth)
     running = world.install_and_launch(ChaosApp())
     running.run()
     ctx = running.ctx

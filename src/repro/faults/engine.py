@@ -215,6 +215,27 @@ class FaultEngine:
         """Should the completion reaper miss this drained batch?"""
         return self.check("wb.reap-loss", call=call) is not None
 
+    def binder_drop(self, call=None):
+        """Errno to ledger for a dropped batched oneway transaction.
+
+        Returns ``None`` when the transaction delivers.  Like
+        ``wb.error``, the sender is long gone when a drain runs, so the
+        effect is a per-``(pid, target)`` ledger entry surfaced at the
+        next fence, never a raise here.
+        """
+        rule = self.check("binder.drop", call=call)
+        if rule is None:
+            return None
+        return rule.errno_value
+
+    def binder_reorder(self, call=None):
+        """Swap the first two transactions of this drained window?"""
+        return self.check("binder.reorder", call=call) is not None
+
+    def binder_reply_loss(self, call=None):
+        """Should the reaper miss this binder window's completions?"""
+        return self.check("binder.reply-loss", call=call) is not None
+
     def drop_irq(self):
         return self.check("irq.drop") is not None
 

@@ -38,6 +38,14 @@ SITES = {
                 "injected errno (ledgered, surfaced at the next fence)",
     "wb.reap-loss": "the completion reaper misses a drained write-behind "
                     "batch (recovery re-polls; otherwise results are lost)",
+    "binder.drop": "drop one batched oneway binder transaction at drain "
+                   "time (ledgered per (pid, target), surfaced at the "
+                   "next fence-on-reply)",
+    "binder.reorder": "swap the first two transactions of a drained "
+                      "binder window",
+    "binder.reply-loss": "the reaper misses a drained binder window's "
+                         "completions (recovery re-polls; otherwise the "
+                         "outcomes are lost)",
     "proxy.kill": "kill the CVM proxy mid-call",
     "cvm.crash": "panic the container VM mid-call",
     "cvm.compromise": "give an attacker the container VM kernel",

@@ -130,14 +130,15 @@ class Libc:
         return self.syscall("fsync", fd)
 
     def fence(self, fd=None):
-        """Write-behind barrier: drain staged windows, surface deferred
-        errnos for ``fd``.  A no-op (returning 0) on a native kernel or
-        when write-behind is off, so the same program runs everywhere.
+        """Async-delegation barrier: drain staged write-behind and
+        binder windows, surface deferred errnos.  A no-op (returning 0)
+        on a native kernel or when both async lanes are off, so the
+        same program runs everywhere.
         """
         layer = getattr(self.kernel, "interposition", None)
-        if layer is None or getattr(layer, "write_behind", None) is None:
+        if layer is None:
             return 0
-        return layer.wb_fence(self.task, fd)
+        return layer.async_fence(self.task, fd)
 
     # -- vectored / batched I/O ------------------------------------------
 

@@ -156,6 +156,12 @@ class MetricsRegistry:
         self.wb_deferred_errors_total = Counter(
             "wb_deferred_errors_total", ()
         )
+        self.binder_submits_total = Counter("binder_submits_total", ())
+        self.binder_drains_total = Counter("binder_drains_total", ())
+        self.binder_fences_total = Counter("binder_fences_total", ())
+        self.binder_deferred_errors_total = Counter(
+            "binder_deferred_errors_total", ()
+        )
         self.syscall_latency_us = Histogram(
             "syscall_latency_us", DEFAULT_LATENCY_BUCKETS_US, unit="us"
         )
@@ -166,10 +172,15 @@ class MetricsRegistry:
             "wb_inflight_depth", DEFAULT_RING_DEPTH_BUCKETS,
             unit="descriptors",
         )
+        self.binder_window_depth = Histogram(
+            "binder_window_depth", DEFAULT_RING_DEPTH_BUCKETS,
+            unit="transactions",
+        )
         self._histograms = (
             self.syscall_latency_us,
             self.ring_depth,
             self.wb_inflight_depth,
+            self.binder_window_depth,
         )
         self._counters = (
             self.syscalls_total,
@@ -194,6 +205,10 @@ class MetricsRegistry:
             self.wb_drains_total,
             self.wb_fences_total,
             self.wb_deferred_errors_total,
+            self.binder_submits_total,
+            self.binder_drains_total,
+            self.binder_fences_total,
+            self.binder_deferred_errors_total,
         )
 
     # -- bus sink ------------------------------------------------------------
@@ -273,6 +288,16 @@ class MetricsRegistry:
             self.wb_fences_total.inc()
         elif kind == "wb-error":
             self.wb_deferred_errors_total.inc()
+        elif kind == "binder-submit":
+            self.binder_submits_total.inc()
+            self.binder_window_depth.observe(args.get("depth", 1))
+        elif kind == "binder-drain":
+            self.binder_drains_total.inc()
+            self.binder_window_depth.observe(args.get("batch", 1))
+        elif kind == "binder-fence":
+            self.binder_fences_total.inc()
+        elif kind == "binder-error":
+            self.binder_deferred_errors_total.inc()
 
     # -- output --------------------------------------------------------------
 

@@ -143,6 +143,25 @@ def _workload_writeburst(ctx):
     ctx.libc.close(fd)
 
 
+def _workload_binderburst(ctx):
+    """A burst of oneway service calls with a sync reply mid-stream.
+
+    With the binder ring on, the oneways stage into batched windows
+    (visible as ``binder-submit``/``binder-drain`` records) and the
+    reply-carrying calls show the fence-on-reply barrier; the closing
+    large parcel rides the shared-memory bulk-parcel path.  With the
+    ring off the same stream degenerates to per-call redirection — the
+    traces diff cleanly.
+    """
+    for _ in range(12):
+        ctx.call_service_oneway("location", "get_fix", {"blob": "x" * 96})
+    ctx.call_service("location", "get_fix", {"blob": "x" * 96})
+    for _ in range(12):
+        ctx.call_service_oneway("sensor", "read_accelerometer", {})
+    ctx.call_service("location", "get_fix", {"blob": "x" * 8192})
+    ctx.libc.fence()
+
+
 TRACE_WORKLOADS = {
     "table1": _workload_table1,
     "getpid": _workload_getpid,
@@ -153,11 +172,13 @@ TRACE_WORKLOADS = {
     "ipc": _workload_ipc,
     "batchio": _workload_batchio,
     "writeburst": _workload_writeburst,
+    "binderburst": _workload_binderburst,
 }
 
 
 def boot_obs_world(ring_depth=None, read_cache=False, cache_pages=1024,
-                   write_behind=False, write_behind_depth=None):
+                   write_behind=False, write_behind_depth=None,
+                   binder_ring=False, binder_ring_depth=None):
     """Boot an AnceptionWorld with an enrolled app; returns (world, ctx).
 
     The shared setup for :func:`run_traced` and the engine-throughput
@@ -167,7 +188,9 @@ def boot_obs_world(ring_depth=None, read_cache=False, cache_pages=1024,
     world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
                            cache_pages=cache_pages,
                            async_delegation=write_behind,
-                           write_behind_depth=write_behind_depth)
+                           write_behind_depth=write_behind_depth,
+                           binder_ring=binder_ring,
+                           binder_ring_depth=binder_ring_depth)
     running = world.install_and_launch(_ObsApp())
     running.run()
     return world, running.ctx
@@ -189,7 +212,8 @@ class TraceResult:
 
 def run_traced(workload, seed=0, observe=True, logcat=True,
                ring_depth=None, read_cache=False, cache_pages=1024,
-               write_behind=False, write_behind_depth=None):
+               write_behind=False, write_behind_depth=None,
+               binder_ring=False, binder_ring_depth=None):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
@@ -198,7 +222,9 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     ``ring_depth`` overrides the delegation rings' derived depth;
     ``read_cache``/``cache_pages`` enable and size the host-side page
     cache for delegated reads; ``write_behind``/``write_behind_depth``
-    turn on and size the async write-behind delegation windows.
+    turn on and size the async write-behind delegation windows;
+    ``binder_ring``/``binder_ring_depth`` turn on and size the batched
+    binder delegation windows.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
@@ -207,7 +233,8 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     world, ctx = boot_obs_world(
         ring_depth=ring_depth, read_cache=read_cache,
         cache_pages=cache_pages, write_behind=write_behind,
-        write_behind_depth=write_behind_depth,
+        write_behind_depth=write_behind_depth, binder_ring=binder_ring,
+        binder_ring_depth=binder_ring_depth,
     )
     metrics = MetricsRegistry()
     records = []

@@ -112,6 +112,20 @@ class CostModel:
     binder_cvm_per_byte_ns: float = 2343.75
     """Per-byte cost of cross-VM binder payloads (0.3 ms per 128 B)."""
 
+    binder_oneway_ns: int = _ms(6) - _us(0.76)
+    """Oneway (TF_ONE_WAY) binder delivery: the request leg plus service
+    handling, without the reply marshaling and sender wakeup the
+    reply-carrying round trip pays — roughly half of Table I's 12 ms."""
+
+    binder_parcel_page_ns: int = _us(300.0)
+    """Moving one page of a large parcel through the shared-memory
+    bulk-parcel window.  Calibrated to the Fig 6-7 payload-size knee: a
+    page costs what 128 inline bytes do at the marshal-interleaved
+    ``binder_cvm_per_byte_ns`` rate (0.3 ms), because the fast path
+    flattens the parcel once and streams it through the ring's bulk-copy
+    window instead of chasing pointers per byte (which would be ~9.6 ms
+    per page)."""
+
     proxy_dispatch_ns: int = _us(8.0)
     """Posting a forwarded call to the in-guest-kernel sleeping proxy
     (saves the 4 context switches a userspace hand-off would need)."""

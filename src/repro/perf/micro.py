@@ -232,6 +232,80 @@ def run_write_behind_bench(chunk=CHUNK, total_bytes=SIXTEEN_MB):
     }
 
 
+def run_binder_bench(transactions=128, payload_bytes=64):
+    """The binderburst stream, sync vs batched binder delegation.
+
+    Boots two Anception worlds and fires ``transactions`` oneway calls
+    at the location service through each, closing the burst with one
+    reply-carrying call (a fence under batching) so every transaction
+    has delivered before the clock stops:
+
+    * ``sync_ms`` — classic per-call redirection: every transaction
+      pays the fixed cross-VM binder latency plus one IRQ+hypercall
+      doorbell pair of its own.
+    * ``batched_ms`` — the binder ring on: oneway calls stage into
+      per-task windows, a drained window shares one doorbell pair and
+      one fixed cross-VM charge, and execution rides the CVM lane.
+    * ``speedup`` — sync over batched; the CI gate requires >= 2x.
+    * ``doorbells_per_1000_*`` — doorbells (IRQs + hypercalls) per 1000
+      transactions; the gate requires the batched figure at <= 1/8 of
+      sync.
+
+    Both worlds issue the same closing sync call and the bench reports
+    whether the replies matched — the equivalence half of the contract.
+    """
+    payload = {"blob": "x" * payload_bytes}
+
+    def _run(batched):
+        world = AnceptionWorld(binder_ring=batched)
+        running = world.install_and_launch(_BenchApp())
+        running.run()
+        ctx = running.ctx
+        ctx.call_service("location", "get_fix", payload)  # warm proxy fd
+        channel = world.anception.channel
+        before = channel.stats()
+        doorbells_before = before["hypercalls"] + before["interrupts"]
+        with ctx.kernel.clock.measure() as span:
+            for _ in range(transactions):
+                ctx.call_service_oneway("location", "get_fix", payload)
+            reply = ctx.call_service("location", "get_fix", payload)
+        after = channel.stats()
+        doorbells = (after["hypercalls"] + after["interrupts"]
+                     - doorbells_before)
+        return span, world, reply, doorbells
+
+    sync_span, _sync_world, sync_reply, sync_doorbells = _run(False)
+    batched_span, batched_world, batched_reply, batched_doorbells = _run(
+        True
+    )
+    total_txns = transactions + 1
+    sync_ms = round(sync_span.elapsed_us / 1000, 2)
+    batched_ms = round(batched_span.elapsed_us / 1000, 2)
+    sync_per_1000 = round(sync_doorbells * 1000 / total_txns, 1)
+    batched_per_1000 = round(batched_doorbells * 1000 / total_txns, 1)
+    return {
+        "transactions": transactions,
+        "payload_bytes": payload_bytes,
+        "sync_ms": sync_ms,
+        "batched_ms": batched_ms,
+        "speedup": round(sync_ms / batched_ms, 2),
+        "sync_txns_per_sec": round(
+            total_txns / (sync_span.elapsed_us / 1e6), 1
+        ),
+        "batched_txns_per_sec": round(
+            total_txns / (batched_span.elapsed_us / 1e6), 1
+        ),
+        "doorbells_per_1000_sync": sync_per_1000,
+        "doorbells_per_1000_batched": batched_per_1000,
+        "doorbell_ratio": round(batched_per_1000 / sync_per_1000, 4),
+        "replies_match": sync_reply == batched_reply,
+        "binder_ring": batched_world.anception.stats()["binder_ring"],
+        "binder_pushed": batched_world.anception.channel.submit_ring.stats()[
+            "binder_pushed"
+        ],
+    }
+
+
 PAPER_TABLE1 = {
     "native": {
         "getpid_us": 0.76,

@@ -146,7 +146,8 @@ class AnceptionWorld(_World):
     def __init__(self, machine=None, total_mb=1024, guest_mb=64,
                  file_io_on_host=False, ring_depth=None, read_cache=False,
                  cache_pages=1024, async_delegation=False,
-                 write_behind_depth=None):
+                 write_behind_depth=None, binder_ring=False,
+                 binder_ring_depth=None):
         machine = machine or Machine(total_mb=total_mb)
         system = AndroidSystem(machine.kernel, profile="ui_only")
         anception = AnceptionLayer(
@@ -155,6 +156,7 @@ class AnceptionWorld(_World):
             read_cache=read_cache, cache_pages=cache_pages,
             async_delegation=async_delegation,
             write_behind_depth=write_behind_depth,
+            binder_ring=binder_ring, binder_ring_depth=binder_ring_depth,
         )
         super().__init__(machine, system, anception)
 

@@ -52,16 +52,20 @@ def both_worlds():
 
 @pytest.fixture
 def tri_worlds():
-    """Native, synchronous delegation, and write-behind delegation.
+    """Native, synchronous delegation, and fully-async delegation.
 
     The three configurations every equivalence suite compares: the same
     op script must produce identical outcomes, errnos, and final VFS
-    trees in all of them.
+    trees in all of them.  The async world runs with BOTH overlap lanes
+    on — write-behind file windows and batched binder windows — so the
+    catalogue proves equivalence against the most aggressive deferral
+    the layer supports.
     """
     return {
         "native": NativeWorld(),
         "anception": AnceptionWorld(),
-        "write-behind": AnceptionWorld(async_delegation=True),
+        "write-behind": AnceptionWorld(async_delegation=True,
+                                       binder_ring=True),
     }
 
 

@@ -20,16 +20,25 @@ from __future__ import annotations
 
 import inspect
 
-from repro.core.marshal import FD_FIRST_CALLS, FD_PAIR_CALLS
+from repro.android.app import AppContext
+from repro.android.binder import (
+    BINDER_IOCTL_REQUESTS,
+    DELEGATED_BINDER_REQUESTS,
+    Transaction,
+)
+from repro.core.marshal import FD_FIRST_CALLS, FD_PAIR_CALLS, encoded_size
 from repro.core.policy import FD_CALLS
 from repro.kernel.kernel import Machine
 from repro.kernel.libc import Libc
 from repro.kernel.syscalls import CATALOGUE, SyscallClass, classify
 
 from tests.differential.catalogue import (
+    BINDER_EXEMPT,
+    BINDER_SCRIPTS,
     EXEMPT,
     SCRIPTS,
     SYSCALL_ALIASES,
+    covered_binder_requests,
     covered_ops,
 )
 
@@ -154,4 +163,113 @@ class TestScriptCoverage:
                 assert isinstance(step[0], str), (label, step)
                 assert callable(getattr(Libc, step[0], None)), (
                     f"script {label!r} uses unknown op {step[0]!r}"
+                )
+
+
+class TestBinderUniverse:
+    """The binder device's conformance universe is its ioctl surface.
+
+    Binder calls reach the kernel through one syscall (``ioctl``), so
+    the redirect-table checks above cannot see them; the universe here
+    is the set of binder ioctl request codes, and every request the
+    layer delegates must carry differential coverage or a documented
+    exemption — failing with the list of missing names, same contract
+    as the syscall universe.
+    """
+
+    def test_universe_is_nonempty(self):
+        assert BINDER_IOCTL_REQUESTS, "binder ioctl universe is empty"
+        for name, code in BINDER_IOCTL_REQUESTS.items():
+            assert isinstance(code, int), (name, code)
+
+    def test_every_request_is_delegated_or_exempt(self):
+        missing = sorted(
+            set(BINDER_IOCTL_REQUESTS)
+            - set(DELEGATED_BINDER_REQUESTS)
+            - set(BINDER_EXEMPT)
+        )
+        assert not missing, (
+            f"binder ioctl requests neither delegated nor exempt "
+            f"(delegate them or document why not): {missing}"
+        )
+
+    def test_delegated_and_exempt_are_disjoint(self):
+        overlap = sorted(set(DELEGATED_BINDER_REQUESTS) & set(BINDER_EXEMPT))
+        assert not overlap, (
+            f"binder requests both delegated and exempt: {overlap}"
+        )
+
+    def test_exemptions_are_real_requests(self):
+        ghosts = sorted(set(BINDER_EXEMPT) - set(BINDER_IOCTL_REQUESTS))
+        assert not ghosts, (
+            f"BINDER_EXEMPT names not in the ioctl universe: {ghosts}"
+        )
+
+    def test_delegated_requests_are_real_requests(self):
+        ghosts = sorted(
+            set(DELEGATED_BINDER_REQUESTS) - set(BINDER_IOCTL_REQUESTS)
+        )
+        assert not ghosts, (
+            f"DELEGATED_BINDER_REQUESTS names not in the ioctl "
+            f"universe: {ghosts}"
+        )
+
+
+class TestBinderMarshalCoverage:
+    def test_ioctl_is_fd_translated(self):
+        # Binder transactions ride ioctl(binder_fd, ...); the fd must be
+        # rewritten into the proxy's fd space like any delegated call.
+        assert "ioctl" in FD_FIRST_CALLS
+
+    def test_transaction_payload_size_uses_marshal_sizing(self):
+        payload = {"blob": "x" * 112, "n": 7}
+        txn = Transaction("location", "get_fix", payload)
+        assert txn.payload_size == encoded_size(payload)
+
+    def test_transaction_encodes_as_payload_plus_header(self):
+        txn = Transaction("location", "get_fix", {"blob": "x" * 112})
+        assert encoded_size(txn) == txn.payload_size + 16
+
+    def test_large_parcel_sizing_is_not_repr_based(self):
+        # A 1 MiB parcel must size as its bytes, not as the repr of the
+        # dict holding it (the PR 7 bugfix this test pins).
+        blob = "z" * (1 << 20)
+        txn = Transaction("location", "get_fix", {"blob": blob})
+        assert txn.payload_size == encoded_size({"blob": blob})
+        assert txn.payload_size < len(repr({"blob": blob}))
+
+
+class TestBinderScriptCoverage:
+    def test_every_delegated_request_has_a_binder_script(self):
+        covered = covered_binder_requests()
+        missing = sorted(set(DELEGATED_BINDER_REQUESTS) - covered)
+        assert not missing, (
+            f"delegated binder requests with no catalogue op-script: "
+            f"{missing}"
+        )
+
+    def test_binder_scripts_tag_real_requests(self):
+        ghosts = sorted(covered_binder_requests()
+                        - set(BINDER_IOCTL_REQUESTS))
+        assert not ghosts, (
+            f"binder scripts tagged with unknown requests: {ghosts}"
+        )
+
+    def test_binder_scripts_are_well_formed(self):
+        for label, entry in BINDER_SCRIPTS.items():
+            assert entry["script"], f"binder script {label!r} is empty"
+            assert entry["request"] in BINDER_IOCTL_REQUESTS, (label,)
+            for step in entry["script"]:
+                name = step[0]
+                assert isinstance(name, str), (label, step)
+                # Binder ops are app-context conveniences, reached via
+                # the harness's ctx fallback; a libc name here would
+                # silently shadow that fallback.
+                assert callable(getattr(AppContext, name, None)), (
+                    f"binder script {label!r} uses unknown ctx op "
+                    f"{name!r}"
+                )
+                assert not callable(getattr(Libc, name, None)), (
+                    f"binder script {label!r} op {name!r} collides "
+                    f"with a libc veneer"
                 )

@@ -162,3 +162,99 @@ def covered_ops():
         for step in entry["script"]:
             ops.add(step[0])
     return ops
+
+
+# -- binder ioctl surface -------------------------------------------------
+#
+# The binder device is reached through ioctl, not per-call syscalls, so
+# its conformance universe is the set of ioctl request codes in
+# ``repro.android.binder.BINDER_IOCTL_REQUESTS``.  Every request the
+# layer delegates must be exercised by at least one op-script below (or
+# carry a documented exemption); the scripts run through the same
+# ``run_modes`` grammar via the app-context fallback in the harness.
+
+BINDER_EXEMPT = {
+    "IOC_WAIT_INPUT_EVT": "UI/input wait is host-pinned by policy "
+                          "(Listing 1): it never crosses into the CVM, "
+                          "it only fences staged binder windows; "
+                          "exercised by the UI and input unit suites",
+}
+"""Binder ioctl requests deliberately outside the catalogue, each with
+the reason it cannot (or need not) run differentially."""
+
+
+BINDER_APP_PACKAGE = "com.catalogue.probe"
+"""The package the differential harness enrolls; ``call_app`` against
+``app:<this>`` exercises the register/lookup path on the app's own
+exported endpoint."""
+
+
+def _echo_handler(method, payload, sender_task):
+    """Deterministic app-endpoint handler (no pids in the reply)."""
+    return {"echo": method, "keys": sorted(payload or {})}
+
+
+BINDER_SCRIPTS = {
+    # Each script stays within one delegation domain (system services
+    # in the CVM, app endpoints on the host) so the per-driver
+    # transaction-log comparison in test_binder_catalogue stays simple.
+    "binder-transact": {
+        "request": "BINDER_WRITE_READ",
+        "script": [
+            ("call_service", "location", "get_fix", {"blob": "x" * 112}),
+            ("call_service", "power", "acquire_wakelock", {"tag": "cat"}),
+            ("call_service", "power", "release_wakelock", {"tag": "cat"}),
+            ("call_service", "location", "request_updates",
+             {"interval_ms": 500}),
+        ],
+    },
+    "binder-oneway": {
+        "request": "BINDER_WRITE_READ",
+        "script": [
+            ("call_service_oneway", "location", "get_fix", {"n": 1}),
+            ("call_service_oneway", "sensor", "read_accelerometer", {}),
+            ("call_service_oneway", "power", "acquire_wakelock",
+             {"tag": "ow"}),
+            ("call_service_oneway", "power", "release_wakelock",
+             {"tag": "ow"}),
+            # the closing sync call is the fence-on-reply barrier: the
+            # staged oneways must all land before its reply returns.
+            ("call_service", "location", "get_fix", {"n": 2}),
+        ],
+    },
+    "binder-reply-error": {
+        "request": "BINDER_WRITE_READ",
+        "script": [
+            ("call_service", "location", "bogus_method", {}),
+            ("call_service", "nosuchservice", "method", {}),
+            ("call_service_oneway", "location", "bogus_method", {}),
+            ("call_service_oneway", "nosuchservice", "method", {}),
+            ("call_service", "location", "get_fix", {}),
+        ],
+    },
+    "binder-register-lookup": {
+        "request": "BINDER_WRITE_READ",
+        "script": [
+            ("export_service", _echo_handler),
+            ("call_app", BINDER_APP_PACKAGE, "ping", {"k": 1}),
+            ("call_app", "com.not.installed", "ping", {}),
+        ],
+    },
+    "binder-large-parcel": {
+        "request": "BINDER_WRITE_READ",
+        "script": [
+            ("call_service", "location", "get_fix", {"blob": "x" * 8192}),
+            ("call_service_oneway", "location", "request_updates",
+             {"blob": "y" * 8192}),
+            ("call_service", "power", "acquire_wakelock", {}),
+        ],
+    },
+}
+"""Named binder differential scripts, each tagged with the ioctl
+request it exercises; together they must cover every delegated binder
+request code."""
+
+
+def covered_binder_requests():
+    """Every binder ioctl request name any binder script exercises."""
+    return {entry["request"] for entry in BINDER_SCRIPTS.values()}

@@ -10,6 +10,11 @@ may be symbolic: :class:`P` resolves against the app's data directory,
 step.  Outcomes are normalized — handles become ``h<n>`` tokens, stat
 results drop world-specific inode numbers — so two worlds' outcome
 streams compare with ``==``.
+
+Step names that are not :class:`~repro.kernel.libc.Libc` methods fall
+back to the app context itself, which is how the binder catalogue's
+``call_service``/``call_service_oneway``/``export_service``/``call_app``
+scripts run through the same grammar.
 """
 
 from __future__ import annotations
@@ -53,8 +58,9 @@ def run_script(ctx, script):
                 real_args.append(handles[(arg.step, arg.slot)])
             else:
                 real_args.append(arg)
+        target = ctx.libc if callable(getattr(ctx.libc, name, None)) else ctx
         try:
-            result = getattr(ctx.libc, name)(*real_args)
+            result = getattr(target, name)(*real_args)
         except SyscallError as exc:
             code = errno_mod.errorcode.get(exc.errno, str(exc.errno))
             outcomes.append((step, name, "errno", code))
@@ -147,9 +153,9 @@ def run_modes(worlds, script, app_factory):
         anception = getattr(world, "anception", None)
         if anception is not None:
             # Process exit closes descriptors, which drains any staged
-            # write-behind windows; the tree walk sees settled state
-            # (a no-op when write-behind is off).
-            anception.wb_fence(ctx.libc.task)
+            # write-behind AND batched-binder windows; the tree walk
+            # sees settled state (a no-op when both are off).
+            anception.async_fence(ctx.libc.task)
         tree = vfs_tree(data_kernel(world), ctx.data_dir)
         halves[label] = (outcomes, tree)
     return halves
