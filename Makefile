@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-engine examples all-experiments lint trace-demo chaos-demo profile-demo coverage clean
+.PHONY: test bench bench-smoke bench-engine fleet-bench examples all-experiments lint trace-demo chaos-demo profile-demo coverage clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -15,6 +15,9 @@ bench-smoke:
 
 bench-engine:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench-engine --out BENCH_engine.json
+
+fleet-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-fleet --out BENCH_fleet.json
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -57,4 +60,4 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis *.egg-info
 	rm -f chaos-a.json chaos-b.json chaos-trace.json table1-trace.json BENCH_e1.json
-	rm -f BENCH_engine.json fileops-flame.txt writeburst-trace.json
+	rm -f BENCH_engine.json BENCH_fleet.json fileops-flame.txt writeburst-trace.json

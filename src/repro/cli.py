@@ -131,9 +131,14 @@ def _emit(text, out_path):
         print(text)
 
 
-def _ring_summary(channel):
-    """One human line of ring/doorbell state for stderr."""
-    stats = channel.stats()
+def _ring_summary(anception):
+    """One human line of ring/doorbell state for stderr.
+
+    Counters come from the layer's aggregated ``stats()``, so with a
+    multi-CVM pool they are fleet-wide sums (identical to the lone
+    channel's numbers at ``cvms=1``).
+    """
+    stats = anception.stats()["channel"]
     submit = stats.get("submit_ring", {})
     return (
         f"ring: depth={submit.get('depth', 0)}"
@@ -145,11 +150,14 @@ def _ring_summary(channel):
 
 
 def _cache_summary(anception):
-    """One human line of read-cache state for stderr (or None if off)."""
-    cache = anception.page_cache
-    if cache is None:
+    """One human line of read-cache state for stderr (or None if off).
+
+    Aggregated across lanes (hit_rate recomputed from the summed
+    hit/miss counts) when the pool has more than one CVM.
+    """
+    stats = anception.stats()["read_cache"]
+    if stats is None:
         return None
-    stats = cache.stats()
     return (
         f"read-cache: pages={stats['pages']}/{stats['max_pages']}"
         f" hits={stats['hits']} misses={stats['misses']}"
@@ -168,11 +176,13 @@ def _cache_args(args):
 
 
 def _wb_summary(anception):
-    """One human line of write-behind state for stderr (or None if off)."""
-    wb = anception.write_behind
-    if wb is None:
+    """One human line of write-behind state for stderr (or None if off).
+
+    Aggregated across lanes when the pool has more than one CVM.
+    """
+    stats = anception.stats()["write_behind"]
+    if stats is None:
         return None
-    stats = wb.stats()
     return (
         f"write-behind: depth={stats['depth']}"
         f" enqueued={stats['enqueued']} drains={stats['drains']}"
@@ -195,11 +205,13 @@ def _wb_args(args):
 
 
 def _binder_summary(anception):
-    """One human line of binder-ring state for stderr (or None if off)."""
-    ring = anception.binder_ring
-    if ring is None:
+    """One human line of binder-ring state for stderr (or None if off).
+
+    Aggregated across lanes when the pool has more than one CVM.
+    """
+    stats = anception.stats()["binder_ring"]
+    if stats is None:
         return None
-    stats = ring.stats()
     return (
         f"binder-ring: depth={stats['depth']}"
         f" enqueued={stats['enqueued']} drains={stats['drains']}"
@@ -223,6 +235,39 @@ def _binder_args(args):
     }
 
 
+def _pool_args(args):
+    """The (cvms, placement) pair the workload runners take."""
+    return {
+        "cvms": getattr(args, "cvms", None) or 1,
+        "placement": getattr(args, "placement", None),
+    }
+
+
+def _pool_summary(anception):
+    """Per-CVM stderr lines for multi-lane pools (or None single-lane)."""
+    pool = anception.pool
+    if len(pool) <= 1:
+        return None
+    stats = anception.stats()
+    pool_stats = stats["pool"]
+    lines = [
+        f"pool: cvms={pool_stats['cvms']}"
+        f" placement={pool_stats['placement']['policy']}"
+        f" assignments={pool_stats['assignments']}"
+        f" flaps={pool_stats['flaps']}"
+        f" rebalances={pool_stats['rebalances']}"
+    ]
+    for lane_name, entry in sorted(stats["per_cvm"].items()):
+        lines.append(
+            f"  {lane_name}: residents={entry['residents']}"
+            f" proxies={entry['proxies']}"
+            f" transfers={entry['channel']['transfers']}"
+            f" reboots={entry['reboots']}"
+            + (" CRASHED" if entry["crashed"] else "")
+        )
+    return "\n".join(lines)
+
+
 def cmd_trace(args):
     from repro.obs.export import chrome_trace_json, to_ftrace
     from repro.obs.runner import run_traced
@@ -234,7 +279,7 @@ def cmd_trace(args):
         result = run_traced(workload, seed=seed,
                             ring_depth=getattr(args, "ring_depth", None),
                             **_cache_args(args), **_wb_args(args),
-                            **_binder_args(args))
+                            **_binder_args(args), **_pool_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     host_ns = time.perf_counter_ns() - host_t0
@@ -256,7 +301,7 @@ def cmd_trace(args):
         f" sim/host={result.elapsed_ns / host_ns:.3f}",
         file=sys.stderr,
     )
-    print(_ring_summary(result.world.anception.channel), file=sys.stderr)
+    print(_ring_summary(result.world.anception), file=sys.stderr)
     cache_line = _cache_summary(result.world.anception)
     if cache_line is not None:
         print(cache_line, file=sys.stderr)
@@ -266,6 +311,9 @@ def cmd_trace(args):
     binder_line = _binder_summary(result.world.anception)
     if binder_line is not None:
         print(binder_line, file=sys.stderr)
+    pool_lines = _pool_summary(result.world.anception)
+    if pool_lines is not None:
+        print(pool_lines, file=sys.stderr)
 
 
 def cmd_metrics(args):
@@ -277,7 +325,7 @@ def cmd_metrics(args):
         result = run_traced(workload, seed=seed, logcat=False,
                             ring_depth=getattr(args, "ring_depth", None),
                             **_cache_args(args), **_wb_args(args),
-                            **_binder_args(args))
+                            **_binder_args(args), **_pool_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     bus = getattr(result.world.clock, "bus", None)
@@ -303,7 +351,7 @@ def cmd_chaos(args):
                            faults=getattr(args, "faults", None),
                            ring_depth=getattr(args, "ring_depth", None),
                            **_cache_args(args), **_wb_args(args),
-                           **_binder_args(args))
+                           **_binder_args(args), **_pool_args(args))
     except ValueError as exc:
         sys.exit(f"anception: error: {exc}")
     trace_out = getattr(args, "trace_out", None)
@@ -371,7 +419,7 @@ def cmd_bench_smoke(args):
     }
     text = json.dumps(report, indent=2, sort_keys=True, default=str)
     _emit(text, getattr(args, "out", None))
-    print(_ring_summary(anception.channel), file=sys.stderr)
+    print(_ring_summary(anception), file=sys.stderr)
     print(
         f"read-cache: native={read_cache['native_us']}us"
         f" cold={read_cache['cold_us']}us warm={read_cache['warm_us']}us"
@@ -541,6 +589,46 @@ def cmd_bench_engine(args):
     print("engine: throughput gate passed", file=sys.stderr)
 
 
+def cmd_bench_fleet(args):
+    """The CI fleet-scaling artifact plus its gates.
+
+    Emits ``BENCH_fleet.json`` — the 1/2/4/8-CVM aggregate-throughput
+    curve for the fleet workload plus the 4-CVM crash-isolation probe —
+    and exits non-zero when the curve is not monotone, the 4-CVM
+    speedup misses its floor, the pool-size digests diverge, or a
+    crashed lane takes sibling lanes' apps down with it.  Everything
+    in the report is simulated time, so no committed baseline is
+    needed: the numbers reproduce exactly on any machine.
+    """
+    from repro.perf.fleet_bench import check_fleet, run_fleet_bench
+
+    placement = getattr(args, "placement", None) or "by-uid"
+    report = run_fleet_bench(placement=placement)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    _emit(text, getattr(args, "out", None))
+    for point in report["scaling"]:
+        print(
+            f"fleet: {point['cvms']} CVMs"
+            f" {point['syscalls_per_sim_sec']:.0f} sim-syscalls/s"
+            f" (speedup {point['speedup']:.2f}x, sim {point['sim_ms']} ms)",
+            file=sys.stderr,
+        )
+    isolation = report["isolation"]
+    print(
+        f"fleet: isolation victim={isolation['victim']}"
+        f" failed={isolation['failed']} survived={isolation['survived']}"
+        f" corrupt={isolation['corrupt']}"
+        f" isolated={isolation['isolated']}",
+        file=sys.stderr,
+    )
+    failures = check_fleet(report)
+    if failures:
+        sys.exit(
+            "anception: error: fleet scaling gate: " + "; ".join(failures)
+        )
+    print("fleet: scaling and isolation gates passed", file=sys.stderr)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "antutu": cmd_antutu,
@@ -561,13 +649,14 @@ COMMANDS = {
     "profile": cmd_profile,
     "report": cmd_report,
     "bench-engine": cmd_bench_engine,
+    "bench-fleet": cmd_bench_fleet,
 }
 
 WORKLOAD_COMMANDS = ("trace", "metrics", "chaos", "bench-smoke",
-                     "profile", "report", "bench-engine")
+                     "profile", "report", "bench-engine", "bench-fleet")
 """Workload/artifact commands skipped by ``all`` (trace/metrics/chaos/
 profile take a traced-workload positional, report takes a trace file;
-bench-smoke/bench-engine write CI artifacts and measure wall clock)."""
+bench-smoke/bench-engine/bench-fleet write CI artifacts)."""
 
 
 def cmd_all(args):
@@ -709,6 +798,20 @@ def main(argv=None):
         default=None,
         help="override the delegation rings' depth (default: derived "
              "from the channel's shared-page budget)",
+    )
+    parser.add_argument(
+        "--cvms",
+        type=int,
+        default=1,
+        help="number of container VMs in the pool "
+             "(trace/metrics/chaos/bench-fleet commands; default: 1)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("by-uid", "by-trust-class", "by-load"),
+        default=None,
+        help="pool placement policy for multi-CVM worlds "
+             "(default: by-uid)",
     )
     args = parser.parse_args(argv)
     try:

@@ -24,6 +24,7 @@ from repro.core.marshal import (
 )
 from repro.core.page_cache import HostPageCache
 from repro.core.policy import Decision, RedirectionPolicy
+from repro.core.pool import CVMLane, CVMPool
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
 from repro.core.ring import RING_FLAG_BINDER, RING_FLAG_WRITE_BEHIND
@@ -378,50 +379,35 @@ class AnceptionLayer:
                  file_io_on_host=False, ring_depth=None, read_cache=False,
                  cache_pages=1024, async_delegation=False,
                  write_behind_depth=None, binder_ring=False,
-                 binder_ring_depth=None):
+                 binder_ring_depth=None, cvms=1, placement=None,
+                 placement_seed=0):
         self.machine = machine
         self.host_kernel = machine.kernel
         self.host_system = host_system
-        self.cvm = ContainerVM(machine, guest_mb)
-        self.channel = AnceptionChannel(
-            self.cvm.hypervisor, machine.costs, channel_pages,
-            ring_depth=ring_depth,
-        )
-        self.proxies = ProxyManager(self.cvm)
-        self.page_cache = (
-            HostPageCache(max_pages=cache_pages) if read_cache else None
-        )
-        """Host-side cache of delegated-read pages; ``None`` keeps the
-        classic every-read-delegates behaviour (the paper's numbers)."""
-        self._cache_paths = {}
-        """abs path -> CVM ino for files opened through the layer, so
-        path-keyed mutations (unlink/rename/truncate) can invalidate."""
+        # Lane-construction config, consumed by _bind_lane at boot and
+        # again on every lane-scoped reboot.
+        self._guest_mb = guest_mb
+        self._channel_pages = channel_pages
+        self._ring_depth = ring_depth
+        self._read_cache = read_cache
+        self._cache_pages = cache_pages
+        self._async_delegation = async_delegation
+        self._write_behind_depth = write_behind_depth
+        self._binder_ring_on = binder_ring
+        self._binder_ring_depth = binder_ring_depth
+        self._firewall_rule = None
+        self.pool = CVMPool(machine.clock, cvms=cvms, placement=placement,
+                            seed=placement_seed)
+        """The routed transport: one :class:`~repro.core.pool.CVMLane`
+        per container VM, plus the deterministic placement map.  The
+        single-CVM default is byte-identical to the pre-pool layer."""
+        for lane in self.pool.lanes:
+            self._bind_lane(lane)
         self.ring_batching = True
         """Decompose writev/readv into per-iovec ring descriptors that
         share one doorbell pair (the always-on batched path)."""
         self._batch = None
         """The open :class:`DelegationBatch` window, if any."""
-        self._inflight = []
-        """Submitted-but-unflushed :class:`PendingCall` descriptors."""
-        if async_delegation:
-            depth = (write_behind_depth if write_behind_depth is not None
-                     else min(WRITE_BEHIND_DEPTH, self.channel.ring_depth))
-            self.write_behind = WriteBehind(depth)
-        else:
-            self.write_behind = None
-        """Async write-behind state (per-task windows + deferred-error
-        ledger); ``None`` keeps every delegated call synchronous — the
-        classic blocking shape the paper measured."""
-        if binder_ring:
-            bdepth = (binder_ring_depth if binder_ring_depth is not None
-                      else min(BINDER_RING_DEPTH, self.channel.ring_depth))
-            self.binder_ring = BinderRing(bdepth)
-        else:
-            self.binder_ring = None
-        """Batched binder delegation state (oneway windows + per-target
-        ledger + bulk-parcel fast path); ``None`` keeps every forwarded
-        transaction a synchronous per-call round trip — the Table I
-        shape."""
         self.policy = RedirectionPolicy(
             host_system.ui_service_names(), file_io_on_host=file_io_on_host
         )
@@ -435,9 +421,6 @@ class AnceptionLayer:
         self.decision_log = []
         self.crypto_fs = None
         self.iago_verify = False
-        self._firewall_rule = None
-        self._shm_shadows = {}
-        self._shm_attach_map = {}
         self._file_mappings = {}
         """(host_pid, base) -> (host_fd, file_offset, length) for
         file-backed split mmaps; consulted by the msync write-back."""
@@ -446,18 +429,123 @@ class AnceptionLayer:
         self.host_kernel.anception_build = True
 
     # ------------------------------------------------------------------
+    # lane routing and (re)binding
+    # ------------------------------------------------------------------
+
+    def _lane(self, task):
+        """The CVM lane owning ``task``'s delegated state (lane 0 for
+        unassigned pids, preserving legacy error paths)."""
+        return self.pool.lane_for(task)
+
+    def _lane_tags(self, lane):
+        """Obs tags for one lane: empty in single-CVM worlds, so every
+        record a ``cvms=1`` run emits stays byte-identical."""
+        if len(self.pool.lanes) == 1:
+            return {}
+        return {"cvm_id": lane.cvm_id}
+
+    def _bind_lane(self, lane):
+        """(Re)arm every piece of lane-held transport state.
+
+        The single choke point for boot *and* reboot: a fresh lane gets
+        its container built here; a rebooted lane gets a new channel
+        and proxy manager, cleared caches/windows/ledgers, reset
+        in-flight and path maps, and the firewall re-applied — nothing
+        re-binds anywhere else, so no stale reference can survive.
+        """
+        if lane.cvm is None:
+            lane.cvm = ContainerVM(self.machine, self._guest_mb,
+                                   cvm_id=lane.cvm_id)
+        lane.channel = AnceptionChannel(
+            lane.cvm.hypervisor, self.machine.costs, self._channel_pages,
+            ring_depth=self._ring_depth,
+        )
+        lane.proxies = ProxyManager(lane.cvm)
+        lane.inflight = []
+        lane.cache_paths = {}
+        if self._read_cache:
+            if lane.page_cache is None:
+                lane.page_cache = HostPageCache(max_pages=self._cache_pages)
+            else:
+                # The guest filesystem was rebuilt: every cached page
+                # describes inodes that no longer exist.  Counters
+                # survive (they are run-level telemetry).
+                lane.page_cache.clear()
+        if self._async_delegation:
+            if lane.write_behind is None:
+                depth = (self._write_behind_depth
+                         if self._write_behind_depth is not None
+                         else min(WRITE_BEHIND_DEPTH,
+                                  lane.channel.ring_depth))
+                lane.write_behind = WriteBehind(depth)
+            else:
+                # Staged windows and ledgered errnos name proxy
+                # descriptors that died with the old container.
+                lane.write_behind.clear()
+        if self._binder_ring_on:
+            if lane.binder_ring is None:
+                bdepth = (self._binder_ring_depth
+                          if self._binder_ring_depth is not None
+                          else min(BINDER_RING_DEPTH,
+                                   lane.channel.ring_depth))
+                lane.binder_ring = BinderRing(bdepth)
+            else:
+                # Staged oneway windows name service instances (and a
+                # proxy binder fd) that died with the old container.
+                lane.binder_ring.clear()
+        lane.cvm.kernel.network.firewall = self._firewall_rule
+        return lane
+
+    # -- single-CVM back-compat views (lane 0) -------------------------
+
+    @property
+    def cvm(self):
+        """The default lane's container (legacy single-CVM view)."""
+        return self.pool.default_lane.cvm
+
+    @property
+    def channel(self):
+        """The default lane's channel (legacy single-CVM view)."""
+        return self.pool.default_lane.channel
+
+    @property
+    def proxies(self):
+        """The default lane's proxy manager (legacy single-CVM view)."""
+        return self.pool.default_lane.proxies
+
+    @property
+    def page_cache(self):
+        """The default lane's read cache (legacy single-CVM view)."""
+        return self.pool.default_lane.page_cache
+
+    @property
+    def write_behind(self):
+        """The default lane's write-behind state (legacy view)."""
+        return self.pool.default_lane.write_behind
+
+    @property
+    def binder_ring(self):
+        """The default lane's binder-ring state (legacy view)."""
+        return self.pool.default_lane.binder_ring
+
+    # ------------------------------------------------------------------
     # enrollment (Section III-D "File I/O": install-time data copy)
     # ------------------------------------------------------------------
 
     def enroll_task(self, task, install_record=None):
-        """Flag a task for redirection and build its CVM counterpart."""
+        """Flag a task for redirection and build its CVM counterpart.
+
+        Placement happens here: the pool's scheduler picks the lane this
+        app lives on, and every later delegated call routes to it.
+        """
         task.redirection_entry = 1
-        self.proxies.create_proxy(task)
+        lane = self.pool.assign(task)
+        lane.proxies.create_proxy(task)
         self.fd_tables[task.pid] = FdTranslationTable()
         if install_record is not None:
-            self._copy_initial_data(task, install_record)
+            self._copy_initial_data(lane, task, install_record)
 
-    def _copy_initial_data(self, task, record):
+    def _copy_initial_data(self, lane, task, record):
         """Copy packaged app data from the host image into the CVM."""
         data_dir = record.data_dir
         if not self.host_kernel.vfs.exists(data_dir, self._root):
@@ -468,7 +556,7 @@ class AnceptionLayer:
             )
             if inode.data is None:
                 continue
-            self.cvm.copy_in_file(
+            lane.cvm.copy_in_file(
                 f"{data_dir}/{name}", bytes(inode.data), record.uid
             )
 
@@ -534,7 +622,7 @@ class AnceptionLayer:
             # Anything the window can't defer forces the queued writes
             # out first, preserving program order.
             self._batch.flush()
-        if self.write_behind is not None:
+        if self._lane(task).write_behind is not None:
             if translated is None and self._wb_accepts(task, name, args,
                                                        kwargs):
                 return self._wb_enqueue(task, name, args)
@@ -552,9 +640,10 @@ class AnceptionLayer:
 
     def _redirect_sync(self, task, name, args, kwargs, translated=None):
         """One call, one doorbell pair, synchronous result."""
+        lane = self._lane(task)
         attempt = 0
         while True:
-            self._ensure_container(name)
+            self._ensure_container(lane, name)
             try:
                 with maybe_span(self.machine.clock, "proxy",
                                 f"forward:{name}", task=task,
@@ -586,7 +675,8 @@ class AnceptionLayer:
         sub_call = "write" if name == "writev" else "read"
         if not vec:
             return 0 if name == "writev" else []
-        if self.write_behind is not None:
+        lane = self._lane(task)
+        if lane.write_behind is not None:
             if name == "writev" and self._wb_accepts_writev(task, fd, vec):
                 # Defer per-iovec, matching the sync decomposition: each
                 # entry becomes its own staged write descriptor.
@@ -609,7 +699,7 @@ class AnceptionLayer:
             return sum(results) if name == "writev" else results
         attempt = 0
         while True:
-            self._ensure_container(name)
+            self._ensure_container(lane, name)
             try:
                 with maybe_span(self.machine.clock, "proxy",
                                 f"forward:{name}", task=task,
@@ -631,21 +721,22 @@ class AnceptionLayer:
                     ) from failure
                 self._recover_from(task, failure, attempt, name)
 
-    def _ensure_container(self, name):
+    def _ensure_container(self, lane, name):
         """Refuse (or repair) forwarding into a dead/compromised CVM."""
-        if self.cvm.crashed:
+        if lane.cvm.crashed:
             if self.recovery.enabled and self.recovery.reboot_on_crash:
-                self._recover_reboot(f"container down before {name}")
+                self._recover_reboot(lane, f"container down before {name}")
             else:
                 raise SyscallError(
                     errno.EIO, "container VM is down", call=name
                 )
-        if self.cvm.compromised and self.recovery.enabled \
+        if lane.cvm.compromised and self.recovery.enabled \
                 and self.recovery.reboot_on_compromise:
-            self._recover_reboot("container compromised")
+            self._recover_reboot(lane, "container compromised")
 
     def _recover_from(self, task, failure, attempt, name):
         """One bounded recovery step between forwarding attempts."""
+        lane = self._lane(task)
         self.machine.clock.advance(
             self.recovery.backoff_for(attempt), "anception:retry-backoff"
         )
@@ -655,27 +746,27 @@ class AnceptionLayer:
         maybe_event(self.machine.clock, "recovery", f"retry:{name}",
                     task=task, kernel=self.host_kernel.label,
                     attempt=attempt, cause=type(failure).__name__)
-        if isinstance(failure, ContainerCrashed) or self.cvm.crashed:
+        if isinstance(failure, ContainerCrashed) or lane.cvm.crashed:
             if self.recovery.reboot_on_crash:
-                self._recover_reboot(str(failure))
+                self._recover_reboot(lane, str(failure))
         elif isinstance(failure, ProxyDied) and self.recovery.respawn_proxies:
-            self.proxies.respawn_proxy(task)
+            lane.proxies.respawn_proxy(task)
             self.recovery_log.append(
                 ("respawn-proxy", f"host pid {task.pid}")
             )
             maybe_event(self.machine.clock, "recovery", "respawn-proxy",
-                        task=task, kernel=self.cvm.kernel.label)
+                        task=task, kernel=lane.cvm.kernel.label)
 
-    def _recover_reboot(self, reason):
-        """Reboot the container as a recovery action (cost + telemetry)."""
+    def _recover_reboot(self, lane, reason):
+        """Reboot one container as a recovery action (cost + telemetry)."""
         self.machine.clock.advance(
             self.recovery.reboot_cost_ns, "anception:cvm-reboot"
         )
-        survivors = self.reboot_cvm()
+        survivors = self.reboot_cvm(lane)
         self.recovery_log.append(("reboot-cvm", reason))
         maybe_event(self.machine.clock, "recovery", "reboot-cvm",
                     kernel=self.host_kernel.label, reason=reason,
-                    survivors=survivors)
+                    survivors=survivors, **self._lane_tags(lane))
 
     def submit(self, task, name, args, kwargs, translated=None, wire=None,
                ring_flags=0):
@@ -690,9 +781,10 @@ class AnceptionLayer:
         (the binder drain tags its descriptors ``RING_FLAG_BINDER``).
         """
         with wall_zone("anception.submit"):
-            if not self.channel.submit_ring.free_slots():
+            lane = self._lane(task)
+            if not lane.channel.submit_ring.free_slots():
                 self.flush(task, reason="ring-full")
-            self.proxies.proxy_for(task)  # not enrolled -> SimulationError
+            lane.proxies.proxy_for(task)  # not enrolled -> SimulationError
             table = self._fd_table(task)
             call_args = translated if translated is not None else (
                 table.translate_args(name, args)
@@ -711,54 +803,59 @@ class AnceptionLayer:
             self.machine.clock.advance(
                 self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
             )
-            seq = self.channel.submit_ring.push(
+            seq = lane.channel.submit_ring.push(
                 name, wire,
                 flags=ring_flags if ring_flags
                 else (RING_FLAG_WRITE_BEHIND if prestaged else 0),
             )
             pending = PendingCall(seq, task, name, args, call_args, kwargs,
                                   crypto_offset)
-            self._inflight.append(pending)
+            lane.inflight.append(pending)
             return pending
 
     def flush(self, task=None, reason=None):
         """Ring the doorbells: one IRQ submits every in-flight call,
         the CVM drains the ring, one hypercall completes the batch.
 
+        A flush settles exactly one lane — the task's own — so sibling
+        CVMs' in-flight windows keep riding their own doorbells.
+
         When every call in the window failed with an errno there is
         nothing in the completion ring and the hypercall is skipped —
         the same single-doorbell shape the classic errno path had.
         """
-        if not self._inflight:
+        lane = (self._lane(task) if task is not None
+                else self.pool.default_lane)
+        if not lane.inflight:
             return
         with wall_zone("anception.flush"):
-            pendings, self._inflight = self._inflight, []
+            pendings, lane.inflight = lane.inflight, []
             count = len(pendings)
             if reason is None:
                 reason = pendings[0].name if count == 1 else f"batch:{count}"
             elif count > 1:
                 reason = f"{reason}:{count}"
             work = {
-                p.seq: (self.proxies.proxy_for(p.task), p.name, p.call_args,
+                p.seq: (lane.proxies.proxy_for(p.task), p.name, p.call_args,
                         p.kwargs)
                 for p in pendings
             }
             try:
-                self._signal_guest_reliably(reason, pendings[0].task,
+                self._signal_guest_reliably(lane, reason, pendings[0].task,
                                             coalesced=count)
-                outcomes = self.proxies.drain(self.channel, work)
-                completions = len(self.channel.complete_ring)
-                self._drain_completions(pendings, outcomes)
+                outcomes = lane.proxies.drain(lane.channel, work)
+                completions = len(lane.channel.complete_ring)
+                self._drain_completions(lane, pendings, outcomes)
                 if completions:
-                    self._signal_host_or_poll(reason, pendings[0].task,
+                    self._signal_host_or_poll(lane, reason, pendings[0].task,
                                               coalesced=completions)
             except DelegationError:
                 # Whatever was mid-flight is unrecoverable state now; the
                 # retry loop re-submits from scratch against clean rings.
-                self.channel.reset_rings()
+                lane.channel.reset_rings()
                 raise
 
-    def _drain_completions(self, pendings, outcomes):
+    def _drain_completions(self, lane, pendings, outcomes):
         """Pop the completion ring dry and bind outcomes to pendings.
 
         Completions may arrive out of submission order (the
@@ -767,7 +864,7 @@ class AnceptionLayer:
         the recovery supervisor.
         """
         while True:
-            descriptor = self.channel.complete_ring.pop()
+            descriptor = lane.channel.complete_ring.pop()
             if descriptor is None:
                 break
             if descriptor.seq not in outcomes:
@@ -802,7 +899,8 @@ class AnceptionLayer:
             )
         adopted = self._adopt_result(pending.task, pending.name,
                                      pending.args, value)
-        if self.page_cache is not None and self.crypto_fs is None:
+        lane = self._lane(pending.task)
+        if lane.page_cache is not None and self.crypto_fs is None:
             self._cache_observe(pending.task, pending.name, pending.args,
                                 adopted)
         if self.crypto_fs is not None:
@@ -812,7 +910,7 @@ class AnceptionLayer:
             )
         return adopted
 
-    def _signal_guest_reliably(self, name, task=None, coalesced=1):
+    def _signal_guest_reliably(self, lane, name, task=None, coalesced=1):
         """Ring the guest doorbell, re-arming after dropped IRQs.
 
         One doorbell may announce many ring descriptors (``coalesced``),
@@ -821,7 +919,7 @@ class AnceptionLayer:
         bounded retries are exhausted the call stalls out as a
         recoverable :class:`ChannelStalled` instead of hanging forever.
         """
-        if self.channel.signal_guest(name, coalesced=coalesced):
+        if lane.channel.signal_guest(name, coalesced=coalesced):
             return
         for _ in range(self.recovery.signal_retries):
             self.machine.clock.advance(
@@ -830,18 +928,18 @@ class AnceptionLayer:
             self.recovery_log.append(("resignal-irq", name))
             maybe_event(self.machine.clock, "recovery", "resignal-irq",
                         task=task, kernel=self.host_kernel.label, call=name)
-            if self.channel.signal_guest(name, coalesced=coalesced):
+            if lane.channel.signal_guest(name, coalesced=coalesced):
                 return
         raise ChannelStalled("to-guest", f"irq lost for {name}")
 
-    def _signal_host_or_poll(self, name, task=None, coalesced=1):
+    def _signal_host_or_poll(self, lane, name, task=None, coalesced=1):
         """Completion hypercall, falling back to a timed host-side poll.
 
         A lost hypercall is survivable: the completions already sit in
         the shared pages, so the host times out and polls them out —
         one timeout per doorbell, however many descriptors it covered.
         """
-        if self.channel.signal_host(name, coalesced=coalesced):
+        if lane.channel.signal_host(name, coalesced=coalesced):
             return
         self.machine.clock.advance(
             self.recovery.signal_timeout_ns, "anception:hypercall-poll"
@@ -886,7 +984,7 @@ class AnceptionLayer:
         table = self._fd_table(task)
         if not table.is_remote(host_fd):
             return 0
-        proxy = self.proxies.proxy_for(task)
+        proxy = self._lane(task).proxies.proxy_for(task)
         desc = proxy.guest_task.fd_table.get(table.to_proxy(host_fd))
         return getattr(desc, "offset", 0)
 
@@ -922,7 +1020,9 @@ class AnceptionLayer:
         table = self._fd_table(task)
         if not table.is_remote(host_fd):
             return None
-        desc = self.proxies.descriptor_for(task, table.to_proxy(host_fd))
+        desc = self._lane(task).proxies.descriptor_for(
+            task, table.to_proxy(host_fd)
+        )
         inode = getattr(desc, "inode", None)
         if inode is None or inode.kind is not InodeKind.FILE:
             return None
@@ -937,12 +1037,13 @@ class AnceptionLayer:
         pays only ``cache_hit_ns`` per page.  Crypto-FS files, non-file
         descriptors, and a crashed/compromised container all bypass.
         """
-        cache = self.page_cache
+        lane = self._lane(task)
+        cache = lane.page_cache
         if cache is None or self.crypto_fs is not None:
             return None
         if name not in ("read", "pread64") or len(args) < 2:
             return None
-        if self.cvm.crashed or self.cvm.compromised:
+        if lane.cvm.crashed or lane.cvm.compromised:
             return None
         desc = self._remote_file(task, args[0])
         if desc is None or not getattr(desc, "readable", False):
@@ -1009,10 +1110,11 @@ class AnceptionLayer:
         Any cold entry forwards the entire vector through the ring —
         partial service would split one doorbell pair into two.
         """
-        cache = self.page_cache
+        lane = self._lane(task)
+        cache = lane.page_cache
         if cache is None or self.crypto_fs is not None:
             return None
-        if self.cvm.crashed or self.cvm.compromised:
+        if lane.cvm.crashed or lane.cvm.compromised:
             return None
         desc = self._remote_file(task, fd)
         if desc is None or not getattr(desc, "readable", False):
@@ -1061,7 +1163,8 @@ class AnceptionLayer:
         completed mutations write through or invalidate *before* any
         later lookup can run.
         """
-        cache = self.page_cache
+        lane = self._lane(task)
+        cache = lane.page_cache
         if name in ("read", "pread64") and isinstance(result, bytes):
             desc = self._remote_file(task, args[0] if args else None)
             if desc is None:
@@ -1074,7 +1177,7 @@ class AnceptionLayer:
                 return
             demanded, ahead = cache.fill_window(
                 desc.inode.ino, bytes(desc.inode.data), start,
-                max(len(result), 1), self.channel.window_bytes,
+                max(len(result), 1), lane.channel.window_bytes,
             )
             if demanded or ahead:
                 with maybe_span(self.machine.clock, "cache-fill",
@@ -1100,8 +1203,8 @@ class AnceptionLayer:
                 if not isinstance(path_arg, str):
                     continue
                 path = self._abs(task, path_arg)
-                ino = (self._cache_paths.get(path) if name == "truncate"
-                       else self._cache_paths.pop(path, None))
+                ino = (lane.cache_paths.get(path) if name == "truncate"
+                       else lane.cache_paths.pop(path, None))
                 if ino is None:
                     continue
                 dropped = cache.invalidate_ino(ino)
@@ -1116,7 +1219,7 @@ class AnceptionLayer:
             desc = self._remote_file(task, result)
             if desc is None:
                 return
-            self._cache_paths[self._abs(task, args[0])] = desc.inode.ino
+            lane.cache_paths[self._abs(task, args[0])] = desc.inode.ino
             if cache.knows(desc.inode.ino):
                 # Re-snapshot: an O_TRUNC reopen just emptied the file.
                 cache.refresh_ino(desc.inode.ino, bytes(desc.inode.data))
@@ -1144,10 +1247,11 @@ class AnceptionLayer:
             task.remove_fd(fd)
             if self.crypto_fs is not None:
                 self.crypto_fs.on_close(task, fd)
-            if self.write_behind is not None:
+            wb = self._lane(task).write_behind
+            if wb is not None:
                 # close is a fence: teardown completes, then any errno
                 # the window deferred for this fd surfaces (once) here.
-                deferred = self.write_behind.take_error(task.pid, fd)
+                deferred = wb.take_error(task.pid, fd)
                 if deferred is not None:
                     raise SyscallError(
                         deferred.errno,
@@ -1211,7 +1315,7 @@ class AnceptionLayer:
         # input is an observation point — anything the app fired at the
         # services must land before the world answers back
         # (fence-on-read).
-        if self.binder_ring is not None:
+        if self._lane(task).binder_ring is not None:
             from repro.android.binder import IOC_WAIT_INPUT_EVT
 
             if request == IOC_WAIT_INPUT_EVT:
@@ -1250,7 +1354,8 @@ class AnceptionLayer:
         rate and stream through the ring's bulk-copy window at the
         ``binder_parcel_page_ns`` page rate.
         """
-        if self.binder_ring is not None:
+        lane = self._lane(task)
+        if lane.binder_ring is not None:
             if self._binder_accepts(task, transaction):
                 return self._binder_enqueue(task, request, transaction)
             self._binder_fence(task, transaction.target, "transact")
@@ -1258,15 +1363,15 @@ class AnceptionLayer:
         clock = self.machine.clock
         clock.advance(costs.binder_cvm_fixed_ns, "anception:binder-cvm")
         payload = transaction.payload_size
-        proxy = self.proxies.proxy_for(task)
-        proxy_binder_fd = self._ensure_proxy_binder(proxy)
-        if self.binder_ring is not None and payload > PAGE_SIZE:
-            self.binder_ring.bulk_parcels += 1
+        proxy = lane.proxies.proxy_for(task)
+        proxy_binder_fd = self._ensure_proxy_binder(lane, proxy)
+        if lane.binder_ring is not None and payload > PAGE_SIZE:
+            lane.binder_ring.bulk_parcels += 1
             clock.advance(
                 costs.binder_parcel_page_ns * costs.chunks(payload),
                 "anception:binder-parcel",
             )
-            with self.channel.bulk_copy():
+            with lane.channel.bulk_copy():
                 return self._redirect(
                     task, "ioctl", (fd, request, transaction), {},
                     translated=(proxy_binder_fd, request, transaction),
@@ -1280,12 +1385,12 @@ class AnceptionLayer:
             translated=(proxy_binder_fd, request, transaction),
         )
 
-    def _ensure_proxy_binder(self, proxy):
+    def _ensure_proxy_binder(self, lane, proxy):
         guest_task = proxy.guest_task
         for fd, desc in guest_task.fd_table.items():
             if getattr(desc, "path", "") == "/dev/binder":
                 return fd
-        open_file = self.cvm.kernel.vfs.open(
+        open_file = lane.cvm.kernel.vfs.open(
             "/dev/binder", 0x2, guest_task.credentials
         )
         return guest_task.alloc_fd(open_file)
@@ -1307,7 +1412,7 @@ class AnceptionLayer:
         """
         table = self._fd_table(task)
         if fd is not None and table.is_remote(fd):
-            proxy = self.proxies.proxy_for(task)
+            self._lane(task).proxies.proxy_for(task)
             proxy_fd = table.to_proxy(fd)
             # Proxy-side mapping with forced read faults (pinning).
             data = self._redirect(
@@ -1334,7 +1439,7 @@ class AnceptionLayer:
             return
         from repro.kernel.memory import MAP_FIXED
 
-        proxy = self.proxies.proxy_for(task)
+        proxy = self._lane(task).proxies.proxy_for(task)
         space = proxy.guest_task.address_space
         try:
             space.mmap(length, prot, flags | MAP_ANONYMOUS | MAP_FIXED, addr)
@@ -1360,9 +1465,10 @@ class AnceptionLayer:
             )
             return 0
         data = task.address_space.read(addr, length, need_prot=0)
-        self.channel.send_to_guest(data)
-        self._signal_guest_reliably("msync", task)
-        self._signal_host_or_poll("msync-ack", task)
+        lane = self._lane(task)
+        lane.channel.send_to_guest(data)
+        self._signal_guest_reliably(lane, "msync", task)
+        self._signal_host_or_poll(lane, "msync-ack", task)
         return 0
 
     def _find_file_mapping(self, task, addr):
@@ -1380,28 +1486,30 @@ class AnceptionLayer:
         apps share memory at native speed while the CVM only ever holds
         the (empty) bookkeeping segment.
         """
-        cvm_segment = self.cvm.kernel.shm.require(shmid)
-        shadow = self._shm_shadows.get(shmid)
+        lane = self._lane(task)
+        cvm_segment = lane.cvm.kernel.shm.require(shmid)
+        shadow = lane.shm_shadows.get(shmid)
         if shadow is None:
             shadow = self.host_kernel.shm.shmget(
                 task, 0, cvm_segment.size, 0o1000
             )
-            self._shm_shadows[shmid] = shadow
+            lane.shm_shadows[shmid] = shadow
         base = self.host_kernel.execute_native(task, "shmat", (shadow,), {})
-        self._shm_attach_map[(task.pid, base)] = shmid
+        lane.shm_attach_map[(task.pid, base)] = shmid
         # The proxy attaches the CVM segment too, keeping the container's
         # attach counts honest (its frames stay zero-filled).
-        proxy = self.proxies.proxy_for(task)
-        self.cvm.kernel.shm.shmat(proxy.guest_task, shmid)
+        proxy = lane.proxies.proxy_for(task)
+        lane.cvm.kernel.shm.shmat(proxy.guest_task, shmid)
         return base
 
     def _handle_shmdt(self, task, addr):
         """Detach both sides of a split shared-memory attachment."""
         result = self.host_kernel.execute_native(task, "shmdt", (addr,), {})
-        shmid = self._shm_attach_map.pop((task.pid, addr), None)
+        lane = self._lane(task)
+        shmid = lane.shm_attach_map.pop((task.pid, addr), None)
         if shmid is not None:
-            proxy = self.proxies.proxy_for(task)
-            guest_shm = self.cvm.kernel.shm
+            proxy = lane.proxies.proxy_for(task)
+            guest_shm = lane.cvm.kernel.shm
             for (pid, guest_addr), sid in list(guest_shm._attached.items()):
                 if pid == proxy.guest_task.pid and sid == shmid:
                     guest_shm.shmdt(proxy.guest_task, guest_addr)
@@ -1423,7 +1531,7 @@ class AnceptionLayer:
             )
         # User-generated code lives in the CVM: copy out, stage, exec.
         try:
-            data = self.cvm.read_out_file(self._abs(task, path))
+            data = self._lane(task).cvm.read_out_file(self._abs(task, path))
         except SyscallError as exc:
             raise SyscallError(exc.errno, f"exec source {path}",
                                call="execve") from exc
@@ -1458,61 +1566,199 @@ class AnceptionLayer:
             self._firewall_rule = lambda address: address in allowed
         else:
             self._firewall_rule = None
-        self.cvm.kernel.network.firewall = self._firewall_rule
+        for lane in self.pool.lanes:
+            lane.cvm.kernel.network.firewall = self._firewall_rule
 
     # ------------------------------------------------------------------
     # container reboot (recovery from a crashed CVM)
     # ------------------------------------------------------------------
 
-    def reboot_cvm(self):
-        """Restart a dead (or live) container and re-enroll survivors.
+    def reboot_cvm(self, lane=None):
+        """Restart one dead (or live) container and re-enroll survivors.
 
-        App data survives on the virtual disk; open CVM descriptors do
-        not — their host-side stubs are dropped (subsequent use gets
-        EBADF, like any fd whose backing object died) and every enrolled
-        app gets a fresh proxy in the new container.
+        Reboots are lane-scoped: only the apps resident on ``lane``
+        (default: lane 0) lose their container; siblings keep running
+        untouched.  App data survives on the virtual disk; open CVM
+        descriptors do not — their host-side stubs are dropped
+        (subsequent use gets EBADF, like any fd whose backing object
+        died) and every surviving app on the lane gets a fresh proxy in
+        the new container.  All lane-held transport state re-arms
+        through :meth:`_bind_lane` — the same choke point boot uses —
+        so nothing stale can survive the swap.
         """
-        self.cvm.reboot()
-        self.channel = AnceptionChannel(
-            self.cvm.hypervisor, self.machine.costs,
-            self.channel.num_pages, ring_depth=self.channel.ring_depth,
-        )
-        self._inflight = []
-        if self.write_behind is not None:
-            # Staged windows and ledgered errnos name proxy descriptors
-            # that died with the old container.
-            self.write_behind.clear()
-        if self.binder_ring is not None:
-            # Staged oneway windows name service instances (and a proxy
-            # binder fd) that died with the old container.
-            self.binder_ring.clear()
-        if self.page_cache is not None:
-            # The guest filesystem was rebuilt: every cached page (and
-            # learned path->ino binding) describes inodes that no longer
-            # exist.
-            self.page_cache.clear()
-        self._cache_paths = {}
-        self.cvm.kernel.network.firewall = self._firewall_rule
-        old_tables = self.fd_tables
-        self.fd_tables = {}
+        if lane is None:
+            lane = self.pool.default_lane
+        lane.cvm.reboot()
+        self._bind_lane(lane)
         survivors = [
             task for task in self.host_kernel.pids.all_tasks()
             if task.redirection_entry and task.is_alive()
+            and self.pool.lane_for(task) is lane
         ]
-        self.proxies = ProxyManager(self.cvm)
         for task in survivors:
+            stale = self.fd_tables.pop(task.pid, None)
             task.proxy = None
-            self.proxies.create_proxy(task)
+            lane.proxies.create_proxy(task)
             self.fd_tables[task.pid] = FdTranslationTable()
-            stale = old_tables.get(task.pid)
             if stale is None:
                 continue
             for host_fd in stale.remote_fds():
                 task.fd_table.pop(host_fd, None)
         maybe_event(self.machine.clock, "recovery", "channels-rebound",
                     kernel=self.host_kernel.label,
-                    survivors=len(survivors))
+                    survivors=len(survivors), **self._lane_tags(lane))
         return len(survivors)
+
+    # ------------------------------------------------------------------
+    # app rebalancing (move an idle app between lanes)
+    # ------------------------------------------------------------------
+
+    def rebalance(self, task, target):
+        """Move an idle enrolled app from its lane to ``target``.
+
+        ``target`` is a :class:`~repro.core.pool.CVMLane` or a cvm id.
+        The protocol pins differential equivalence: the app's staged
+        async windows drain and its source lane settles first (so no
+        in-flight state can be lost), its private ``/data/data`` tree
+        is replicated into the target container, its proxy is rebuilt
+        there, and every remote fd is re-opened by path with the
+        original flags (minus O_CREAT|O_TRUNC, so contents survive) and
+        its file offset restored — the app observes the same bytes from
+        the same descriptors afterwards.  Deferred-errno ledger entries
+        travel with the app, so a fence still surfaces them.
+
+        Returns ``True`` on a committed move.  Apps holding non-file
+        CVM resources (sockets, pipes) are skipped (``False``) — those
+        cannot be transparently re-opened — as is a same-lane no-op.
+        The ``pool.rebalance-loss`` fault site aborts the protocol
+        before the commit point: the app simply stays put.
+        """
+        if not isinstance(target, CVMLane):
+            target = self.pool.lane_by_id(int(target))
+        source = self._lane(task)
+        if target is source:
+            return False
+        table = self._fd_table(task)
+        source_proxy = source.proxies.proxy_for(task)
+        descs = {}
+        for host_fd in sorted(table.remote_fds()):
+            desc = source_proxy.guest_task.fd_table.get(
+                table.to_proxy(host_fd)
+            )
+            inode = getattr(desc, "inode", None)
+            if inode is None or inode.kind is not InodeKind.FILE:
+                self.recovery_log.append(
+                    ("rebalance-skip",
+                     f"pid {task.pid} holds non-file CVM fd {host_fd}")
+                )
+                return False
+            descs[host_fd] = desc
+        # Quiesce: the app's staged windows drain on the source and the
+        # source lane settles, so nothing in-flight can be lost mid-move.
+        if source.write_behind is not None:
+            self._wb_drain(task, reason="rebalance")
+        if source.binder_ring is not None:
+            self._binder_drain(task, reason="rebalance")
+        self.machine.clock.wait_for(source.cvm.lane, "anception:rebalance")
+        engine = maybe_engine(self.machine.clock)
+        if engine is not None and engine.pool_rebalance_loss(call=task.name):
+            self.recovery_log.append(
+                ("rebalance-abort",
+                 f"pid {task.pid} {source.name}->{target.name}")
+            )
+            maybe_event(self.machine.clock, "recovery", "rebalance-abort",
+                        task=task, kernel=self.host_kernel.label,
+                        source=source.name, target=target.name)
+            return False
+        self._copy_app_tree(source, target, task)
+        source.proxies.remove_proxy(task)
+        target.proxies.create_proxy(task)
+        proxy = target.proxies.proxy_for(task)
+        from repro.kernel.vfs import O_CREAT, O_TRUNC
+
+        new_table = FdTranslationTable()
+        for host_fd in sorted(descs):
+            desc = descs[host_fd]
+            open_file = target.cvm.kernel.vfs.open(
+                desc.path, desc.flags & ~(O_CREAT | O_TRUNC),
+                proxy.guest_task.credentials,
+            )
+            open_file.offset = desc.offset
+            proxy_fd = proxy.guest_task.alloc_fd(open_file)
+            stub = task.fd_table.get(host_fd)
+            if isinstance(stub, RemoteFdStub):
+                stub.proxy_fd = proxy_fd
+            new_table.bind(host_fd, proxy_fd)
+        self.fd_tables[task.pid] = new_table
+        self._move_ledgers(source, target, task.pid)
+        if source.page_cache is not None:
+            # The source container no longer owns these files; drop the
+            # learned bindings and any cached pages under the app tree.
+            prefix = task.cwd.rstrip("/") + "/"
+            stale = sorted(
+                path for path in source.cache_paths
+                if path == task.cwd or path.startswith(prefix)
+            )
+            for path in stale:
+                source.page_cache.invalidate_ino(
+                    source.cache_paths.pop(path)
+                )
+        self.pool.move(task.pid, target)
+        self.recovery_log.append(
+            ("rebalance", f"pid {task.pid} {source.name}->{target.name}")
+        )
+        maybe_event(self.machine.clock, "recovery", "rebalance", task=task,
+                    kernel=self.host_kernel.label, source=source.name,
+                    target=target.name, fds=len(descs))
+        return True
+
+    def _copy_app_tree(self, source, target, task):
+        """Replicate the app's private data tree across containers.
+
+        Host-mediated trusted copy, like the enrollment-time install
+        copy: the host reads the source container's inodes directly and
+        writes them into the target — no channel traffic, no doorbells.
+        """
+        target.cvm.ensure_private_dir(task)
+        root = task.cwd
+        if not source.cvm.kernel.vfs.exists(root, self._root):
+            return 0
+        uid = task.credentials.uid
+        copied = 0
+
+        def _copy_dir(directory):
+            nonlocal copied
+            for name in sorted(
+                    source.cvm.kernel.vfs.listdir(directory, self._root)):
+                path = f"{directory}/{name}"
+                inode = source.cvm.kernel.vfs.resolve(
+                    path, self._root, follow_symlinks=False
+                )
+                if inode.kind is InodeKind.DIRECTORY:
+                    if not target.cvm.kernel.vfs.exists(path, self._root):
+                        target.cvm.kernel.vfs.mkdir(
+                            path, self._root, mode=0o700
+                        )
+                        target.cvm.kernel.vfs.chown(
+                            path, uid, uid, self._root
+                        )
+                    _copy_dir(path)
+                elif inode.kind is InodeKind.FILE and inode.data is not None:
+                    target.cvm.copy_in_file(path, bytes(inode.data), uid)
+                    copied += 1
+
+        _copy_dir(root)
+        return copied
+
+    @staticmethod
+    def _move_ledgers(source, target, pid):
+        """Carry one pid's deferred-errno ledger entries to its new lane."""
+        for src, dst in ((source.write_behind, target.write_behind),
+                         (source.binder_ring, target.binder_ring)):
+            if src is None or dst is None:
+                continue
+            for key in sorted(k for k in src.errors if k[0] == pid):
+                dst.errors.setdefault(key, src.errors.pop(key))
 
     # ------------------------------------------------------------------
     # explicit batch windows (opt-in syscall batching)
@@ -1551,9 +1797,10 @@ class AnceptionLayer:
         """Forward a flushed batch window behind one doorbell pair."""
         if not calls:
             return
+        lane = self._lane(task)
         attempt = 0
         while True:
-            self._ensure_container("batch")
+            self._ensure_container(lane, "batch")
             try:
                 with maybe_span(self.machine.clock, "proxy",
                                 f"forward:batch:{len(calls)}", task=task,
@@ -1597,7 +1844,8 @@ class AnceptionLayer:
             return False
         if self.crypto_fs is not None or self._batch is not None:
             return False
-        if self.cvm.crashed or self.cvm.compromised:
+        lane = self._lane(task)
+        if lane.cvm.crashed or lane.cvm.compromised:
             return False
         if not args or not isinstance(args[0], int):
             return False
@@ -1620,7 +1868,8 @@ class AnceptionLayer:
         """writev defers iff a plain write to the same fd would."""
         if self.crypto_fs is not None or self._batch is not None:
             return False
-        if self.cvm.crashed or self.cvm.compromised:
+        lane = self._lane(task)
+        if lane.cvm.crashed or lane.cvm.compromised:
             return False
         desc = self._remote_file(task, fd)
         if desc is None or not getattr(desc, "writable", False):
@@ -1633,9 +1882,10 @@ class AnceptionLayer:
 
         The host pays only the fixed marshal plus a page-rate staging
         copy, then keeps running — posting, channel bytes, doorbells,
-        and CVM execution all land on the ``cvm`` lane at drain time.
+        and CVM execution all land on the owning CVM's clock lane at
+        drain time.
         """
-        wb = self.write_behind
+        wb = self._lane(task).write_behind
         window = wb.window(task)
         if len(window.entries) >= wb.depth:
             # Bounded depth: a full window is the only point deferral
@@ -1673,8 +1923,9 @@ class AnceptionLayer:
         return result
 
     def _wb_drain(self, task, reason):
-        """Ship one task's staged window through the ring on the lane."""
-        wb = self.write_behind
+        """Ship one task's staged window through the ring on its lane."""
+        lane = self._lane(task)
+        wb = lane.write_behind
         window = wb.windows.get(task.pid)
         if window is None or not window.entries:
             return
@@ -1683,42 +1934,51 @@ class AnceptionLayer:
         clock = self.machine.clock
         # The previous drain must retire before this one posts — the
         # bounded in-flight depth is the backpressure contract.
-        clock.wait_for(self.cvm.lane, "anception:wb-backpressure")
+        clock.wait_for(lane.cvm.lane, "anception:wb-backpressure")
         with wall_zone("wb.drain"), \
                 maybe_span(clock, "wb-drain", f"{reason}:{len(entries)}",
                            task=task, kernel=self.host_kernel.label,
-                           batch=len(entries), reason=reason) as span:
-            with clock.overlap(self.cvm.lane):
-                self._run_window(task, entries)
+                           batch=len(entries), reason=reason,
+                           **self._lane_tags(lane)) as span:
+            with clock.overlap(lane.cvm.lane):
+                self._run_window(lane, task, entries)
             # The backpressure fence above settled the lane, so the
             # post-window backlog is exactly the lane time this drain
             # consumed — the overlap-ratio numerator for the analyzer.
-            span.set(lane_ns=clock.lane_backlog_ns(self.cvm.lane))
+            span.set(lane_ns=clock.lane_backlog_ns(lane.cvm.lane))
 
-    def _wb_fence(self, task, name, args=()):
-        """Drain all windows, settle the lane, surface deferred errnos.
-
-        fsync/fdatasync/read-after-write (and the explicit ``fence``
-        veneer) additionally pop the ledger entry for their fd — the
-        pop is what makes a deferred errno surface *exactly once*;
-        ``close`` surfaces in :meth:`_split_close` after teardown.
-        """
-        wb = self.write_behind
+    def _wb_settle(self, lane, task, name):
+        """Drain one lane's staged windows and settle its clock lane."""
+        wb = lane.write_behind
         drained = 0
         for window in wb.pending_windows():
             drained += len(window.entries)
             self._wb_drain(window.task, reason=f"fence:{name}")
         waited = self.machine.clock.wait_for(
-            self.cvm.lane, f"anception:wb-fence:{name}"
+            lane.cvm.lane, f"anception:wb-fence:{name}"
         )
         if drained or waited:
             wb.fences += 1
             maybe_event(self.machine.clock, "wb-fence", name, task=task,
                         kernel=self.host_kernel.label, drained=drained,
-                        waited_ns=waited)
+                        waited_ns=waited, **self._lane_tags(lane))
+
+    def _wb_fence(self, task, name, args=()):
+        """Drain the owning lane, settle it, surface deferred errnos.
+
+        Fences are lane-scoped: only the fencing task's own CVM drains
+        and settles — sibling lanes' windows keep riding their own
+        clocks (the cross-lane barrier is :meth:`async_fence`).
+        fsync/fdatasync/read-after-write (and the explicit ``fence``
+        veneer) additionally pop the ledger entry for their fd — the
+        pop is what makes a deferred errno surface *exactly once*;
+        ``close`` surfaces in :meth:`_split_close` after teardown.
+        """
+        lane = self._lane(task)
+        self._wb_settle(lane, task, name)
         if name in self._WB_FENCE_SURFACING and args \
                 and isinstance(args[0], int):
-            deferred = wb.take_error(task.pid, args[0])
+            deferred = lane.write_behind.take_error(task.pid, args[0])
             if deferred is not None:
                 raise SyscallError(
                     deferred.errno,
@@ -1734,12 +1994,12 @@ class AnceptionLayer:
         surfaces that errno exactly once.  No-op when write-behind is
         off, so the same op-script runs in every mode.
         """
-        if self.write_behind is None:
+        if self._lane(task).write_behind is None:
             return 0
         self._wb_fence(task, "fence", (fd,) if fd is not None else ())
         return 0
 
-    def _run_window(self, task, entries):
+    def _run_window(self, lane, task, entries):
         """Forward one drained window behind one doorbell pair.
 
         Runs inside the lane's overlap window.  Failures never raise to
@@ -1750,11 +2010,11 @@ class AnceptionLayer:
         engine = maybe_engine(self.machine.clock)
         attempt = 0
         while True:
-            self._ensure_container("write-behind")
+            self._ensure_container(lane, "write-behind")
             try:
                 pendings = []
                 failed = None
-                with self.channel.bulk_copy():
+                with lane.channel.bulk_copy():
                     for entry in entries:
                         if failed is None and engine is not None:
                             injected = engine.wb_defer_errno(call=entry.name)
@@ -1850,7 +2110,7 @@ class AnceptionLayer:
 
     def _wb_record(self, task, fd, exc):
         """Ledger one deferred failure (first per (pid, fd) wins)."""
-        if self.write_behind.record_error(task.pid, fd, exc):
+        if self._lane(task).write_behind.record_error(task.pid, fd, exc):
             maybe_event(self.machine.clock, "wb-error",
                         getattr(exc, "call", None) or "write-behind",
                         task=task, kernel=self.host_kernel.label, fd=fd,
@@ -1873,9 +2133,10 @@ class AnceptionLayer:
             return False
         if self._batch is not None:
             return False
-        if self.cvm.crashed or self.cvm.compromised:
+        lane = self._lane(task)
+        if lane.cvm.crashed or lane.cvm.compromised:
             return False
-        return self.cvm.android.has_service(transaction.target)
+        return lane.cvm.android.has_service(transaction.target)
 
     def _binder_enqueue(self, task, request, transaction):
         """Stage one oneway transaction; return ``None`` optimistically.
@@ -1889,7 +2150,8 @@ class AnceptionLayer:
         """
         from repro.android.binder import Transaction
 
-        ring = self.binder_ring
+        lane = self._lane(task)
+        ring = lane.binder_ring
         window = ring.window(task)
         if len(window.entries) >= ring.depth:
             self._binder_drain(task, reason="window-full")
@@ -1898,8 +2160,8 @@ class AnceptionLayer:
             payload = dict(payload)
         staged = Transaction(transaction.target, transaction.method,
                              payload, transaction.flags)
-        proxy = self.proxies.proxy_for(task)
-        proxy_binder_fd = self._ensure_proxy_binder(proxy)
+        proxy = lane.proxies.proxy_for(task)
+        proxy_binder_fd = self._ensure_proxy_binder(lane, proxy)
         call_args = (proxy_binder_fd, request, staged)
         wire, size = marshal_call("ioctl", call_args, {})
         costs = self.machine.costs
@@ -1919,8 +2181,9 @@ class AnceptionLayer:
         return None
 
     def _binder_drain(self, task, reason):
-        """Ship one task's staged window through the ring on the lane."""
-        ring = self.binder_ring
+        """Ship one task's staged window through the ring on its lane."""
+        lane = self._lane(task)
+        ring = lane.binder_ring
         window = ring.windows.get(task.pid)
         if window is None or not window.entries:
             return
@@ -1929,31 +2192,37 @@ class AnceptionLayer:
         clock = self.machine.clock
         # The previous drain must retire before this one posts — the
         # bounded in-flight depth is the backpressure contract.
-        clock.wait_for(self.cvm.lane, "anception:binder-backpressure")
+        clock.wait_for(lane.cvm.lane, "anception:binder-backpressure")
         with wall_zone("binder.drain"), \
                 maybe_span(clock, "binder-drain",
                            f"{reason}:{len(entries)}", task=task,
                            kernel=self.host_kernel.label,
-                           batch=len(entries), reason=reason) as span:
-            with clock.overlap(self.cvm.lane):
-                self._run_binder_window(task, entries)
-            span.set(lane_ns=clock.lane_backlog_ns(self.cvm.lane))
+                           batch=len(entries), reason=reason,
+                           **self._lane_tags(lane)) as span:
+            with clock.overlap(lane.cvm.lane):
+                self._run_binder_window(lane, task, entries)
+            span.set(lane_ns=clock.lane_backlog_ns(lane.cvm.lane))
 
-    def _binder_settle(self, task, name):
-        """Drain every staged binder window and settle the CVM lane."""
-        ring = self.binder_ring
+    def _binder_settle_lane(self, lane, task, name):
+        """Drain one lane's staged binder windows and settle its clock."""
+        ring = lane.binder_ring
         drained = 0
         for window in ring.pending_windows():
             drained += len(window.entries)
             self._binder_drain(window.task, reason=f"fence:{name}")
         waited = self.machine.clock.wait_for(
-            self.cvm.lane, f"anception:binder-fence:{name}"
+            lane.cvm.lane, f"anception:binder-fence:{name}"
         )
         if drained or waited:
             ring.fences += 1
             maybe_event(self.machine.clock, "binder-fence", name,
                         task=task, kernel=self.host_kernel.label,
-                        drained=drained, waited_ns=waited)
+                        drained=drained, waited_ns=waited,
+                        **self._lane_tags(lane))
+
+    def _binder_settle(self, task, name):
+        """Drain the task's own lane's binder windows and settle it."""
+        self._binder_settle_lane(self._lane(task), task, name)
 
     def _binder_fence(self, task, target, name):
         """Fence-on-reply: settle the lane, surface this target's errno.
@@ -1964,7 +2233,7 @@ class AnceptionLayer:
         once*, at the next reply-carrying call to that target.
         """
         self._binder_settle(task, name)
-        deferred = self.binder_ring.take_error(task.pid, target)
+        deferred = self._lane(task).binder_ring.take_error(task.pid, target)
         if deferred is not None:
             raise SyscallError(
                 deferred.errno,
@@ -1975,17 +2244,30 @@ class AnceptionLayer:
     def async_fence(self, task, fd=None):
         """Explicit async-delegation barrier (the libc ``fence`` veneer).
 
-        Drains every staged write-behind *and* binder window, waits out
-        the CVM lane, and surfaces a ledgered deferred errno exactly
-        once — by ``fd`` for write-behind, earliest-target-first for
-        binder (the barrier names no target).  No-op when both async
-        lanes are off, so the same program runs in every mode.
+        The one *cross-lane* fence: every lane's staged write-behind
+        *and* binder windows drain — in lane order, each settling its
+        own clock cursor — and a ledgered deferred errno surfaces
+        exactly once, always from the fencing task's own lane: by
+        ``fd`` for write-behind, earliest-target-first for binder (the
+        barrier names no target).  No-op when both async features are
+        off, so the same program runs in every mode.
         """
-        if self.write_behind is not None:
-            self._wb_fence(task, "fence", (fd,) if fd is not None else ())
-        if self.binder_ring is not None:
-            self._binder_settle(task, "fence")
-            deferred = self.binder_ring.take_any_error(task.pid)
+        own = self._lane(task)
+        for lane in self.pool.lanes:
+            if lane.write_behind is not None:
+                self._wb_settle(lane, task, "fence")
+            if lane.binder_ring is not None:
+                self._binder_settle_lane(lane, task, "fence")
+        if own.write_behind is not None and fd is not None:
+            deferred = own.write_behind.take_error(task.pid, fd)
+            if deferred is not None:
+                raise SyscallError(
+                    deferred.errno,
+                    f"deferred write-behind error on fd {fd}",
+                    call="fence",
+                ) from deferred
+        if own.binder_ring is not None:
+            deferred = own.binder_ring.take_any_error(task.pid)
             if deferred is not None:
                 raise SyscallError(
                     deferred.errno,
@@ -1994,7 +2276,7 @@ class AnceptionLayer:
                 ) from deferred
         return 0
 
-    def _run_binder_window(self, task, entries):
+    def _run_binder_window(self, lane, task, entries):
         """Forward one drained binder window behind one doorbell pair.
 
         Runs inside the lane's overlap window.  The fixed cross-VM
@@ -2005,12 +2287,12 @@ class AnceptionLayer:
         ``(pid, target)`` for the next fence to surface.
         """
         engine = maybe_engine(self.machine.clock)
-        ring = self.binder_ring
+        ring = lane.binder_ring
         costs = self.machine.costs
         clock = self.machine.clock
         attempt = 0
         while True:
-            self._ensure_container("binder-ring")
+            self._ensure_container(lane, "binder-ring")
             try:
                 live = list(entries)
                 if engine is not None and len(live) > 1 \
@@ -2018,7 +2300,7 @@ class AnceptionLayer:
                     live[0], live[1] = live[1], live[0]
                     ring.reordered += 1
                 pendings = []
-                with self.channel.bulk_copy():
+                with lane.channel.bulk_copy():
                     clock.advance(
                         costs.binder_cvm_fixed_ns, "anception:binder-window"
                     )
@@ -2126,7 +2408,7 @@ class AnceptionLayer:
 
     def _binder_record(self, task, target, exc):
         """Ledger one deferred failure (first per (pid, target) wins)."""
-        if self.binder_ring.record_error(task.pid, target, exc):
+        if self._lane(task).binder_ring.record_error(task.pid, target, exc):
             maybe_event(self.machine.clock, "binder-error", target,
                         task=task, kernel=self.host_kernel.label,
                         target=target, errno=exc.errno)
@@ -2142,14 +2424,18 @@ class AnceptionLayer:
             return
         child.redirection_entry = parent.redirection_entry
         child.launch_uid = parent.launch_uid
-        self.proxies.create_proxy(child)
+        # Children join the parent's lane: the shared fd/proxy state
+        # they inherit lives in that container.
+        lane = self._lane(parent)
+        self.pool.adopt(child, lane)
+        lane.proxies.create_proxy(child)
         child_table = FdTranslationTable()
         self.fd_tables[child.pid] = child_table
         parent_table = self.fd_tables.get(parent.pid)
         if parent_table is None:
             return
-        parent_proxy = self.proxies.proxy_for(parent)
-        child_proxy = self.proxies.proxy_for(child)
+        parent_proxy = lane.proxies.proxy_for(parent)
+        child_proxy = lane.proxies.proxy_for(child)
         for host_fd in parent_table.remote_fds():
             proxy_fd = parent_table.to_proxy(host_fd)
             desc = parent_proxy.guest_task.fd_table.get(proxy_fd)
@@ -2188,29 +2474,100 @@ class AnceptionLayer:
     # introspection
     # ------------------------------------------------------------------
 
+    _AGG_FIRST_KEYS = ("depth", "max_pages")
+    _AGG_MAX_KEYS = ("max_depth_seen",)
+
+    @classmethod
+    def _agg(cls, dicts):
+        """Merge per-lane stats dicts into one fleet-wide view.
+
+        A single dict passes through unchanged (the ``cvms=1``
+        byte-identity pin).  Across lanes: numeric counters sum, bools
+        OR, configured bounds take the first lane's value, high-water
+        marks take the max, nested dicts merge recursively, and the
+        cache hit rate is recomputed from the summed hits/misses.
+        """
+        if len(dicts) == 1:
+            return dict(dicts[0])
+        merged = {}
+        for key in dicts[0]:
+            values = [d[key] for d in dicts]
+            first = values[0]
+            if key in cls._AGG_FIRST_KEYS:
+                merged[key] = first
+            elif key in cls._AGG_MAX_KEYS:
+                merged[key] = max(values)
+            elif isinstance(first, dict):
+                merged[key] = cls._agg(values)
+            elif isinstance(first, bool):
+                merged[key] = any(values)
+            elif isinstance(first, (int, float)):
+                merged[key] = sum(values)
+            else:
+                merged[key] = first
+        if "hit_rate" in merged and "hits" in merged and "misses" in merged:
+            looked = merged["hits"] + merged["misses"]
+            merged["hit_rate"] = (
+                round(merged["hits"] / looked, 4) if looked else 0.0
+            )
+        return merged
+
     def stats(self):
+        """Layer-wide summary; counters aggregate across every lane.
+
+        At ``cvms=1`` the shape (and every value) is byte-identical to
+        the pre-pool layer.  With more lanes the top-level counters are
+        fleet-wide sums and two extra keys appear: ``pool`` (placement
+        and residency) and ``per_cvm`` (the per-lane breakdown).
+        """
         decisions = {}
         for _pid, _name, decision in self.decision_log:
             decisions[decision.value] = decisions.get(decision.value, 0) + 1
-        return {
+        lanes = self.pool.lanes
+        summary = {
             "decisions": decisions,
-            "proxies": self.proxies.count,
+            "proxies": sum(lane.proxies.count for lane in lanes),
             "blocked_calls": len(self.blocked_calls),
             "killed_apps": len(self.killed_apps),
-            "channel": self.channel.stats(),
+            "channel": self._agg([lane.channel.stats() for lane in lanes]),
             "read_cache": (
-                self.page_cache.stats() if self.page_cache is not None
-                else None
+                self._agg([lane.page_cache.stats() for lane in lanes])
+                if lanes[0].page_cache is not None else None
             ),
             "write_behind": (
-                self.write_behind.stats() if self.write_behind is not None
-                else None
+                self._agg([lane.write_behind.stats() for lane in lanes])
+                if lanes[0].write_behind is not None else None
             ),
             "binder_ring": (
-                self.binder_ring.stats() if self.binder_ring is not None
-                else None
+                self._agg([lane.binder_ring.stats() for lane in lanes])
+                if lanes[0].binder_ring is not None else None
             ),
-            "cvm_crashed": self.cvm.crashed,
-            "cvm_reboots": self.cvm.reboot_count,
+            "cvm_crashed": any(lane.cvm.crashed for lane in lanes),
+            "cvm_reboots": sum(lane.cvm.reboot_count for lane in lanes),
             "recoveries": len(self.recovery_log),
         }
+        if len(lanes) > 1:
+            summary["pool"] = self.pool.stats()
+            summary["per_cvm"] = {
+                lane.name: {
+                    "residents": len(self.pool.pids_on(lane)),
+                    "proxies": lane.proxies.count,
+                    "crashed": lane.cvm.crashed,
+                    "reboots": lane.cvm.reboot_count,
+                    "channel": lane.channel.stats(),
+                    "read_cache": (
+                        lane.page_cache.stats()
+                        if lane.page_cache is not None else None
+                    ),
+                    "write_behind": (
+                        lane.write_behind.stats()
+                        if lane.write_behind is not None else None
+                    ),
+                    "binder_ring": (
+                        lane.binder_ring.stats()
+                        if lane.binder_ring is not None else None
+                    ),
+                }
+                for lane in lanes
+            }
+        return summary

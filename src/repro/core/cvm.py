@@ -20,19 +20,24 @@ class ContainerVM:
     lane = "cvm"
     """Clock overlap-lane identity for this vCPU.  Write-behind drains
     charge guest-side work onto this lane so the host task keeps running
-    while the container executes the window (one vCPU, one lane)."""
+    while the container executes the window (one vCPU, one lane).
+    Instances in a multi-CVM pool override this per ``cvm_id`` — lane 0
+    keeps the classic ``"cvm"`` name, siblings get ``"cvmN"`` — so each
+    container's vCPU accrues work on its own clock cursor."""
 
-    def __init__(self, machine, guest_mb=64):
+    def __init__(self, machine, guest_mb=64, cvm_id=0):
         from repro.kernel.filesystems import build_data_fs
 
         self.machine = machine
+        self.cvm_id = cvm_id
+        self.lane = "cvm" if cvm_id == 0 else f"cvm{cvm_id}"
         self.hypervisor = LguestHypervisor(machine, guest_mb)
         # The virtual storage device (Section IV-5): the container's
         # /data partition is backed by host-held state, so its contents
         # survive guest crashes and reboots.
         self.data_disk = build_data_fs()
         self.kernel = self.hypervisor.launch_guest(
-            "cvm", data_fs=self.data_disk
+            self.lane, data_fs=self.data_disk
         )
         self.kernel.anception_build = True
         self.android = AndroidSystem(self.kernel, profile="headless")
@@ -55,7 +60,7 @@ class ContainerVM:
             if slow_ns:
                 self.machine.clock.advance(slow_ns, "fault:cvm-slow-boot")
         self.kernel = self.hypervisor.relaunch_guest(
-            "cvm", data_fs=self.data_disk
+            self.lane, data_fs=self.data_disk
         )
         self.kernel.anception_build = True
         self.android = AndroidSystem(self.kernel, profile="headless")

@@ -85,7 +85,8 @@ def chaos_report_json(result):
 def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
               ring_depth=None, read_cache=False, cache_pages=1024,
               write_behind=False, write_behind_depth=None,
-              binder_ring=False, binder_ring_depth=None):
+              binder_ring=False, binder_ring_depth=None,
+              cvms=1, placement=None):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -99,7 +100,12 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     ``write_behind``/``write_behind_depth`` enable and size the async
     write-behind windows (the ``wb.error``/``wb.reap-loss`` sites need
     them on); ``binder_ring``/``binder_ring_depth`` enable and size the
-    batched binder windows (the ``binder.*`` sites need them on).
+    batched binder windows (the ``binder.*`` sites need them on);
+    ``cvms``/``placement`` shard apps across a pool of container VMs
+    (the ``pool.*`` sites need >1 lane to matter).
+
+    Workloads with ``needs_world = True`` (the fleet driver) receive
+    the booted world instead of the prey app's context.
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -116,10 +122,12 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
                            async_delegation=write_behind,
                            write_behind_depth=write_behind_depth,
                            binder_ring=binder_ring,
-                           binder_ring_depth=binder_ring_depth)
+                           binder_ring_depth=binder_ring_depth,
+                           cvms=cvms, placement=placement)
     running = world.install_and_launch(ChaosApp())
     running.run()
     ctx = running.ctx
+    target = world if getattr(fn, "needs_world", False) else ctx
     if recovery:
         world.anception.recovery = RecoveryPolicy.chaos_default()
     engine = FaultEngine(plan, seed=seed)
@@ -131,7 +139,7 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
     def _run():
         nonlocal status, error
         try:
-            fn(ctx)
+            fn(target)
         except SyscallError as exc:
             status, error = "syscall-error", str(exc)
 

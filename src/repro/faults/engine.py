@@ -236,6 +236,18 @@ class FaultEngine:
         """Should the reaper miss this binder window's completions?"""
         return self.check("binder.reply-loss", call=call) is not None
 
+    def pool_placement_flap(self, call=None):
+        """Divert this enrollment's placement one lane over?
+
+        Only consulted by multi-lane pools, so single-CVM chaos replays
+        never advance its counters.
+        """
+        return self.check("pool.placement-flap", call=call) is not None
+
+    def pool_rebalance_loss(self, call=None):
+        """Abort an in-progress app rebalance (app stays put)?"""
+        return self.check("pool.rebalance-loss", call=call) is not None
+
     def drop_irq(self):
         return self.check("irq.drop") is not None
 

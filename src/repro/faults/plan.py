@@ -46,6 +46,11 @@ SITES = {
     "binder.reply-loss": "the reaper misses a drained binder window's "
                          "completions (recovery re-polls; otherwise the "
                          "outcomes are lost)",
+    "pool.placement-flap": "divert a pool placement decision one lane "
+                           "over at enrollment (multi-CVM worlds only)",
+    "pool.rebalance-loss": "abort an app rebalance mid-protocol: the "
+                           "app stays on its source lane and the move "
+                           "is logged as lost",
     "proxy.kill": "kill the CVM proxy mid-call",
     "cvm.crash": "panic the container VM mid-call",
     "cvm.compromise": "give an attacker the container VM kernel",

@@ -15,6 +15,7 @@ from repro.kernel import vfs
 from repro.obs.bus import LogcatSink, TraceBus
 from repro.obs.export import make_trace_id
 from repro.obs.metrics import MetricsRegistry
+from repro.workloads.fleet import workload_fleet
 from repro.world import AnceptionWorld
 
 
@@ -173,12 +174,14 @@ TRACE_WORKLOADS = {
     "batchio": _workload_batchio,
     "writeburst": _workload_writeburst,
     "binderburst": _workload_binderburst,
+    "fleet": workload_fleet,
 }
 
 
 def boot_obs_world(ring_depth=None, read_cache=False, cache_pages=1024,
                    write_behind=False, write_behind_depth=None,
-                   binder_ring=False, binder_ring_depth=None):
+                   binder_ring=False, binder_ring_depth=None,
+                   cvms=1, placement=None):
     """Boot an AnceptionWorld with an enrolled app; returns (world, ctx).
 
     The shared setup for :func:`run_traced` and the engine-throughput
@@ -190,7 +193,8 @@ def boot_obs_world(ring_depth=None, read_cache=False, cache_pages=1024,
                            async_delegation=write_behind,
                            write_behind_depth=write_behind_depth,
                            binder_ring=binder_ring,
-                           binder_ring_depth=binder_ring_depth)
+                           binder_ring_depth=binder_ring_depth,
+                           cvms=cvms, placement=placement)
     running = world.install_and_launch(_ObsApp())
     running.run()
     return world, running.ctx
@@ -213,7 +217,8 @@ class TraceResult:
 def run_traced(workload, seed=0, observe=True, logcat=True,
                ring_depth=None, read_cache=False, cache_pages=1024,
                write_behind=False, write_behind_depth=None,
-               binder_ring=False, binder_ring_depth=None):
+               binder_ring=False, binder_ring_depth=None,
+               cvms=1, placement=None):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
@@ -224,7 +229,12 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     cache for delegated reads; ``write_behind``/``write_behind_depth``
     turn on and size the async write-behind delegation windows;
     ``binder_ring``/``binder_ring_depth`` turn on and size the batched
-    binder delegation windows.
+    binder delegation windows; ``cvms``/``placement`` shard enrolled
+    apps across a pool of container VMs.
+
+    Workloads that set ``needs_world = True`` (the fleet driver) are
+    called with the booted world instead of a single app context: they
+    install and run their own population of apps.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
@@ -234,8 +244,10 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
         ring_depth=ring_depth, read_cache=read_cache,
         cache_pages=cache_pages, write_behind=write_behind,
         write_behind_depth=write_behind_depth, binder_ring=binder_ring,
-        binder_ring_depth=binder_ring_depth,
+        binder_ring_depth=binder_ring_depth, cvms=cvms,
+        placement=placement,
     )
+    target = world if getattr(fn, "needs_world", False) else ctx
     metrics = MetricsRegistry()
     records = []
     if observe:
@@ -250,7 +262,7 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
         try:
             with bus.capture() as capture:
                 start_ns = world.clock.now_ns
-                fn(ctx)
+                fn(target)
                 elapsed_ns = world.clock.now_ns - start_ns
             records = capture.records
         finally:
@@ -259,7 +271,7 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
                 bus.unsubscribe(sink)
     else:
         start_ns = world.clock.now_ns
-        fn(ctx)
+        fn(target)
         elapsed_ns = world.clock.now_ns - start_ns
     return TraceResult(
         workload=workload,

@@ -61,11 +61,14 @@ class _World:
         manifest = app.manifest
         record = self.installer.install(manifest)
         if self.anception is not None:
-            cvm_android = self.anception.cvm.android
-            if cvm_android.has_service("package"):
-                cvm_android.service("package").register_package(
-                    manifest.package, record.uid, record.code_path
-                )
+            # Every lane's container learns the package: the app may be
+            # placed on (or rebalanced to) any of them.
+            for lane in self.anception.pool.lanes:
+                cvm_android = lane.cvm.android
+                if cvm_android.has_service("package"):
+                    cvm_android.service("package").register_package(
+                        manifest.package, record.uid, record.code_path
+                    )
         return record
 
     def launch(self, app):
@@ -88,9 +91,10 @@ class _World:
         """
         self.kernel.register_vulnerability(syscall_name, trigger)
         if self.anception is not None:
-            self.anception.cvm.kernel.register_vulnerability(
-                syscall_name, trigger
-            )
+            for lane in self.anception.pool.lanes:
+                lane.cvm.kernel.register_vulnerability(
+                    syscall_name, trigger
+                )
 
     def type_text(self, text, password=False):
         """Simulate the user typing on the (host) keyboard."""
@@ -147,7 +151,7 @@ class AnceptionWorld(_World):
                  file_io_on_host=False, ring_depth=None, read_cache=False,
                  cache_pages=1024, async_delegation=False,
                  write_behind_depth=None, binder_ring=False,
-                 binder_ring_depth=None):
+                 binder_ring_depth=None, cvms=1, placement=None):
         machine = machine or Machine(total_mb=total_mb)
         system = AndroidSystem(machine.kernel, profile="ui_only")
         anception = AnceptionLayer(
@@ -157,6 +161,7 @@ class AnceptionWorld(_World):
             async_delegation=async_delegation,
             write_behind_depth=write_behind_depth,
             binder_ring=binder_ring, binder_ring_depth=binder_ring_depth,
+            cvms=cvms, placement=placement,
         )
         super().__init__(machine, system, anception)
 
@@ -164,6 +169,15 @@ class AnceptionWorld(_World):
     def cvm(self):
         return self.anception.cvm
 
+    @property
+    def pool(self):
+        return self.anception.pool
+
     def __repr__(self):
+        pool = self.anception.pool
+        if len(pool) > 1:
+            crashed = sum(1 for lane in pool.lanes if lane.cvm.crashed)
+            return (f"AnceptionWorld(host ui_only + {len(pool)} CVMs, "
+                    f"{crashed} crashed)")
         state = "crashed" if self.cvm.crashed else "running"
         return f"AnceptionWorld(host ui_only + CVM {state})"
