@@ -545,6 +545,7 @@ def cmd_bench_engine(args):
     from repro.perf.engine_bench import (
         DEFAULT_BASELINE_PATH,
         baseline_summary,
+        check_digests,
         check_regression,
         load_baseline,
         run_engine_bench,
@@ -586,7 +587,14 @@ def cmd_bench_engine(args):
             "anception: error: engine throughput regression: "
             + "; ".join(failures)
         )
-    print("engine: throughput gate passed", file=sys.stderr)
+    drifts = check_digests(report, baseline)
+    if drifts:
+        sys.exit(
+            "anception: error: engine sim-time digest drift: "
+            + "; ".join(drifts)
+        )
+    print("engine: throughput gate + sim digest check passed",
+          file=sys.stderr)
 
 
 def cmd_bench_fleet(args):

@@ -26,10 +26,14 @@ class SimClock:
     def __init__(self, start_ns=0):
         self._now_ns = int(start_ns)
         self._charges = []
+        self._charge_base = 0
         self._trace_depth = 0
         self._lane_busy = {}
         self._overlap_lane = None
         self._overlap_cursor = 0
+        self.faults = None
+        """Optional armed :class:`repro.faults.engine.FaultEngine`; a
+        plain attribute so hot paths read it without ``getattr``."""
         self.bus = None
         """Optional :class:`repro.obs.TraceBus` observing this clock.
         Observers only *read* the clock; they never advance it."""
@@ -58,6 +62,20 @@ class SimClock:
         """
         prof = self.prof
         if prof is None:
+            # Fast path: no profiler, no overlap window, no tracing and
+            # no active bus capture means an advance is one integer add.
+            # This is the overwhelmingly common case in timed benchmark
+            # passes, where ``advance`` dominates call counts.
+            if self._overlap_lane is None and not self._trace_depth:
+                bus = self.bus
+                if bus is None or not bus._depth:
+                    delta_ns = int(delta_ns)
+                    if delta_ns < 0:
+                        raise ValueError(
+                            f"cannot move time backwards ({delta_ns} ns)"
+                        )
+                    self._now_ns += delta_ns
+                    return
             return self._advance(delta_ns, reason)
         with prof.zone("clock.advance"):
             return self._advance(delta_ns, reason)
@@ -103,7 +121,8 @@ class SimClock:
         self._trace_depth += 1
         if self._trace_depth == 1:
             self._charges = []
-        return len(self._charges)
+            self._charge_base = 0
+        return self._charge_base + len(self._charges)
 
     def disable_trace(self):
         """Leave one level of charge recording (never below zero)."""
@@ -111,12 +130,28 @@ class SimClock:
             self._trace_depth -= 1
 
     def charges_since(self, marker):
-        """Charges recorded since ``marker`` (from :meth:`enable_trace`)."""
-        return list(self._charges[marker:])
+        """Charges recorded since ``marker`` (from :meth:`enable_trace`).
+
+        Markers are *absolute* positions in the charge stream: a
+        :meth:`drain_trace` between ``enable_trace`` and this call
+        rebases rather than invalidates them, so a nested tracer never
+        reads another window's charges by a stale index.  Charges the
+        drain already consumed are gone — only the still-recorded tail
+        of the marker's window is returned.
+        """
+        return list(self._charges[max(0, marker - self._charge_base):])
 
     def drain_trace(self):
-        """Return and clear the recorded charges."""
+        """Return and clear the recorded charges.
+
+        Draining while other tracers hold :meth:`enable_trace` markers
+        used to silently corrupt their :meth:`charges_since` slices
+        (markers indexed a list that just shrank).  Markers are now
+        rebased through ``_charge_base``, so nested windows keep
+        resolving to the correct charges after a drain.
+        """
         charges, self._charges = self._charges, []
+        self._charge_base += len(charges)
         return charges
 
     def measure(self):
@@ -193,8 +228,14 @@ class _OverlapWindow:
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        # Commit the cursor only on clean exit: a window body that
+        # raised (an injected wb.*/binder.* fault escaping mid-drain)
+        # never finished the work it was charging, so the lane's busy
+        # watermark stays at its pre-window value instead of billing
+        # phantom time the next fence would have to wait out.
         clock = self._clock
-        clock._lane_busy[self._lane] = clock._overlap_cursor
+        if exc_type is None:
+            clock._lane_busy[self._lane] = clock._overlap_cursor
         clock._overlap_lane = None
         return False
 

@@ -21,6 +21,7 @@ from repro.core.marshal import (
     FdTranslationTable,
     RemoteFdStub,
     marshal_call,
+    marshal_call_into,
 )
 from repro.core.page_cache import HostPageCache
 from repro.core.policy import Decision, RedirectionPolicy
@@ -28,7 +29,6 @@ from repro.core.pool import CVMLane, CVMPool
 from repro.core.proxy import ProxyManager
 from repro.core.recovery import RecoveryPolicy
 from repro.core.ring import RING_FLAG_BINDER, RING_FLAG_WRITE_BEHIND
-from repro.faults.engine import maybe_engine
 from repro.errors import (
     ChannelError,
     ChannelStalled,
@@ -43,9 +43,11 @@ from repro.kernel.loader import run_payload
 from repro.kernel.memory import MAP_ANONYMOUS
 from repro.kernel.process import Credentials, ROOT_UID
 from repro.kernel.vfs import InodeKind
+from repro.obs import prof as _prof
 from repro.obs.bus import maybe_event, maybe_span
 from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import PAGE_SIZE
+from repro.perf.slab import SlabPool
 
 
 ANCEPTION_LINES_OF_CODE = 5_219
@@ -56,10 +58,10 @@ class PendingCall:
     """One submitted-but-not-completed call on the delegation ring."""
 
     __slots__ = ("seq", "task", "name", "args", "call_args", "kwargs",
-                 "crypto_offset", "outcome")
+                 "crypto_offset", "outcome", "slab")
 
     def __init__(self, seq, task, name, args, call_args, kwargs,
-                 crypto_offset=None):
+                 crypto_offset=None, slab=None):
         self.seq = seq
         self.task = task
         self.name = name
@@ -70,6 +72,9 @@ class PendingCall:
         self.outcome = None
         """``("ok", result)``, ``("err", SyscallError)`` or
         ``("cancelled", SyscallError)`` once the window flushed."""
+        self.slab = slab
+        """The wire payload's pooled slab (synchronous submits only);
+        recycled by the flush that retires this call's window."""
 
     def __repr__(self):
         state = "pending" if self.outcome is None else self.outcome[0]
@@ -396,6 +401,9 @@ class AnceptionLayer:
         self._binder_ring_on = binder_ring
         self._binder_ring_depth = binder_ring_depth
         self._firewall_rule = None
+        self.slab_pool = SlabPool()
+        """Recycled wire-payload buffers for synchronous submits; their
+        views live exactly as long as one flush window."""
         self.pool = CVMPool(machine.clock, cvms=cvms, placement=placement,
                             seed=placement_seed)
         """The routed transport: one :class:`~repro.core.pool.CVMLane`
@@ -622,37 +630,50 @@ class AnceptionLayer:
             # Anything the window can't defer forces the queued writes
             # out first, preserving program order.
             self._batch.flush()
-        if self._lane(task).write_behind is not None:
+        lane = self._lane(task)
+        if lane.write_behind is not None:
             if translated is None and self._wb_accepts(task, name, args,
-                                                       kwargs):
-                return self._wb_enqueue(task, name, args)
+                                                       kwargs, lane=lane):
+                return self._wb_enqueue(task, name, args, lane=lane)
             # Every other redirected call is a fence: the staged windows
             # drain (and the lane settles) before it runs, preserving
             # program order — and keeping the page cache coherent, since
             # the drain's completions write through before any cached
             # read below can hit.
-            self._wb_fence(task, name, args)
+            self._wb_fence(task, name, args, lane=lane)
         if translated is None and not kwargs:
-            served = self._cache_lookup(task, name, args)
+            served = self._cache_lookup(task, name, args, lane=lane)
             if served is not None:
                 return served[0]
-        return self._redirect_sync(task, name, args, kwargs, translated)
+        return self._redirect_sync(task, name, args, kwargs, translated,
+                                   lane=lane)
 
-    def _redirect_sync(self, task, name, args, kwargs, translated=None):
+    def _redirect_sync(self, task, name, args, kwargs, translated=None,
+                       lane=None):
         """One call, one doorbell pair, synchronous result."""
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         attempt = 0
+        clock = self.machine.clock
         while True:
             self._ensure_container(lane, name)
             try:
-                with maybe_span(self.machine.clock, "proxy",
+                bus = clock.bus
+                if bus is None or not bus._depth:
+                    # Dormant bus: skip the span (and its f-string label)
+                    # entirely — the window body is identical either way.
+                    pending = self.submit(task, name, args, kwargs,
+                                          translated, lane=lane)
+                    self.flush(task, reason=name, lane=lane)
+                    return self.complete(pending, lane=lane)
+                with maybe_span(clock, "proxy",
                                 f"forward:{name}", task=task,
                                 kernel=self.host_kernel.label,
                                 decision="redirect"):
                     pending = self.submit(task, name, args, kwargs,
-                                          translated)
-                    self.flush(task, reason=name)
-                    return self.complete(pending)
+                                          translated, lane=lane)
+                    self.flush(task, reason=name, lane=lane)
+                    return self.complete(pending, lane=lane)
             except DelegationError as failure:
                 attempt += 1
                 if not self.recovery.enabled \
@@ -677,14 +698,15 @@ class AnceptionLayer:
             return 0 if name == "writev" else []
         lane = self._lane(task)
         if lane.write_behind is not None:
-            if name == "writev" and self._wb_accepts_writev(task, fd, vec):
+            if name == "writev" and self._wb_accepts_writev(task, fd, vec,
+                                                            lane=lane):
                 # Defer per-iovec, matching the sync decomposition: each
                 # entry becomes its own staged write descriptor.
                 return sum(
-                    self._wb_enqueue(task, "write", (fd, entry))
+                    self._wb_enqueue(task, "write", (fd, entry), lane=lane)
                     for entry in vec
                 )
-            self._wb_fence(task, name, (fd,))
+            self._wb_fence(task, name, (fd,), lane=lane)
         if name == "readv":
             served = self._cache_readv(task, fd, vec)
             if served is not None:
@@ -698,19 +720,31 @@ class AnceptionLayer:
             ]
             return sum(results) if name == "writev" else results
         attempt = 0
+        clock = self.machine.clock
         while True:
             self._ensure_container(lane, name)
             try:
-                with maybe_span(self.machine.clock, "proxy",
+                bus = clock.bus
+                if bus is None or not bus._depth:
+                    pendings = [
+                        self.submit(task, sub_call, (fd, entry), {},
+                                    lane=lane)
+                        for entry in vec
+                    ]
+                    self.flush(task, reason=name, lane=lane)
+                    results = [self.complete(p, lane=lane) for p in pendings]
+                    return sum(results) if name == "writev" else results
+                with maybe_span(clock, "proxy",
                                 f"forward:{name}", task=task,
                                 kernel=self.host_kernel.label,
                                 decision="redirect", batch=len(vec)):
                     pendings = [
-                        self.submit(task, sub_call, (fd, entry), {})
+                        self.submit(task, sub_call, (fd, entry), {},
+                                    lane=lane)
                         for entry in vec
                     ]
-                    self.flush(task, reason=name)
-                    results = [self.complete(p) for p in pendings]
+                    self.flush(task, reason=name, lane=lane)
+                    results = [self.complete(p, lane=lane) for p in pendings]
                 return sum(results) if name == "writev" else results
             except DelegationError as failure:
                 attempt += 1
@@ -769,7 +803,7 @@ class AnceptionLayer:
                     survivors=survivors, **self._lane_tags(lane))
 
     def submit(self, task, name, args, kwargs, translated=None, wire=None,
-               ring_flags=0):
+               ring_flags=0, lane=None):
         """Marshal one call onto the submit ring; no doorbell yet.
 
         Returns the :class:`PendingCall` tracking it.  A full ring
@@ -779,41 +813,62 @@ class AnceptionLayer:
         the marshal step — the host already paid for packing when the
         call deferred.  ``ring_flags`` overrides the descriptor flags
         (the binder drain tags its descriptors ``RING_FLAG_BINDER``).
+        Window-shaped callers resolve the task's ``lane`` once and pass
+        it down instead of paying the pool lookup per descriptor.
         """
+        if _prof._ACTIVE is None:
+            return self._submit_impl(task, name, args, kwargs, translated,
+                                     wire, ring_flags, lane)
         with wall_zone("anception.submit"):
+            return self._submit_impl(task, name, args, kwargs, translated,
+                                     wire, ring_flags, lane)
+
+    def _submit_impl(self, task, name, args, kwargs, translated, wire,
+                     ring_flags, lane):
+        if lane is None:
             lane = self._lane(task)
-            if not lane.channel.submit_ring.free_slots():
-                self.flush(task, reason="ring-full")
-            lane.proxies.proxy_for(task)  # not enrolled -> SimulationError
-            table = self._fd_table(task)
-            call_args = translated if translated is not None else (
-                table.translate_args(name, args)
-            )
-            crypto_offset = None
-            prestaged = wire is not None
-            if wire is None:
-                if self.crypto_fs is not None and args:
-                    call_args, crypto_offset = self._crypto_outbound(
-                        task, name, args, call_args
-                    )
-                wire, _size = marshal_call(name, call_args, kwargs)
-                self.machine.clock.advance(
-                    self.machine.costs.marshal_fixed_ns, "anception:marshal"
+        if not lane.channel.submit_ring.free_slots():
+            self.flush(task, reason="ring-full", lane=lane)
+        lane.proxies.proxy_for(task)  # not enrolled -> SimulationError
+        table = self._fd_table(task)
+        call_args = translated if translated is not None else (
+            table.translate_args(name, args)
+        )
+        crypto_offset = None
+        slab = None
+        prestaged = wire is not None
+        clock = self.machine.clock
+        if wire is None:
+            if self.crypto_fs is not None and args:
+                call_args, crypto_offset = self._crypto_outbound(
+                    task, name, args, call_args
                 )
-            self.machine.clock.advance(
-                self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
+            wire, _size, slab = marshal_call_into(
+                self.slab_pool, name, call_args, kwargs
             )
+            clock.advance(
+                self.machine.costs.marshal_fixed_ns, "anception:marshal"
+            )
+        clock.advance(
+            self.machine.costs.proxy_dispatch_ns, "anception:proxy-post"
+        )
+        try:
             seq = lane.channel.submit_ring.push(
                 name, wire,
                 flags=ring_flags if ring_flags
                 else (RING_FLAG_WRITE_BEHIND if prestaged else 0),
             )
-            pending = PendingCall(seq, task, name, args, call_args, kwargs,
-                                  crypto_offset)
-            lane.inflight.append(pending)
-            return pending
+        except BaseException:
+            # The wire never made it onto the ring; nothing else
+            # can reference the slab, so reclaim it here.
+            self.slab_pool.recycle(slab)
+            raise
+        pending = PendingCall(seq, task, name, args, call_args, kwargs,
+                              crypto_offset, slab)
+        lane.inflight.append(pending)
+        return pending
 
-    def flush(self, task=None, reason=None):
+    def flush(self, task=None, reason=None, lane=None):
         """Ring the doorbells: one IRQ submits every in-flight call,
         the CVM drains the ring, one hypercall completes the batch.
 
@@ -824,36 +879,52 @@ class AnceptionLayer:
         nothing in the completion ring and the hypercall is skipped —
         the same single-doorbell shape the classic errno path had.
         """
-        lane = (self._lane(task) if task is not None
-                else self.pool.default_lane)
+        if lane is None:
+            lane = (self._lane(task) if task is not None
+                    else self.pool.default_lane)
         if not lane.inflight:
             return
+        if _prof._ACTIVE is None:
+            return self._flush_impl(lane, reason)
         with wall_zone("anception.flush"):
-            pendings, lane.inflight = lane.inflight, []
-            count = len(pendings)
-            if reason is None:
-                reason = pendings[0].name if count == 1 else f"batch:{count}"
-            elif count > 1:
-                reason = f"{reason}:{count}"
-            work = {
-                p.seq: (lane.proxies.proxy_for(p.task), p.name, p.call_args,
-                        p.kwargs)
-                for p in pendings
-            }
-            try:
-                self._signal_guest_reliably(lane, reason, pendings[0].task,
-                                            coalesced=count)
-                outcomes = lane.proxies.drain(lane.channel, work)
-                completions = len(lane.channel.complete_ring)
-                self._drain_completions(lane, pendings, outcomes)
-                if completions:
-                    self._signal_host_or_poll(lane, reason, pendings[0].task,
-                                              coalesced=completions)
-            except DelegationError:
-                # Whatever was mid-flight is unrecoverable state now; the
-                # retry loop re-submits from scratch against clean rings.
-                lane.channel.reset_rings()
-                raise
+            return self._flush_impl(lane, reason)
+
+    def _flush_impl(self, lane, reason):
+        pendings, lane.inflight = lane.inflight, []
+        count = len(pendings)
+        if reason is None:
+            reason = pendings[0].name if count == 1 else f"batch:{count}"
+        elif count > 1:
+            reason = f"{reason}:{count}"
+        proxy_for = lane.proxies.proxy_for
+        work = {
+            p.seq: (proxy_for(p.task), p.name, p.call_args, p.kwargs)
+            for p in pendings
+        }
+        try:
+            self._signal_guest_reliably(lane, reason, pendings[0].task,
+                                        coalesced=count)
+            outcomes = lane.proxies.drain(lane.channel, work)
+            completions = len(lane.channel.complete_ring)
+            self._drain_completions(lane, pendings, outcomes)
+            if completions:
+                self._signal_host_or_poll(lane, reason, pendings[0].task,
+                                          coalesced=completions)
+        except DelegationError:
+            # Whatever was mid-flight is unrecoverable state now; the
+            # retry loop re-submits from scratch against clean rings.
+            lane.channel.reset_rings()
+            raise
+        finally:
+            # The window retired (or its ring state was dropped): either
+            # way no descriptor references the wire views any longer, so
+            # the slabs go back to the pool.  Stale references surface as
+            # released-memoryview ValueErrors rather than silent aliasing.
+            recycle = self.slab_pool.recycle
+            for p in pendings:
+                if p.slab is not None:
+                    recycle(p.slab)
+                    p.slab = None
 
     def _drain_completions(self, lane, pendings, outcomes):
         """Pop the completion ring dry and bind outcomes to pendings.
@@ -880,14 +951,17 @@ class AnceptionLayer:
                 )
             pending.outcome = outcome
 
-    def complete(self, pending):
+    def complete(self, pending, lane=None):
         """Resolve one pending call to its result (or typed errno).
 
         An unflushed pending flushes its window first, so callers can
         always ``complete()`` in any order after batched submission.
+        Window-shaped callers pass the already-resolved ``lane``.
         """
+        if lane is None:
+            lane = self._lane(pending.task)
         if pending.outcome is None:
-            self.flush(pending.task)
+            self.flush(pending.task, lane=lane)
         kind, value = pending.outcome
         if kind == "err":
             raise value
@@ -899,10 +973,9 @@ class AnceptionLayer:
             )
         adopted = self._adopt_result(pending.task, pending.name,
                                      pending.args, value)
-        lane = self._lane(pending.task)
         if lane.page_cache is not None and self.crypto_fs is None:
             self._cache_observe(pending.task, pending.name, pending.args,
-                                adopted)
+                                adopted, lane=lane)
         if self.crypto_fs is not None:
             adopted = self._crypto_inbound(
                 pending.task, pending.name, pending.args, adopted,
@@ -1009,7 +1082,7 @@ class AnceptionLayer:
     # host-side page cache for delegated reads
     # ------------------------------------------------------------------
 
-    def _remote_file(self, task, host_fd):
+    def _remote_file(self, task, host_fd, lane=None):
         """Proxy-side OpenFile behind a remote fd, if it is a plain file.
 
         Anything that is not a regular CVM file — sockets, pipes, device
@@ -1020,7 +1093,9 @@ class AnceptionLayer:
         table = self._fd_table(task)
         if not table.is_remote(host_fd):
             return None
-        desc = self._lane(task).proxies.descriptor_for(
+        if lane is None:
+            lane = self._lane(task)
+        desc = lane.proxies.descriptor_for(
             task, table.to_proxy(host_fd)
         )
         inode = getattr(desc, "inode", None)
@@ -1028,7 +1103,7 @@ class AnceptionLayer:
             return None
         return desc
 
-    def _cache_lookup(self, task, name, args):
+    def _cache_lookup(self, task, name, args, lane=None):
         """Serve a redirected read from the page cache, if warm.
 
         Returns ``(result,)`` on a hit, ``None`` to forward the call
@@ -1037,7 +1112,8 @@ class AnceptionLayer:
         pays only ``cache_hit_ns`` per page.  Crypto-FS files, non-file
         descriptors, and a crashed/compromised container all bypass.
         """
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         cache = lane.page_cache
         if cache is None or self.crypto_fs is not None:
             return None
@@ -1045,7 +1121,7 @@ class AnceptionLayer:
             return None
         if lane.cvm.crashed or lane.cvm.compromised:
             return None
-        desc = self._remote_file(task, args[0])
+        desc = self._remote_file(task, args[0], lane=lane)
         if desc is None or not getattr(desc, "readable", False):
             return None
         length = args[1]
@@ -1056,7 +1132,7 @@ class AnceptionLayer:
                 or not isinstance(offset, int) or offset < 0:
             return None
         ino = desc.inode.ino
-        engine = maybe_engine(self.machine.clock)
+        engine = self.machine.clock.faults
         if engine is not None:
             if engine.cache_evict(call=name):
                 dropped = cache.drop_range(ino, offset, max(length, 1))
@@ -1089,14 +1165,22 @@ class AnceptionLayer:
                         kernel=self.host_kernel.label, ino=ino)
             return None
         pages = max(1, -(-len(result) // PAGE_SIZE))
-        with maybe_span(self.machine.clock, "cache-hit",
-                        f"{name}:{len(result)}B", task=task,
-                        kernel=self.host_kernel.label, ino=ino,
-                        bytes=len(result), pages=pages):
-            self.machine.clock.advance(
+        clock = self.machine.clock
+        bus = clock.bus
+        if bus is None or not bus._depth:
+            clock.advance(
                 self.machine.costs.cache_hit_ns * pages,
                 "anception:cache-hit",
             )
+        else:
+            with maybe_span(clock, "cache-hit",
+                            f"{name}:{len(result)}B", task=task,
+                            kernel=self.host_kernel.label, ino=ino,
+                            bytes=len(result), pages=pages):
+                clock.advance(
+                    self.machine.costs.cache_hit_ns * pages,
+                    "anception:cache-hit",
+                )
         if name == "read":
             # The layer owns the canonical offset for cached sequential
             # reads; the shadow descriptor *is* the proxy's open file,
@@ -1153,7 +1237,7 @@ class AnceptionLayer:
                           "fallocate")
     _CACHE_PATH_MUTATORS = ("unlink", "rename", "truncate")
 
-    def _cache_observe(self, task, name, args, result):
+    def _cache_observe(self, task, name, args, result, lane=None):
         """Fill and write-through coherence at the completion choke point.
 
         Every redirected call funnels through :meth:`complete`, so this
@@ -1163,10 +1247,12 @@ class AnceptionLayer:
         completed mutations write through or invalidate *before* any
         later lookup can run.
         """
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         cache = lane.page_cache
         if name in ("read", "pread64") and isinstance(result, bytes):
-            desc = self._remote_file(task, args[0] if args else None)
+            desc = self._remote_file(task, args[0] if args else None,
+                                     lane=lane)
             if desc is None:
                 return
             if name == "pread64":
@@ -1180,15 +1266,19 @@ class AnceptionLayer:
                 max(len(result), 1), lane.channel.window_bytes,
             )
             if demanded or ahead:
-                with maybe_span(self.machine.clock, "cache-fill",
-                                f"{name}:{demanded + ahead}p", task=task,
-                                kernel=self.host_kernel.label,
-                                ino=desc.inode.ino,
-                                pages=demanded + ahead, readahead=ahead):
-                    pass  # overlapped staging: zero simulated time
+                clock = self.machine.clock
+                bus = clock.bus
+                if bus is not None and bus._depth:
+                    with maybe_span(clock, "cache-fill",
+                                    f"{name}:{demanded + ahead}p", task=task,
+                                    kernel=self.host_kernel.label,
+                                    ino=desc.inode.ino,
+                                    pages=demanded + ahead, readahead=ahead):
+                        pass  # overlapped staging: zero simulated time
             return
         if name in self._CACHE_FD_MUTATORS:
-            desc = self._remote_file(task, args[0] if args else None)
+            desc = self._remote_file(task, args[0] if args else None,
+                                     lane=lane)
             if desc is not None:
                 touched = cache.refresh_ino(desc.inode.ino,
                                             bytes(desc.inode.data))
@@ -1660,7 +1750,7 @@ class AnceptionLayer:
         if source.binder_ring is not None:
             self._binder_drain(task, reason="rebalance")
         self.machine.clock.wait_for(source.cvm.lane, "anception:rebalance")
-        engine = maybe_engine(self.machine.clock)
+        engine = self.machine.clock.faults
         if engine is not None and engine.pool_rebalance_loss(call=task.name):
             self.recovery_log.append(
                 ("rebalance-abort",
@@ -1807,12 +1897,12 @@ class AnceptionLayer:
                                 kernel=self.host_kernel.label,
                                 decision="redirect", batch=len(calls)):
                     pendings = [
-                        self.submit(task, name, args, {})
+                        self.submit(task, name, args, {}, lane=lane)
                         for name, args in calls
                     ]
-                    self.flush(task, reason="batch")
+                    self.flush(task, reason="batch", lane=lane)
                     for pending in pendings:
-                        self.complete(pending)
+                        self.complete(pending, lane=lane)
                 return
             except DelegationError as failure:
                 attempt += 1
@@ -1832,7 +1922,7 @@ class AnceptionLayer:
     _WB_FENCE_SURFACING = ("fsync", "fdatasync", "read", "pread64", "readv",
                            "fence")
 
-    def _wb_accepts(self, task, name, args, kwargs):
+    def _wb_accepts(self, task, name, args, kwargs, lane=None):
         """Whether this call may defer into a write-behind window.
 
         Only side-effect-only calls whose results are known up front
@@ -1844,12 +1934,13 @@ class AnceptionLayer:
             return False
         if self.crypto_fs is not None or self._batch is not None:
             return False
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         if lane.cvm.crashed or lane.cvm.compromised:
             return False
         if not args or not isinstance(args[0], int):
             return False
-        desc = self._remote_file(task, args[0])
+        desc = self._remote_file(task, args[0], lane=lane)
         if desc is None or not getattr(desc, "writable", False):
             return False
         if name == "write":
@@ -1864,20 +1955,21 @@ class AnceptionLayer:
         return (len(args) == 2 and isinstance(args[1], int)
                 and args[1] >= 0)
 
-    def _wb_accepts_writev(self, task, fd, vec):
+    def _wb_accepts_writev(self, task, fd, vec, lane=None):
         """writev defers iff a plain write to the same fd would."""
         if self.crypto_fs is not None or self._batch is not None:
             return False
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         if lane.cvm.crashed or lane.cvm.compromised:
             return False
-        desc = self._remote_file(task, fd)
+        desc = self._remote_file(task, fd, lane=lane)
         if desc is None or not getattr(desc, "writable", False):
             return False
         return all(isinstance(entry, (bytes, bytearray, memoryview))
                    for entry in vec)
 
-    def _wb_enqueue(self, task, name, args):
+    def _wb_enqueue(self, task, name, args, lane=None):
         """Stage one deferred call; return its optimistic result.
 
         The host pays only the fixed marshal plus a page-rate staging
@@ -1885,12 +1977,14 @@ class AnceptionLayer:
         and CVM execution all land on the owning CVM's clock lane at
         drain time.
         """
-        wb = self._lane(task).write_behind
+        if lane is None:
+            lane = self._lane(task)
+        wb = lane.write_behind
         window = wb.window(task)
         if len(window.entries) >= wb.depth:
             # Bounded depth: a full window is the only point deferral
             # blocks (drain waits for the lane before re-posting).
-            self._wb_drain(task, reason="window-full")
+            self._wb_drain(task, reason="window-full", lane=lane)
         if name == "write":
             payload = bytes(args[1])
             args = (args[0], payload)
@@ -1922,9 +2016,10 @@ class AnceptionLayer:
                     depth=len(window.entries), bytes=size)
         return result
 
-    def _wb_drain(self, task, reason):
+    def _wb_drain(self, task, reason, lane=None):
         """Ship one task's staged window through the ring on its lane."""
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         wb = lane.write_behind
         window = wb.windows.get(task.pid)
         if window is None or not window.entries:
@@ -1935,6 +2030,11 @@ class AnceptionLayer:
         # The previous drain must retire before this one posts — the
         # bounded in-flight depth is the backpressure contract.
         clock.wait_for(lane.cvm.lane, "anception:wb-backpressure")
+        bus = clock.bus
+        if _prof._ACTIVE is None and (bus is None or not bus._depth):
+            with clock.overlap(lane.cvm.lane):
+                self._run_window(lane, task, entries)
+            return
         with wall_zone("wb.drain"), \
                 maybe_span(clock, "wb-drain", f"{reason}:{len(entries)}",
                            task=task, kernel=self.host_kernel.label,
@@ -1953,7 +2053,7 @@ class AnceptionLayer:
         drained = 0
         for window in wb.pending_windows():
             drained += len(window.entries)
-            self._wb_drain(window.task, reason=f"fence:{name}")
+            self._wb_drain(window.task, reason=f"fence:{name}", lane=lane)
         waited = self.machine.clock.wait_for(
             lane.cvm.lane, f"anception:wb-fence:{name}"
         )
@@ -1963,7 +2063,7 @@ class AnceptionLayer:
                         kernel=self.host_kernel.label, drained=drained,
                         waited_ns=waited, **self._lane_tags(lane))
 
-    def _wb_fence(self, task, name, args=()):
+    def _wb_fence(self, task, name, args=(), lane=None):
         """Drain the owning lane, settle it, surface deferred errnos.
 
         Fences are lane-scoped: only the fencing task's own CVM drains
@@ -1974,7 +2074,8 @@ class AnceptionLayer:
         pop is what makes a deferred errno surface *exactly once*;
         ``close`` surfaces in :meth:`_split_close` after teardown.
         """
-        lane = self._lane(task)
+        if lane is None:
+            lane = self._lane(task)
         self._wb_settle(lane, task, name)
         if name in self._WB_FENCE_SURFACING and args \
                 and isinstance(args[0], int):
@@ -2007,7 +2108,7 @@ class AnceptionLayer:
         wins, later entries in the same window get ECANCELED — for the
         next fence to surface.
         """
-        engine = maybe_engine(self.machine.clock)
+        engine = self.machine.clock.faults
         attempt = 0
         while True:
             self._ensure_container(lane, "write-behind")
@@ -2035,16 +2136,18 @@ class AnceptionLayer:
                         pendings.append(self.submit(
                             task, entry.name, entry.args, {},
                             translated=entry.call_args, wire=entry.wire,
+                            lane=lane,
                         ))
                     if not pendings:
                         return
-                    self.flush(task, reason=f"write-behind:{len(pendings)}")
+                    self.flush(task, reason=f"write-behind:{len(pendings)}",
+                               lane=lane)
                 if engine is not None and engine.wb_reap_loss():
                     self._wb_reap_lost(task, pendings)
                     return
                 for pending in pendings:
                     try:
-                        self.complete(pending)
+                        self.complete(pending, lane=lane)
                     except SyscallError as exc:
                         self._wb_record(task, pending.args[0], exc)
                 return
@@ -2286,7 +2389,7 @@ class AnceptionLayer:
         never raise to the (long-gone) call site: they ledger per
         ``(pid, target)`` for the next fence to surface.
         """
-        engine = maybe_engine(self.machine.clock)
+        engine = self.machine.clock.faults
         ring = lane.binder_ring
         costs = self.machine.costs
         clock = self.machine.clock
@@ -2332,18 +2435,19 @@ class AnceptionLayer:
                         pendings.append((entry, self.submit(
                             task, "ioctl", entry.call_args, {},
                             translated=entry.call_args, wire=entry.wire,
-                            ring_flags=RING_FLAG_BINDER,
+                            ring_flags=RING_FLAG_BINDER, lane=lane,
                         )))
                     if not pendings:
                         return
-                    self.flush(task, reason=f"binder:{len(pendings)}")
+                    self.flush(task, reason=f"binder:{len(pendings)}",
+                               lane=lane)
                 if engine is not None and engine.binder_reply_loss(
                         call="ioctl"):
                     self._binder_reap_lost(task, pendings)
                     return
                 for entry, pending in pendings:
                     try:
-                        self.complete(pending)
+                        self.complete(pending, lane=lane)
                     except SyscallError as exc:
                         self._binder_record(task, entry.target, exc)
                 return

@@ -15,6 +15,7 @@ serves two purposes:
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.obs import prof as _prof
 from repro.obs.prof import zone as wall_zone
 
 
@@ -65,31 +66,97 @@ def encoded_size(value):
     return len(repr(value).encode())
 
 
+def wire_size(name, args, kwargs):
+    """Total wire footprint of a forwarded call (name + args + kwargs)."""
+    size = len(name.encode())
+    size += sum(encoded_size(a) for a in args)
+    size += sum(
+        encoded_size(k) + encoded_size(v) for k, v in kwargs.items()
+    )
+    return size
+
+
+def _render_into(buf, size, name, args):
+    """Flatten the call into ``buf[:size]``; returns bytes rendered.
+
+    The rendering is truncated at ``size`` (kwargs contribute size but
+    no rendered bytes, exactly like the original encoder); the caller
+    owns zero-filling any tail beyond the returned position.
+    """
+    pos = 0
+    pieces = [name.encode()]
+    for arg in args:
+        if isinstance(arg, (bytes, bytearray)):
+            pieces.append(arg)
+        else:
+            pieces.append(repr(arg).encode())
+    for piece in pieces:
+        if pos >= size:
+            break
+        n = len(piece)
+        if n > size - pos:
+            n = size - pos
+            buf[pos:pos + n] = memoryview(piece)[:n]
+        else:
+            buf[pos:pos + n] = piece
+        pos += n
+    return pos
+
+
 def marshal_call(name, args, kwargs):
     """Return (wire_bytes, payload_size) for a forwarded call.
 
     The wire bytes are a flattened rendering of the call — real data that
     will transit the shared pages; objects are passed by reference on the
     Python side (a documented simulation shortcut), but their *sizes* are
-    faithful.
+    faithful.  Rendered in exactly one pass into a right-sized buffer
+    (the old encoder materialised the payload three times: append, slice,
+    pad).
     """
+    if _prof._ACTIVE is None:
+        size = wire_size(name, args, kwargs)
+        buf = bytearray(size)  # fresh: the tail is already zero-filled
+        _render_into(buf, size, name, args)
+        return bytes(buf), size
     with wall_zone("marshal.encode"):
-        size = len(name.encode())
-        size += sum(encoded_size(a) for a in args)
-        size += sum(
-            encoded_size(k) + encoded_size(v) for k, v in kwargs.items()
-        )
-        blob = bytearray(name.encode())
-        for arg in args:
-            if isinstance(arg, (bytes, bytearray)):
-                blob += bytes(arg)
-            else:
-                blob += repr(arg).encode()
-        return bytes(blob[:size].ljust(size, b"\x00")), size
+        size = wire_size(name, args, kwargs)
+        buf = bytearray(size)
+        _render_into(buf, size, name, args)
+        return bytes(buf), size
+
+
+def marshal_call_into(pool, name, args, kwargs):
+    """Slab-pooled encode: returns ``(wire_view, payload_size, slab)``.
+
+    Same wire bytes as :func:`marshal_call`, rendered into a recycled
+    slab from ``pool`` and returned as a memoryview — the zero-copy
+    fast path for synchronous submits, where the wire's lifetime ends
+    with the flush window and the slab can be recycled immediately.
+    The caller owns ``slab`` and must hand it back via
+    ``pool.recycle(slab)`` once the window retires.
+    """
+    if _prof._ACTIVE is None:
+        return _marshal_into(pool, name, args, kwargs)
+    with wall_zone("marshal.encode"):
+        return _marshal_into(pool, name, args, kwargs)
+
+
+def _marshal_into(pool, name, args, kwargs):
+    size = wire_size(name, args, kwargs)
+    slab = pool.acquire(size)
+    buf = slab.buf
+    pos = _render_into(buf, size, name, args)
+    if pos < size:
+        # Recycled slabs carry stale bytes; the zero padding the
+        # wire format promises must be written explicitly.
+        buf[pos:size] = bytes(size - pos)
+    return pool.view(slab, size), size, slab
 
 
 def result_size(result):
     """Outbound payload size of a syscall result."""
+    if _prof._ACTIVE is None:
+        return encoded_size(result)
     with wall_zone("marshal.decode"):
         return encoded_size(result)
 

@@ -91,6 +91,18 @@ class HostPageCache:
                 return b""
             first = offset // PAGE_SIZE
             last = (end - 1) // PAGE_SIZE
+            if first == last:
+                # Single-page hit (the overwhelmingly common shape for
+                # 4 KB-and-under reads): slice the cached page directly
+                # instead of joining a one-element chunk list.
+                page = self._pages.get((ino, first))
+                if page is None:
+                    return self._miss(record)
+                self._pages.move_to_end((ino, first))
+                if record:
+                    self.hits += 1
+                lo = offset - first * PAGE_SIZE
+                return page[lo:lo + (end - offset)]
             chunks = []
             for index in range(first, last + 1):
                 page = self._pages.get((ino, index))

@@ -16,13 +16,13 @@ cost.  We reproduce that by charging only ``proxy_dispatch_ns`` per call.
 from __future__ import annotations
 
 from repro.core.marshal import result_size
+from repro.perf.slab import zeros
 from repro.errors import (
     ContainerCrashed,
     ProxyDied,
     SimulationError,
     SyscallError,
 )
-from repro.faults.engine import maybe_engine
 from repro.kernel.kernel import KernelCrashed
 from repro.kernel.process import TaskState
 from repro.obs.bus import maybe_span
@@ -125,27 +125,35 @@ class ProxyManager:
 
     def execute(self, proxy, name, args, kwargs):
         """Run one forwarded call from the parked proxy's context."""
-        engine = maybe_engine(self.cvm.machine.clock)
+        clock = self.cvm.machine.clock
+        engine = clock.faults
         if engine is not None:
             self._inject_faults(engine, proxy, name)
-        if not proxy.guest_task.is_alive():
+        guest_task = proxy.guest_task
+        if not guest_task.is_alive():
             raise ProxyDied(
-                proxy.host_task.pid, proxy.guest_task.pid,
+                proxy.host_task.pid, guest_task.pid,
                 "proxy process is dead",
             )
-        proxy.wake()
+        guest_task.state = TaskState.RUNNING
         try:
-            with maybe_span(self.cvm.kernel.clock, "proxy",
-                            f"execute:{name}", task=proxy.guest_task,
-                            kernel=self.cvm.kernel.label):
+            bus = clock.bus
+            if bus is None or not bus._depth:
                 result = self.cvm.kernel.syscall(
-                    proxy.guest_task, name, *args, **kwargs
+                    guest_task, name, *args, **kwargs
                 )
+            else:
+                with maybe_span(clock, "proxy",
+                                f"execute:{name}", task=guest_task,
+                                kernel=self.cvm.kernel.label):
+                    result = self.cvm.kernel.syscall(
+                        guest_task, name, *args, **kwargs
+                    )
             proxy.calls_executed += 1
             return result
         finally:
-            if proxy.guest_task.is_alive():
-                proxy.park()
+            if guest_task.is_alive():
+                guest_task.state = TaskState.SLEEPING
 
     def drain(self, channel, work):
         """Service every submitted ring descriptor behind one doorbell.
@@ -196,8 +204,11 @@ class ProxyManager:
                 failed = exc
                 continue
             outcomes[descriptor.seq] = ("ok", result)
+            # Completion payloads are all-zero padding of the result's
+            # wire size; a view over the shared zero slab avoids one
+            # allocation per completed call.
             channel.complete_ring.push(
-                name, b"\x00" * result_size(result), seq=descriptor.seq
+                name, zeros(result_size(result)), seq=descriptor.seq
             )
         return outcomes
 

@@ -31,8 +31,8 @@ Design points:
 
 from __future__ import annotations
 
-import zlib
 from collections import deque
+from zlib import crc32
 
 from repro.errors import (
     ChannelCapacityError,
@@ -40,7 +40,7 @@ from repro.errors import (
     ChannelIntegrityError,
     RingFull,
 )
-from repro.faults.engine import maybe_engine
+from repro.obs import prof as _prof
 from repro.obs.bus import maybe_span
 from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import PAGE_SIZE
@@ -85,7 +85,7 @@ class RingDescriptor:
         self.seq = seq
         self.call = call
         self.payload = payload
-        self.crc = zlib.crc32(payload)
+        self.crc = crc32(payload)
         self.flags = flags
 
     def __repr__(self):
@@ -146,7 +146,8 @@ class DelegationRing:
                 f"ring payload must be bytes-like, got "
                 f"{type(payload).__name__}"
             )
-        payload = bytes(payload)
+        # No defensive copy: the payload (often a slab-pool memoryview)
+        # is referenced as-is; the submit window owns its lifetime.
         if len(payload) + RING_HEADER_BYTES > self.channel.capacity:
             raise ChannelCapacityError(
                 len(payload), self.channel.capacity, call=call
@@ -156,7 +157,7 @@ class DelegationRing:
             # The ring.full stall models a producer spinning on a ring
             # with no free slot; it is only ever billed when the ring is
             # actually full.
-            engine = maybe_engine(clock)
+            engine = clock.faults
             if engine is not None:
                 stall_ns = engine.ring_full_stall_ns(call=call)
                 if stall_ns:
@@ -167,18 +168,28 @@ class DelegationRing:
             seq = self._next_seq
             self._next_seq += 1
         descriptor = RingDescriptor(seq, call, payload, flags)
-        if flags & RING_FLAG_WRITE_BEHIND:
-            self.deferred_pushed += 1
-        if flags & RING_FLAG_BINDER:
-            self.binder_pushed += 1
-        with wall_zone("ring.push"), \
-                maybe_span(clock, self.span_kind, f"{call}#{seq}",
-                           kernel="channel", ring=self.name, seq=seq,
-                           bytes=len(payload), depth=len(self._queue) + 1):
+        if flags:
+            if flags & RING_FLAG_WRITE_BEHIND:
+                self.deferred_pushed += 1
+            if flags & RING_FLAG_BINDER:
+                self.binder_pushed += 1
+        bus = clock.bus
+        if _prof._ACTIVE is None and (bus is None or not bus._depth):
+            # Dormant observation: skip the span label/attr construction
+            # entirely — the transfer itself carries the costs.
             self.channel._transfer(payload, self.direction)
+        else:
+            with wall_zone("ring.push"), \
+                    maybe_span(clock, self.span_kind, f"{call}#{seq}",
+                               kernel="channel", ring=self.name, seq=seq,
+                               bytes=len(payload),
+                               depth=len(self._queue) + 1):
+                self.channel._transfer(payload, self.direction)
         self._queue.append(descriptor)
         self.pushed += 1
-        self.max_depth_seen = max(self.max_depth_seen, len(self._queue))
+        depth_now = len(self._queue)
+        if depth_now > self.max_depth_seen:
+            self.max_depth_seen = depth_now
         return seq
 
     # -- consumer side -------------------------------------------------------
@@ -194,9 +205,21 @@ class DelegationRing:
         """
         if not self._queue:
             return None
+        clock = self.channel.hypervisor.machine.clock
+        engine = clock.faults
+        if engine is None and _prof._ACTIVE is None:
+            descriptor = self._queue.popleft()
+            self.popped += 1
+            payload = descriptor.payload
+            actual_crc = crc32(payload)
+            if actual_crc != descriptor.crc:
+                self.channel.integrity_failures += 1
+                raise ChannelIntegrityError(
+                    self.direction, descriptor.crc, actual_crc,
+                    len(payload),
+                )
+            return descriptor
         with wall_zone("ring.pop"):
-            clock = self.channel.hypervisor.machine.clock
-            engine = maybe_engine(clock)
             index = 0
             if engine is not None and len(self._queue) > 1 \
                     and engine.ring_reorder(call=self._queue[0].call):
@@ -214,10 +237,11 @@ class DelegationRing:
                 payload = engine.ring_descriptor_payload(
                     descriptor.call, payload
                 )
-            if zlib.crc32(payload) != descriptor.crc:
+            actual_crc = crc32(payload)
+            if actual_crc != descriptor.crc:
                 self.channel.integrity_failures += 1
                 raise ChannelIntegrityError(
-                    self.direction, descriptor.crc, zlib.crc32(payload),
+                    self.direction, descriptor.crc, actual_crc,
                     len(descriptor.payload),
                 )
             descriptor.payload = payload

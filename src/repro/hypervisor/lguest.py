@@ -22,7 +22,6 @@ We reproduce each of those primitives:
 from __future__ import annotations
 
 from repro.errors import HypervisorViolation, SimulationError
-from repro.faults.engine import maybe_engine
 from repro.kernel.kernel import Kernel
 from repro.kernel.memory import FrameAllocator
 from repro.obs.bus import maybe_event, maybe_span
@@ -47,22 +46,33 @@ class SharedPages:
                     "kmap target must be a guest frame (host pages are "
                     "never exposed to the guest)"
                 )
-
-    @property
-    def capacity(self):
-        return len(self.frames) * PAGE_SIZE
+        # Plain attribute, not a property: the frame list is fixed for
+        # the buffer's lifetime and the channel reads this per chunk.
+        self.capacity = len(self.frames) * PAGE_SIZE
 
     def write(self, data, offset=0, from_guest=False):
-        """Write ``data`` starting at byte ``offset`` of the buffer."""
+        """Write ``data`` starting at byte ``offset`` of the buffer.
+
+        Zero-copy: ``data`` (bytes, bytearray or memoryview) is sliced
+        into per-frame views that land directly in the physical frames —
+        nothing is materialised on the way down.
+        """
         window = self.guest_window if from_guest else None
-        if offset + len(data) > self.capacity:
+        size = len(data)
+        if offset + size > self.capacity:
             raise SimulationError("shared-pages overflow")
-        view = memoryview(bytes(data))
+        if offset == 0 and size <= PAGE_SIZE:
+            # The chunked channel always lands page-or-smaller chunks at
+            # offset 0 — one frame, no split arithmetic.
+            if size:
+                self.physical.write_frame(self.frames[0], data, 0, window)
+            return
+        view = data if type(data) is memoryview else memoryview(data)
         while view.nbytes:
             frame_index, frame_offset = divmod(offset, PAGE_SIZE)
             chunk = min(view.nbytes, PAGE_SIZE - frame_offset)
             self.physical.write_frame(
-                self.frames[frame_index], bytes(view[:chunk]),
+                self.frames[frame_index], view[:chunk],
                 frame_offset, window,
             )
             offset += chunk
@@ -76,11 +86,35 @@ class SharedPages:
         while length:
             frame_index, frame_offset = divmod(offset, PAGE_SIZE)
             chunk = min(length, PAGE_SIZE - frame_offset)
-            page = self.physical.read_frame(self.frames[frame_index], window)
+            page = self.physical.frame_view(self.frames[frame_index], window)
             out += page[frame_offset : frame_offset + chunk]
             offset += chunk
             length -= chunk
         return bytes(out)
+
+    def touch(self, length, offset=0, from_guest=False):
+        """Model the consumer reading ``length`` bytes out of the buffer.
+
+        The chunked channel transfer writes each chunk in from one side
+        and reads it out from the other; the reader's copy was pure
+        overhead (the simulation never inspects it), but the *access* —
+        and its window enforcement — must still happen.  ``touch`` runs
+        the same per-frame permission checks as :meth:`read` without
+        materialising a single byte.
+        """
+        window = self.guest_window if from_guest else None
+        if offset + length > self.capacity:
+            raise SimulationError("shared-pages overread")
+        if offset == 0 and length <= PAGE_SIZE:
+            if length:
+                self.physical.assert_access(self.frames[0], window)
+            return
+        while length:
+            frame_index, frame_offset = divmod(offset, PAGE_SIZE)
+            chunk = min(length, PAGE_SIZE - frame_offset)
+            self.physical.assert_access(self.frames[frame_index], window)
+            offset += chunk
+            length -= chunk
 
 
 class LguestHypervisor:
@@ -180,15 +214,27 @@ class LguestHypervisor:
         descriptors this doorbell completes — the world switch is paid
         once regardless, which is the whole point of the ring transport.
         """
-        engine = maybe_engine(self.machine.clock)
+        clock = self.machine.clock
+        engine = clock.faults
         if engine is not None and engine.drop_hypercall():
             return False
         self.hypercall_count += 1
+        bus = clock.bus
+        if clock.prof is None and clock._overlap_lane is None \
+                and not clock._trace_depth \
+                and (bus is None or not bus._depth):
+            # Fully dormant observation: same counters, same simulated
+            # time, none of the span/reason-string construction.
+            self.descriptors_retired += coalesced
+            if coalesced > 1:
+                self.coalesced_doorbells += 1
+            clock._now_ns += self.machine.costs.world_switch_ns
+            return True
         self._account_doorbell(reason, coalesced, "guest->host")
-        with maybe_span(self.machine.clock, "world-switch",
+        with maybe_span(clock, "world-switch",
                         f"hypercall:{reason}", kernel="hypervisor",
                         direction="guest->host", coalesced=coalesced):
-            self.machine.clock.advance(
+            clock.advance(
                 self.machine.costs.world_switch_ns, f"hypercall:{reason}"
             )
         return True
@@ -203,20 +249,31 @@ class LguestHypervisor:
         differential tests pin down).  ``coalesced`` counts the ring
         descriptors this doorbell submits (see :meth:`hypercall`).
         """
-        engine = maybe_engine(self.machine.clock)
+        clock = self.machine.clock
+        engine = clock.faults
+        bus = clock.bus
+        if engine is None and clock.prof is None \
+                and clock._overlap_lane is None and not clock._trace_depth \
+                and (bus is None or not bus._depth):
+            self.descriptors_retired += coalesced
+            if coalesced > 1:
+                self.coalesced_doorbells += 1
+            self.interrupt_count += 1
+            clock._now_ns += self.machine.costs.world_switch_ns
+            return True
         if engine is not None and engine.drop_irq():
             return False
         rounds = 2 if engine is not None and engine.duplicate_irq() else 1
         self._account_doorbell(reason, coalesced, "host->guest")
         for _ in range(rounds):
             self.interrupt_count += 1
-            with maybe_span(self.machine.clock, "world-switch",
+            with maybe_span(clock, "world-switch",
                             f"irq:{reason}", kernel="hypervisor",
                             direction="host->guest", coalesced=coalesced):
-                self.machine.clock.advance(
+                clock.advance(
                     self.machine.costs.world_switch_ns, f"irq:{reason}"
                 )
-            maybe_event(self.machine.clock, "irq", f"irq:{reason}",
+            maybe_event(clock, "irq", f"irq:{reason}",
                         kernel="hypervisor")
         return True
 

@@ -49,6 +49,7 @@ from repro.kernel.memory import (
 from repro.kernel.net import Internet, NetworkStack
 from repro.kernel.process import Credentials, PidTable, Task, TaskState
 from repro.kernel.syscalls import CATALOGUE, classify
+from repro.obs import prof as _prof
 from repro.obs.bus import NULL_SPAN, maybe_event, maybe_span
 from repro.obs.prof import zone as wall_zone
 from repro.perf.costs import DEFAULT_COSTS, PAGE_SIZE
@@ -274,6 +275,11 @@ class Kernel:
             raise KernelCrashed(self, self.panic_log[-1] if self.panic_log else "")
         if not task.is_alive():
             raise SyscallError(errno.ESRCH, f"pid {task.pid} dead", call=name)
+        bus = self.clock.bus
+        if _prof._ACTIVE is None and (bus is None or not bus._depth):
+            # No profiler, no capture: the zone/span scaffolding (and
+            # the syscall-class lookup feeding it) would record nothing.
+            return self._syscall_body(task, name, args, kwargs)
         with wall_zone("syscall.dispatch"), maybe_span(
             self.clock, "syscall", name, task=task, kernel=self.label,
             sclass=classify(name).value,
@@ -284,7 +290,14 @@ class Kernel:
         previous = self.current
         self.current = task
         try:
-            self.clock.advance(self.costs.syscall_base_ns, f"syscall:{name}")
+            clock = self.clock
+            if clock.prof is None and clock._overlap_lane is None \
+                    and not clock._trace_depth \
+                    and ((bus := clock.bus) is None or not bus._depth):
+                clock._now_ns += self.costs.syscall_base_ns
+            else:
+                clock.advance(self.costs.syscall_base_ns,
+                              f"syscall:{name}")
             faults = getattr(self.clock, "faults", None)
             if faults is not None:
                 faults.perturb_syscall(self, task, name)
@@ -297,11 +310,13 @@ class Kernel:
                         self.syscall_log.append(
                             (task.pid, name, "anception", args)
                         )
-                    span.set(disposition="anception")
+                    if span is not NULL_SPAN:
+                        span.set(disposition="anception")
                     return self.interposition.dispatch(task, name, args, kwargs)
             if self.syscall_log_enabled:
                 self.syscall_log.append((task.pid, name, "native", args))
-            span.set(disposition="native")
+            if span is not NULL_SPAN:
+                span.set(disposition="native")
             return self.execute_native(task, name, args, kwargs)
         finally:
             self.current = previous

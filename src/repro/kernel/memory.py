@@ -100,6 +100,25 @@ class PhysicalMemory:
             return bytes(PAGE_SIZE)
         return bytes(data)
 
+    _ZERO_PAGE = bytes(PAGE_SIZE)
+
+    def assert_access(self, frame, window=None):
+        """Run the window/range checks of an access without any data
+        movement (the zero-copy channel's consumer-side touch)."""
+        self._check(frame, window)
+
+    def frame_view(self, frame, window=None):
+        """A read-only view of ``frame``'s content — no page copy.
+
+        Same window enforcement as :meth:`read_frame`; the view aliases
+        the live frame (an unmaterialised frame aliases the shared zero
+        page), so callers must consume it before the next write."""
+        self._check(frame, window)
+        data = self._frames.get(frame)
+        if data is None:
+            return memoryview(self._ZERO_PAGE)
+        return memoryview(data).toreadonly()
+
     def write_frame(self, frame, data, offset=0, window=None):
         """Write ``data`` into ``frame`` at ``offset``."""
         self._check(frame, window)

@@ -64,6 +64,67 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class ChargeRecord:
+    """One mirrored clock charge, slotted instead of a per-call dict.
+
+    Charges are the highest-volume record kind on the bus (every
+    non-zero ``clock.advance`` during a capture emits one), so they
+    carry fixed fields in ``__slots__`` rather than a fresh dict.  The
+    mapping-style surface (``record["name"]``, ``record.get("pid")``,
+    ``dict(record)``) keeps every existing consumer — captures, sinks,
+    exporters — working unchanged.
+    """
+
+    __slots__ = ("name", "begin_ns", "dur_ns", "seq")
+
+    type = "charge"
+    kind = "charge"
+
+    _FIELDS = ("type", "kind", "name", "begin_ns", "dur_ns", "seq")
+
+    def __init__(self, name, begin_ns, dur_ns, seq):
+        self.name = name
+        self.begin_ns = begin_ns
+        self.dur_ns = dur_ns
+        self.seq = seq
+
+    def __getitem__(self, key):
+        if key in self._FIELDS:
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def __contains__(self, key):
+        return key in self._FIELDS
+
+    def get(self, key, default=None):
+        if key in self._FIELDS:
+            return getattr(self, key)
+        return default
+
+    def keys(self):
+        return self._FIELDS
+
+    def items(self):
+        return [(key, getattr(self, key)) for key in self._FIELDS]
+
+    def __iter__(self):
+        return iter(self._FIELDS)
+
+    def __len__(self):
+        return len(self._FIELDS)
+
+    def __eq__(self, other):
+        if isinstance(other, ChargeRecord):
+            return self.items() == other.items()
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self):
+        return (f"ChargeRecord({self.name!r}, begin_ns={self.begin_ns}, "
+                f"dur_ns={self.dur_ns}, seq={self.seq})")
+
+
 class Span:
     """One open span; closes (and publishes its record) on ``__exit__``."""
 
@@ -251,15 +312,10 @@ class TraceBus:
 
     def on_charge(self, reason, delta_ns, now_ns):
         """Mirror one clock charge onto the bus (called by SimClock)."""
-        record = {
-            "type": "charge",
-            "kind": "charge",
-            "name": reason,
-            "begin_ns": now_ns - delta_ns,
-            "dur_ns": delta_ns,
-            "seq": self._next_seq(),
-        }
-        self.records.append(record)
+        self._seq += 1
+        self.records.append(
+            ChargeRecord(reason, now_ns - delta_ns, delta_ns, self._seq)
+        )
 
     def _publish(self, record):
         """Append and fan out; a raising sink never aborts the caller.

@@ -233,6 +233,35 @@ def check_regression(report, baseline, min_ratio=None):
     return failures
 
 
+def check_digests(report, baseline):
+    """Failure strings for every workload whose sim-time digest drifted.
+
+    Wall-clock throughput is machine-dependent and gated by ratio; the
+    *simulated* digest — syscalls per iteration and simulated time per
+    iteration — is deterministic and must match the committed baseline
+    exactly.  A perf rebuild that changes either has changed behavior,
+    not just speed.  Baselines predating the digest fields are skipped
+    per-field (ratio gating still applies via :func:`check_regression`).
+    """
+    failures = []
+    for workload, base in sorted(baseline.get("workloads", {}).items()):
+        current = report.get("workloads", {}).get(workload)
+        if current is None:
+            continue  # check_regression already reports the absence
+        for field in ("syscalls_per_iter", "sim_us_per_iter"):
+            expected = base.get(field)
+            if expected is None:
+                continue
+            actual = current.get(field)
+            if actual != expected:
+                failures.append(
+                    f"{workload}: {field} drifted from the baseline "
+                    f"({expected!r} -> {actual!r}); simulated behavior "
+                    f"must stay byte-identical"
+                )
+    return failures
+
+
 def baseline_summary(report):
     """The slim committed-baseline document for a bench report."""
     return {
@@ -243,7 +272,11 @@ def baseline_summary(report):
             "--update-baseline"
         ),
         "workloads": {
-            workload: {"syscalls_per_sec": entry["syscalls_per_sec"]}
+            workload: {
+                "syscalls_per_sec": entry["syscalls_per_sec"],
+                "syscalls_per_iter": entry["syscalls_per_iter"],
+                "sim_us_per_iter": entry["sim_us_per_iter"],
+            }
             for workload, entry in sorted(report["workloads"].items())
         },
     }

@@ -79,3 +79,86 @@ class TestSignalling:
         assert stats["bytes_to_host"] == 2
         assert stats["hypercalls"] == 1
         assert stats["interrupts"] == 1
+
+
+class TestZeroCopySingleCrc:
+    """PR 9 bugfix pin: one buffer wrap, one CRC per unfaulted transfer.
+
+    ``_transfer`` used to materialise ``bytes(data)`` twice (once up
+    front, once per chunk inside ``_chunked``) and CRC the same
+    unmodified buffer twice.  Now every stage operates on memoryview
+    windows over the caller's buffer and the integrity CRC reuses the
+    send CRC whenever the fault engine did not rewrite the payload.
+    """
+
+    def _count_crcs(self, monkeypatch):
+        import repro.core.channel as channel_mod
+        from zlib import crc32 as real_crc32
+        calls = []
+
+        def counting(data, *args):
+            calls.append(data)
+            return real_crc32(data, *args)
+
+        monkeypatch.setattr(channel_mod, "crc32", counting)
+        return calls
+
+    def test_unfaulted_transfer_computes_crc_exactly_once(
+            self, channel, monkeypatch):
+        calls = self._count_crcs(monkeypatch)
+        channel.send_to_guest(b"q" * (2 * PAGE_SIZE + 7))
+        assert len(calls) == 1
+        assert channel.transfers == 1
+        assert channel.integrity_failures == 0
+
+    def test_traced_transfer_still_computes_crc_once(
+            self, channel, machine, monkeypatch):
+        # The instrumented (non-dormant) walk takes the chunked span
+        # path; the single-CRC discipline must hold there too.
+        calls = self._count_crcs(monkeypatch)
+        machine.clock.enable_trace()
+        channel.send_to_guest(b"t" * (PAGE_SIZE + 3))
+        machine.clock.disable_trace()
+        assert len(calls) == 1
+
+    def test_fault_rewritten_payload_gets_a_fresh_crc(
+            self, channel, machine, monkeypatch):
+        from repro.errors import ChannelIntegrityError
+        from repro.faults.engine import FaultEngine
+        from repro.faults.plan import FaultPlan
+
+        calls = self._count_crcs(monkeypatch)
+        engine = FaultEngine(FaultPlan.parse("channel.corrupt:nth=1"),
+                             seed=0)
+        engine.arm(machine.clock)
+        try:
+            with pytest.raises(ChannelIntegrityError):
+                channel.send_to_guest(b"r" * 100)
+        finally:
+            engine.disarm()
+        # send CRC + fresh CRC over the rewritten payload: exactly two.
+        assert len(calls) == 2
+        assert channel.integrity_failures == 1
+
+    def test_chunks_are_views_over_the_callers_buffer(
+            self, channel, machine, monkeypatch):
+        # Zero-copy identity: every chunk written to the shared pages is
+        # a window over the caller's own buffer, not a materialised copy
+        # — in both the dormant fast path and the instrumented walk.
+        data = b"z" * (2 * PAGE_SIZE + 10)
+        seen = []
+        real_write = channel.shared.write
+
+        def recording_write(chunk, offset=0, from_guest=False):
+            seen.append(chunk)
+            return real_write(chunk, offset=offset, from_guest=from_guest)
+
+        monkeypatch.setattr(channel.shared, "write", recording_write)
+        channel.send_to_guest(data)  # dormant fast path
+        machine.clock.enable_trace()
+        channel.send_to_guest(data)  # instrumented walk
+        machine.clock.disable_trace()
+        assert len(seen) == 6  # 3 chunks per transfer
+        for chunk in seen:
+            assert type(chunk) is memoryview
+            assert chunk.obj is data

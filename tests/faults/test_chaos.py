@@ -119,3 +119,69 @@ class TestHarnessSurface:
         off = run_chaos("fileops", seed=7, observe=False)
         assert on.elapsed_ns == off.elapsed_ns
         assert off.records == []
+
+
+class TestOverlapRollbackUnderChaos:
+    """A fault escaping a drain's overlap window never bills the lane.
+
+    ``cvm.crash`` striking inside a write-behind drain — with recovery
+    on but container reboots off — makes the retry loop's container
+    check raise *out of* the overlap window after the window already
+    charged backoff and partial transfers to the lane cursor.  The
+    rollback semantics (PR 9 bugfix) demand the lane watermark stay at
+    its pre-window value: no later fence may wait out phantom time, and
+    the whole faulted run must replay byte-identically.
+    """
+
+    @staticmethod
+    def _run_once():
+        from repro.core.recovery import RecoveryPolicy
+        from repro.errors import SyscallError
+        from repro.faults.chaos import ChaosApp
+        from repro.faults.engine import FaultEngine
+        from repro.faults.plan import FaultPlan
+        from repro.kernel import vfs
+        from repro.world import AnceptionWorld
+
+        world = AnceptionWorld(async_delegation=True)
+        world.anception.recovery = RecoveryPolicy(
+            enabled=True, reboot_on_crash=False, respawn_proxies=False,
+        )
+        running = world.install_and_launch(ChaosApp())
+        running.run()
+        ctx = running.ctx
+        fd = ctx.libc.open(
+            ctx.data_path("rollback.bin"),
+            vfs.O_RDWR | vfs.O_CREAT | vfs.O_TRUNC,
+        )
+        ctx.libc.write(fd, b"w" * 64)  # staged, not yet drained
+        clock = world.clock
+        lane = world.anception.cvm.lane
+        backlog_before = clock.lane_backlog_ns(lane)
+        engine = FaultEngine(
+            FaultPlan.parse("cvm.crash:nth=1:call=write"), seed=0
+        )
+        engine.arm(clock)
+        error = None
+        try:
+            ctx.libc.fsync(fd)  # fence -> drain -> crash mid-window
+        except SyscallError as exc:
+            error = exc.errno
+        finally:
+            engine.disarm()
+        return {
+            "errno": error,
+            "backlog_before": backlog_before,
+            "backlog_after": clock.lane_backlog_ns(lane),
+            "fence_wait_ns": clock.wait_for(lane, "test:post-fault-fence"),
+            "now_ns": clock.now_ns,
+        }
+
+    def test_lane_rolls_back_to_pre_window_watermark(self):
+        result = self._run_once()
+        assert result["errno"] is not None  # the fault surfaced as EIO
+        assert result["backlog_after"] == result["backlog_before"] == 0
+        assert result["fence_wait_ns"] == 0  # no phantom time to wait out
+
+    def test_faulted_drain_replays_byte_identical(self):
+        assert self._run_once() == self._run_once()

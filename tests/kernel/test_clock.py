@@ -153,3 +153,110 @@ class TestTraceNesting:
         clock.advance(2, "new")
         assert clock.drain_trace() == [("new", 2)]
         clock.disable_trace()
+
+
+class TestDrainRebasesMarkers:
+    """drain_trace under nesting: markers rebase instead of going stale.
+
+    Pre-fix, ``drain_trace`` cleared ``_charges`` while an inner
+    ``enable_trace`` marker still indexed the old list, so
+    ``charges_since(marker)`` silently sliced the wrong window.
+    """
+
+    def test_marker_survives_a_drain(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(10, "outer")
+        marker = clock.enable_trace()
+        clock.advance(5, "inner-before-drain")
+        assert clock.drain_trace() == [
+            ("outer", 10), ("inner-before-drain", 5),
+        ]
+        clock.advance(7, "inner-after-drain")
+        # The stale-index bug returned [] here: marker 1 sliced past the
+        # single post-drain charge.  Rebasing keeps the window honest —
+        # the drain consumed the earlier charges, the tail remains.
+        assert clock.charges_since(marker) == [("inner-after-drain", 7)]
+        clock.disable_trace()
+        clock.disable_trace()
+
+    def test_marker_taken_after_a_drain_reads_only_its_window(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(3, "before")
+        clock.drain_trace()
+        marker = clock.enable_trace()
+        clock.advance(4, "after")
+        assert clock.charges_since(marker) == [("after", 4)]
+        clock.disable_trace()
+        clock.disable_trace()
+
+    def test_repeated_drains_keep_rebasing(self):
+        clock = SimClock()
+        marker = clock.enable_trace()
+        for n in (1, 2, 3):
+            clock.advance(n, f"charge-{n}")
+            clock.drain_trace()
+        clock.advance(9, "tail")
+        assert clock.charges_since(marker) == [("tail", 9)]
+        clock.disable_trace()
+
+    def test_fresh_enable_after_full_teardown_resets_base(self):
+        clock = SimClock()
+        clock.enable_trace()
+        clock.advance(1, "x")
+        clock.drain_trace()
+        clock.disable_trace()
+        marker = clock.enable_trace()
+        clock.advance(2, "y")
+        assert marker == 0
+        assert clock.charges_since(marker) == [("y", 2)]
+        clock.disable_trace()
+
+
+class TestOverlapRollback:
+    """_OverlapWindow.__exit__: exceptions roll the lane cursor back.
+
+    Pre-fix, a window body that raised (an injected ``wb.*``/``binder.*``
+    fault escaping mid-drain) still committed ``_overlap_cursor`` to
+    ``_lane_busy``, billing the lane for work that never completed; the
+    next fence then waited out phantom time.
+    """
+
+    def test_clean_exit_commits_the_cursor(self):
+        clock = SimClock()
+        with clock.overlap("cvm"):
+            clock.advance(100, "drain")
+        assert clock.lane_backlog_ns("cvm") == 100
+
+    def test_exception_rolls_back_to_pre_window_watermark(self):
+        clock = SimClock()
+        with clock.overlap("cvm"):
+            clock.advance(100, "committed-drain")
+        with pytest.raises(RuntimeError):
+            with clock.overlap("cvm"):
+                clock.advance(9999, "phantom-work")
+                raise RuntimeError("injected fault mid-drain")
+        assert clock.lane_backlog_ns("cvm") == 100
+
+    def test_exception_leaves_the_clock_reusable(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with clock.overlap("cvm"):
+                clock.advance(50, "phantom")
+                raise RuntimeError("boom")
+        assert clock._overlap_lane is None
+        clock.advance(10, "host")  # host time moves again
+        assert clock.now_ns == 10
+        with clock.overlap("cvm"):  # and new windows open cleanly
+            clock.advance(5, "retry")
+        assert clock.lane_backlog_ns("cvm") == 5
+
+    def test_rolled_back_lane_never_charges_a_fence(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with clock.overlap("cvm"):
+                clock.advance(1_000_000, "phantom")
+                raise RuntimeError("boom")
+        assert clock.wait_for("cvm") == 0
+        assert clock.now_ns == 0
