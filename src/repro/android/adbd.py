@@ -29,6 +29,8 @@ ADBD_SOCKET = "/dev/socket/adbd"
 class AdbDaemon:
     """The debug bridge daemon (root at exec, shell-uid after drop)."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel):
         self.kernel = kernel
         self.task = kernel.spawn_task("adbd", Credentials(ROOT_UID))

@@ -22,6 +22,8 @@ from repro.kernel.libc import Libc
 class AppManifest:
     """Static description of an installable app."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, package, version="1.0", permissions=(),
                  initial_data=None, payload=None, code_units=2000,
                  shared_user_id=None):
@@ -43,6 +45,8 @@ class AppManifest:
 class App:
     """Base class for simulated apps; subclass and override ``main``."""
 
+    __snapshot__ = "auto"
+
     manifest = AppManifest("com.example.app")
 
     def main(self, ctx):
@@ -60,6 +64,8 @@ class AppContext:
     conveniences every Android app uses (service calls, window creation,
     input waits).
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel, task, package, data_dir):
         self.kernel = kernel
@@ -146,6 +152,8 @@ class AppContext:
 class AppServiceEndpoint:
     """An app-exported binder endpoint (duck-types the Service API)."""
 
+    __snapshot__ = "auto"
+
     ui_related = False
 
     def __init__(self, ctx, handler):
@@ -173,6 +181,8 @@ class AppCrashed(ReproError):
 
 class RunningApp:
     """A launched app instance."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, app, ctx):
         self.app = app

@@ -67,6 +67,8 @@ leak dressed up as an audit trail."""
 class Transaction:
     """One binder call: target service name, method code, payload."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, target, method, payload=None, flags=0):
         self.target = target
         self.method = method
@@ -98,6 +100,8 @@ class Transaction:
 class ServiceManager:
     """Binder handle 0: the name -> service registry."""
 
+    __snapshot__ = "auto"
+
     def __init__(self):
         self._services = {}
 
@@ -124,6 +128,8 @@ class TransactionLog:
     (iteration, membership, indexing, ``len``) while dropping the oldest
     entries past ``limit`` and counting what fell off the end.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, limit=TRANSACTION_LOG_LIMIT):
         self.limit = int(limit)
@@ -169,6 +175,8 @@ class BinderDriver:
     own service manager; transactions never cross kernels by themselves —
     that bridging is Anception's job.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel, service_manager, ui_stack=None,
                  log_limit=TRANSACTION_LOG_LIMIT):

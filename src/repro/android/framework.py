@@ -45,6 +45,8 @@ ADBD_KB = 400
 class AndroidSystem:
     """One booted Android userspace on one kernel."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, profile="full"):
         if profile not in PROFILES:
             raise SimulationError(f"unknown profile {profile!r}")

@@ -39,6 +39,8 @@ def permission_groups(manifest):
 class InstalledApp:
     """Install record for one package."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, manifest, uid, code_path, data_dir):
         self.manifest = manifest
         self.uid = uid
@@ -56,6 +58,8 @@ class InstalledApp:
 
 class Installer:
     """The package-installer side of the system (runs as root)."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel, system):
         self.kernel = kernel

@@ -53,6 +53,8 @@ def logcat_payload(kernel, task):
 class LogcatDaemon:
     """Bookkeeping wrapper for a running logcat instance."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, task, output_path):
         self.kernel = kernel
         self.task = task

@@ -29,6 +29,8 @@ class Service:
         memory_kb: resident footprint used by the Section VI-C accounting.
     """
 
+    __snapshot__ = "auto"
+
     name = "service"
     uid = SYSTEM_UID
     lines_of_code = 0
@@ -74,6 +76,8 @@ class ServiceCatalog:
     anything: the partition of lines of code is a property of the design,
     not of a running system.
     """
+
+    __snapshot__ = "auto"
 
     _service_types = []
 

@@ -41,6 +41,8 @@ class Transactionless(SimulationError):
 class Database:
     """One database file accessed through a task's libc."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, libc, path):
         self.libc = libc
         self.path = path

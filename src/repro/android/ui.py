@@ -21,6 +21,8 @@ from repro.errors import SyscallError
 class InputEvent:
     """One user-input event (touch or key/text)."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("kind", "text", "x", "y", "is_password_field")
 
     def __init__(self, kind, text="", x=0, y=0, is_password_field=False):
@@ -38,6 +40,8 @@ class InputEvent:
 class Window:
     """A window surface owned by one app task."""
 
+    __snapshot__ = "auto"
+
     _next_id = [1]
 
     def __init__(self, owner_task, title):
@@ -51,6 +55,8 @@ class Window:
 
 class UIStack:
     """Host-only display and input management."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, input_device=None, framebuffer=None):
         self.input_device = input_device

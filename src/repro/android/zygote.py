@@ -18,6 +18,8 @@ from repro.kernel.process import Credentials
 class Zygote:
     """App launcher bound to the host kernel."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, installer, anception=None):
         self.kernel = kernel
         self.installer = installer

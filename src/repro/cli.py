@@ -637,6 +637,107 @@ def cmd_bench_fleet(args):
     print("fleet: scaling and isolation gates passed", file=sys.stderr)
 
 
+def cmd_snapshot(args):
+    """Boot, warm up, and write a deterministic world snapshot blob."""
+    from repro.core.snapshot import describe_snapshot
+    from repro.obs.runner import TRACE_WORKLOADS, boot_obs_world
+
+    workload = getattr(args, "workload", None) or "write4k"
+    fn = TRACE_WORKLOADS.get(workload)
+    if fn is None:
+        known = ", ".join(sorted(TRACE_WORKLOADS))
+        sys.exit(
+            f"anception: error: unknown workload {workload!r} "
+            f"(known: {known})"
+        )
+    knobs = {"ring_depth": getattr(args, "ring_depth", None),
+             **_cache_args(args), **_wb_args(args), **_binder_args(args),
+             **_pool_args(args)}
+    warmup = getattr(args, "warmup", None) or 0
+    host_t0 = time.perf_counter_ns()
+    world, ctx = boot_obs_world(**knobs)
+    target = world if getattr(fn, "needs_world", False) else ctx
+    for _ in range(warmup):
+        fn(target)
+    blob = world.snapshot(meta={"workload": workload, "warmup": warmup,
+                                "knobs": knobs})
+    out = getattr(args, "out", None) or "world.snap"
+    try:
+        with open(out, "wb") as handle:
+            handle.write(blob)
+    except OSError as exc:
+        sys.exit(f"anception: error: cannot write {out}: {exc}")
+    host_ms = (time.perf_counter_ns() - host_t0) / 1e6
+    info = describe_snapshot(blob)
+    print(
+        f"wrote {out}: {len(blob)} bytes"
+        f" digest={info['digest'][:16]}"
+        f" workload={workload} warmup={warmup}"
+        f" host_ms={host_ms:.1f}",
+        file=sys.stderr,
+    )
+
+
+def cmd_resume(args):
+    """Restore a snapshot, run its recorded workload warm, optionally
+    verify restore≡boot digest equality against a straight run."""
+    from repro.core.snapshot import snapshot_meta, world_digest
+    from repro.errors import SnapshotError
+    from repro.obs.runner import (
+        TRACE_WORKLOADS, boot_obs_world, run_traced,
+    )
+    from repro.world import _World
+
+    path = getattr(args, "workload", None)
+    if not path:
+        sys.exit(
+            "anception: error: resume needs a snapshot file "
+            "(produce one with: anception snapshot --out world.snap)"
+        )
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        sys.exit(f"anception: error: cannot read snapshot {path}: {exc}")
+    try:
+        meta = snapshot_meta(blob)
+        host_t0 = time.perf_counter_ns()
+        world = _World.restore(blob)
+        restore_ms = (time.perf_counter_ns() - host_t0) / 1e6
+    except SnapshotError as exc:
+        sys.exit(f"anception: error: {exc}")
+    workload = meta.get("workload", "write4k")
+    seed = getattr(args, "seed", 0)
+    result = run_traced(workload, seed=seed, world=world)
+    print(
+        f"resumed {path}: workload={workload}"
+        f" restore_ms={restore_ms:.1f}"
+        f" sim_ms={result.elapsed_ns / 1e6:.3f}",
+        file=sys.stderr,
+    )
+    if not getattr(args, "verify", False):
+        return
+    # Straight-through control: fresh boot + the recorded warmup + the
+    # same traced run.  Restore≡boot means the digests match exactly.
+    knobs = meta.get("knobs", {})
+    fresh, ctx = boot_obs_world(**knobs)
+    fn = TRACE_WORKLOADS[workload]
+    target = fresh if getattr(fn, "needs_world", False) else ctx
+    for _ in range(meta.get("warmup", 0)):
+        fn(target)
+    run_traced(workload, seed=seed, world=fresh)
+    resumed_digest = world_digest(world)
+    straight_digest = world_digest(fresh)
+    if resumed_digest != straight_digest:
+        sys.exit(
+            "anception: error: resume=boot verification failed: "
+            f"resumed {resumed_digest[:16]} != straight "
+            f"{straight_digest[:16]}"
+        )
+    print(f"verify: resume=boot digest {resumed_digest[:16]} ok",
+          file=sys.stderr)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "antutu": cmd_antutu,
@@ -658,12 +759,16 @@ COMMANDS = {
     "report": cmd_report,
     "bench-engine": cmd_bench_engine,
     "bench-fleet": cmd_bench_fleet,
+    "snapshot": cmd_snapshot,
+    "resume": cmd_resume,
 }
 
 WORKLOAD_COMMANDS = ("trace", "metrics", "chaos", "bench-smoke",
-                     "profile", "report", "bench-engine", "bench-fleet")
+                     "profile", "report", "bench-engine", "bench-fleet",
+                     "snapshot", "resume")
 """Workload/artifact commands skipped by ``all`` (trace/metrics/chaos/
-profile take a traced-workload positional, report takes a trace file;
+profile take a traced-workload positional, report takes a trace file,
+snapshot takes a workload and resume a blob path;
 bench-smoke/bench-engine/bench-fleet write CI artifacts)."""
 
 
@@ -820,6 +925,20 @@ def main(argv=None):
         default=None,
         help="pool placement policy for multi-CVM worlds "
              "(default: by-uid)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="workload passes to run before writing the blob "
+             "(snapshot command; default: 1)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after resuming, re-run the whole sequence from a fresh "
+             "boot and fail unless the world digests match exactly "
+             "(resume command)",
     )
     args = parser.parse_args(argv)
     try:

@@ -23,6 +23,8 @@ class SimClock:
     test can wrap it to trace where time goes.
     """
 
+    __snapshot__ = "custom"
+
     def __init__(self, start_ns=0):
         self._now_ns = int(start_ns)
         self._charges = []
@@ -203,6 +205,20 @@ class SimClock:
     def lane_backlog_ns(self, lane):
         """How far ``lane``'s watermark runs ahead of host time."""
         return max(0, self._lane_busy.get(lane, 0) - self._now_ns)
+
+    def __getstate__(self):
+        """Snapshot hook: the wall profiler never crosses the boundary.
+
+        ``prof`` reads host wall time only and mirrors a process-global
+        (``repro.obs.prof._ACTIVE``) that a restore in another process
+        could not coherently re-arm; simulated time never depends on it,
+        so a restored clock simply runs unprofiled.  Everything else —
+        the cursor, lane watermarks, overlap state, armed fault engine,
+        attached bus — serializes as-is.
+        """
+        state = self.__dict__.copy()
+        state["prof"] = None
+        return state
 
     def __repr__(self):
         return f"SimClock(now={self._now_ns} ns)"

@@ -38,6 +38,8 @@ class InterceptionModel:
     device rather than only enrolled apps.
     """
 
+    __snapshot__ = "auto"
+
     name: str
     per_call_ns: int
     whole_system: bool
@@ -115,6 +117,8 @@ class TransportModel:
     is fixed protocol overhead per 4096-byte unit; ``per_call_ns`` is
     per-message setup (syscalls, vring descriptors, ...).
     """
+
+    __snapshot__ = "auto"
 
     name: str
     copies: int

@@ -57,6 +57,8 @@ ANCEPTION_MARSHALING_LINES = 2_438
 class PendingCall:
     """One submitted-but-not-completed call on the delegation ring."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("seq", "task", "name", "args", "call_args", "kwargs",
                  "crypto_offset", "outcome", "slab")
 
@@ -90,6 +92,8 @@ class DelegationBatch:
     reads, opens, another task's calls — flushes the queue first and
     runs synchronously, preserving program order.
     """
+
+    __snapshot__ = "auto"
 
     DEFERRABLE = ("write", "pwrite64")
 
@@ -164,6 +168,8 @@ to the ring depth: a window must drain behind one doorbell pair)."""
 class WriteBehindEntry:
     """One deferred side-effect call staged in a write-behind window."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("name", "args", "call_args", "wire", "fd", "result")
 
     def __init__(self, name, args, call_args, wire, fd, result):
@@ -180,6 +186,8 @@ class WriteBehindEntry:
 
 class _WbWindow:
     """One task's open in-flight window of staged entries."""
+
+    __snapshot__ = "auto"
 
     __slots__ = ("task", "entries")
 
@@ -199,6 +207,8 @@ class WriteBehind:
     first error wins, later same-window entries get ECANCELED — and is
     surfaced exactly once at the next fence on that fd.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, depth=WRITE_BEHIND_DEPTH):
         self.depth = depth
@@ -263,6 +273,8 @@ pair)."""
 class BinderRingEntry:
     """One oneway binder transaction staged in a batched window."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("transaction", "target", "payload_bytes", "call_args",
                  "wire")
 
@@ -279,6 +291,8 @@ class BinderRingEntry:
 
 class _BinderWindow:
     """One task's open window of staged oneway transactions."""
+
+    __snapshot__ = "auto"
 
     __slots__ = ("task", "entries")
 
@@ -302,6 +316,8 @@ class BinderRing:
     exactly once at the next fence: the next reply-carrying transaction
     to that target (fence-on-reply) or an explicit barrier.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, depth=BINDER_RING_DEPTH):
         self.depth = depth
@@ -377,6 +393,8 @@ class BinderRing:
 class AnceptionLayer:
     """Host-side redirection layer plus its container VM."""
 
+    __snapshot__ = "auto"
+
     lines_of_code = ANCEPTION_LINES_OF_CODE
     marshaling_lines = ANCEPTION_MARSHALING_LINES
 
@@ -409,6 +427,7 @@ class AnceptionLayer:
         """The routed transport: one :class:`~repro.core.pool.CVMLane`
         per container VM, plus the deterministic placement map.  The
         single-CVM default is byte-identical to the pre-pool layer."""
+        self.pool.layer = self
         for lane in self.pool.lanes:
             self._bind_lane(lane)
         self.ring_batching = True
@@ -1849,6 +1868,88 @@ class AnceptionLayer:
                 continue
             for key in sorted(k for k in src.errors if k[0] == pid):
                 dst.errors.setdefault(key, src.errors.pop(key))
+
+    # ------------------------------------------------------------------
+    # warm migration (slice-based move, pending windows intact)
+    # ------------------------------------------------------------------
+
+    def migrate(self, task, target):
+        """Warm-move an enrolled app to ``target`` with its state intact.
+
+        Where :meth:`rebalance` quiesces first (the app's staged async
+        windows drain, then only fds + tree + ledgers move), ``migrate``
+        is the per-app cut of the world serializer:
+        :func:`~repro.core.snapshot.app_slice` captures the app's whole
+        lane-held delegation bundle — open remote fds with offsets, the
+        private data tree, *still-pending* write-behind window entries,
+        both deferred-errno ledgers, cached pages in LRU recency order —
+        and :func:`~repro.core.snapshot.apply_app_slice` re-materializes
+        it on the target.  The move is invisible to the app: staged
+        windows still drain at its next fence, warm reads stay warm.
+
+        Pending binder transactions do drain first — their window
+        entries hold live Transaction objects bound to source-container
+        services and cannot be re-targeted.  Returns ``True`` on a
+        committed move; same-lane moves are a no-op ``False`` and apps
+        whose lane state cannot be sliced (non-file CVM fds, live SysV
+        shm attachments) are skipped with a ``("migrate-skip", …)``
+        recovery-log entry.
+        """
+        from repro.core.snapshot import (
+            AppSliceError, app_slice, apply_app_slice,
+        )
+
+        if not isinstance(target, CVMLane):
+            target = self.pool.lane_by_id(int(target))
+        source = self._lane(task)
+        if target is source:
+            return False
+        if source.binder_ring is not None:
+            self._binder_drain(task, reason="migrate")
+        self.machine.clock.wait_for(source.cvm.lane, "anception:migrate")
+        try:
+            slice_ = app_slice(self, task)
+        except AppSliceError as exc:
+            self.recovery_log.append(("migrate-skip", str(exc)))
+            maybe_event(self.machine.clock, "recovery", "migrate-skip",
+                        task=task, kernel=self.host_kernel.label,
+                        source=source.name, target=target.name)
+            return False
+        # Source teardown: the slice carries everything the app needs,
+        # so the source lane forgets the pid entirely — its window, its
+        # ledger entries, its proxy, its cached pages.
+        pid = task.pid
+        if source.write_behind is not None:
+            source.write_behind.windows.pop(pid, None)
+            for key in sorted(k for k in source.write_behind.errors
+                              if k[0] == pid):
+                del source.write_behind.errors[key]
+        if source.binder_ring is not None:
+            for key in sorted(k for k in source.binder_ring.errors
+                              if k[0] == pid):
+                del source.binder_ring.errors[key]
+        source.proxies.remove_proxy(task)
+        if source.page_cache is not None:
+            prefix = task.cwd.rstrip("/") + "/"
+            stale = sorted(
+                path for path in source.cache_paths
+                if path == task.cwd or path.startswith(prefix)
+            )
+            for path in stale:
+                source.page_cache.invalidate_ino(
+                    source.cache_paths.pop(path)
+                )
+        apply_app_slice(self, task, slice_, target)
+        self.pool.record_migration(pid, target)
+        self.recovery_log.append(
+            ("migrate", f"pid {pid} {source.name}->{target.name}")
+        )
+        maybe_event(self.machine.clock, "recovery", "migrate", task=task,
+                    kernel=self.host_kernel.label, source=source.name,
+                    target=target.name, fds=len(slice_["fds"]),
+                    wb=len(slice_["wb_entries"]),
+                    pages=sum(len(c["pages"]) for c in slice_["cache"]))
+        return True
 
     # ------------------------------------------------------------------
     # explicit batch windows (opt-in syscall batching)

@@ -40,6 +40,8 @@ class AnceptionChannel:
     every descriptor queued since the last ring (doorbell coalescing).
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, hypervisor, costs, num_pages=8, ring_depth=None):
         from repro.core.ring import DelegationRing, default_ring_depth
 
@@ -263,6 +265,8 @@ class AnceptionChannel:
 
 class _BulkCopyWindow:
     """Re-entrant flag window for :meth:`AnceptionChannel.bulk_copy`."""
+
+    __snapshot__ = "auto"
 
     __slots__ = ("_channel",)
 

@@ -43,6 +43,8 @@ def _keystream_xor(key, data, offset):
 class TransparentCryptoFS:
     """Per-app encryption of redirected data-directory I/O."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, layer):
         self.layer = layer
         self._keys = {}

@@ -17,6 +17,8 @@ from repro.kernel.process import Credentials, ROOT_UID
 class ContainerVM:
     """The guest: kernel, headless Android, private app directories."""
 
+    __snapshot__ = "auto"
+
     lane = "cvm"
     """Clock overlap-lane identity for this vCPU.  Write-behind drains
     charge guest-side work onto this lane so the host task keeps running

@@ -20,6 +20,8 @@ CACHE_DIR = "/data/anception-exec-cache"
 class ExecutionCache:
     """Copies guest executables into a root-only host directory."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, host_kernel):
         self.kernel = host_kernel
         self._root = Credentials(ROOT_UID)
@@ -46,4 +48,5 @@ class ExecutionCache:
         return cache_path
 
     def entries(self):
-        return self.kernel.vfs.listdir(CACHE_DIR, self._root)
+        """Staged cache paths, in sorted (deterministic) order."""
+        return sorted(self.kernel.vfs.listdir(CACHE_DIR, self._root))

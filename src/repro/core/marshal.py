@@ -164,6 +164,8 @@ def result_size(result):
 class FdTranslationTable:
     """Host-fd <-> proxy-fd mapping for one enrolled task."""
 
+    __snapshot__ = "auto"
+
     def __init__(self):
         self._host_to_proxy = {}
 
@@ -215,6 +217,8 @@ class RemoteFdStub:
     Keeps the app's descriptor numbering dense and collision-free; any
     direct use without going through the redirection layer is a bug.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, proxy_fd, description=""):
         self.proxy_fd = proxy_fd

@@ -40,6 +40,8 @@ from repro.perf.costs import PAGE_SIZE
 class HostPageCache:
     """LRU page cache keyed by (CVM inode number, page index)."""
 
+    __snapshot__ = "custom"
+
     def __init__(self, max_pages=1024):
         if max_pages < 1:
             raise ValueError(f"cache needs at least one page, got {max_pages}")
@@ -233,6 +235,64 @@ class HostPageCache:
         self._pages.clear()
         self._sizes.clear()
         return dropped
+
+    # -- snapshot / migration ----------------------------------------------
+
+    def __getstate__(self):
+        """Serialize with sorted page keys, recency carried separately.
+
+        The page table's iteration order *is* the LRU recency sequence,
+        which snapshots must preserve — but serializing in that order
+        would make the blob's bytes depend on access history in a way
+        that is hard to audit.  The snapshot form is sorted (pages by
+        key, so two equal caches serialize identically byte-for-byte)
+        plus an explicit recency list that ``__setstate__`` replays.
+        """
+        state = self.__dict__.copy()
+        pages = state.pop("_pages")
+        state["_page_table"] = sorted(pages.items())
+        state["_page_recency"] = list(pages)
+        sizes = state.pop("_sizes")
+        state["_size_table"] = sorted(sizes.items())
+        return state
+
+    def __setstate__(self, state):
+        table = dict(state.pop("_page_table"))
+        recency = state.pop("_page_recency")
+        sizes = state.pop("_size_table")
+        self.__dict__.update(state)
+        self._pages = OrderedDict((key, table[key]) for key in recency)
+        self._sizes = dict(sizes)
+
+    def export_inos(self, inos):
+        """Serialize the given inodes' cached state for a warm migration.
+
+        Returns ``[(ino, [(page_index, content), ...], size), ...]`` for
+        every requested ino whose size is known, with each ino's pages
+        in their current LRU recency order (least-recent first) so the
+        importing cache can replay the same eviction priority.
+        """
+        wanted = set(inos)
+        by_ino = {}
+        for (ino, index), page in self._pages.items():
+            if ino in wanted:
+                by_ino.setdefault(ino, []).append((index, page))
+        return [(ino, by_ino.get(ino, []), self._sizes[ino])
+                for ino in inos if ino in self._sizes]
+
+    def import_ino(self, ino, size, pages):
+        """Adopt exported pages under this cache's (new) inode number.
+
+        The inverse of :meth:`export_inos`, run on the migration target:
+        pages arrive in their source recency order and are stored as the
+        most-recent entries here (the app is mid-move; its working set
+        is hot by definition).  Adoption is not a fill — the fill/
+        read-ahead counters describe ring traffic, which a host-mediated
+        migration never generates.
+        """
+        self._sizes[ino] = size
+        for index, content in pages:
+            self._store(ino, index, content)
 
     # -- stats -------------------------------------------------------------
 

@@ -62,6 +62,8 @@ code in the CVM deprivileged)")."""
 class RedirectionPolicy:
     """Stateless decisions + the helpers the layer's handlers use."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, ui_service_names, file_io_on_host=False):
         self.ui_service_names = frozenset(ui_service_names)
         self.file_io_on_host = file_io_on_host

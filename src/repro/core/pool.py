@@ -44,6 +44,8 @@ class CVMLane:
     mutable half — at boot and after a lane-scoped reboot alike.
     """
 
+    __snapshot__ = "auto"
+
     __slots__ = ("cvm_id", "cvm", "channel", "proxies", "page_cache",
                  "cache_paths", "inflight", "write_behind", "binder_ring",
                  "shm_shadows", "shm_attach_map")
@@ -111,6 +113,8 @@ class Placement:
       because enrollment order is deterministic.
     """
 
+    __snapshot__ = "auto"
+
     POLICIES = ("by-uid", "by-trust-class", "by-load")
 
     def __init__(self, policy="by-uid", seed=0):
@@ -172,6 +176,8 @@ class CVMPool:
     re-arm path).
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, clock, cvms=1, placement=None, seed=0):
         if cvms < 1:
             raise SimulationError(f"a pool needs >= 1 CVM, got {cvms}")
@@ -184,6 +190,11 @@ class CVMPool:
         """Assignments diverted one lane over by ``pool.placement-flap``."""
         self.rebalances = 0
         """Apps moved between lanes by ``AnceptionLayer.rebalance``."""
+        self.migrations = 0
+        """Apps warm-moved between lanes by ``AnceptionLayer.migrate``."""
+        self.layer = None
+        """Backref to the owning :class:`AnceptionLayer`; set at boot so
+        pool-level entry points (``migrate``) can drive the protocol."""
 
     # -- lookup --------------------------------------------------------------
 
@@ -250,6 +261,30 @@ class CVMPool:
         self._lane_by_pid[pid] = lane
         self.rebalances += 1
 
+    def record_migration(self, pid, lane):
+        """Re-home a pid (the warm-migration commit point)."""
+        self._lane_by_pid[pid] = lane
+        self.migrations += 1
+
+    def migrate(self, pid, lane):
+        """Warm-move a resident pid's app to ``lane``; returns commit.
+
+        The pool-level entry to :meth:`AnceptionLayer.migrate`: the
+        app's full per-lane slice (open remote fds, private data tree,
+        still-pending write-behind windows, deferred-errno ledgers,
+        cached pages) travels with it — unlike :meth:`move`-based
+        rebalancing, which requires the app's async windows to drain
+        first.
+        """
+        if self.layer is None:
+            raise SimulationError("pool has no delegation layer attached")
+        task = self.layer.host_kernel.pids.get(pid)
+        if task is None:
+            raise SimulationError(f"no task with pid {pid}")
+        if not isinstance(lane, CVMLane):
+            lane = self.lane_by_id(int(lane))
+        return self.layer.migrate(task, lane)
+
     def release(self, pid):
         self._lane_by_pid.pop(pid, None)
 
@@ -262,6 +297,7 @@ class CVMPool:
             "assignments": self.assignments,
             "flaps": self.flaps,
             "rebalances": self.rebalances,
+            "migrations": self.migrations,
             "residents": {
                 lane.name: len(self.pids_on(lane)) for lane in self.lanes
             },

@@ -35,6 +35,8 @@ PROXY_MEMORY_KB = 96
 class Proxy:
     """One host task's CVM counterpart."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, host_task, guest_task):
         self.host_task = host_task
         self.guest_task = guest_task
@@ -60,6 +62,8 @@ class Proxy:
 
 class ProxyManager:
     """Creates and tracks proxies on the CVM kernel."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, cvm):
         self.cvm = cvm

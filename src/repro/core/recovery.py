@@ -22,6 +22,8 @@ from __future__ import annotations
 class RecoveryPolicy:
     """How the Anception layer reacts to delegation-layer failures."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, enabled=False, max_retries=3, backoff_ns=50_000,
                  signal_retries=3, signal_timeout_ns=100_000,
                  reboot_on_crash=True, respawn_proxies=True,

@@ -79,6 +79,8 @@ def default_ring_depth(num_pages):
 class RingDescriptor:
     """One queued call (or completion) in a delegation ring."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("seq", "call", "payload", "crc", "flags")
 
     def __init__(self, seq, call, payload, flags=0):
@@ -97,6 +99,8 @@ class RingDescriptor:
 
 class DelegationRing:
     """One direction of the descriptor transport (submit or complete)."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, name, channel, depth):
         if name not in ("submit", "complete"):

@@ -52,6 +52,17 @@ class SimulationError(ReproError):
     """The simulation itself was misused (a bug in driver code or tests)."""
 
 
+class SnapshotError(SimulationError):
+    """A world snapshot could not be taken or restored.
+
+    Raised for malformed blobs (bad magic, unsupported version, length
+    mismatch), payload corruption (content digest mismatch, truncation),
+    un-audited components discovered at serialization time, and restore
+    failures.  Restore is all-or-nothing: when this is raised no partial
+    world escapes — the caller's original world is untouched.
+    """
+
+
 class DelegationError(ReproError):
     """A redirected call failed inside the delegation machinery itself.
 

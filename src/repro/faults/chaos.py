@@ -86,7 +86,7 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
               ring_depth=None, read_cache=False, cache_pages=1024,
               write_behind=False, write_behind_depth=None,
               binder_ring=False, binder_ring_depth=None,
-              cvms=1, placement=None):
+              cvms=1, placement=None, world=None):
     """Run ``workload`` with ``faults`` armed; never hangs, always reports.
 
     ``workload`` is a name from the traced-workload registry or any
@@ -106,6 +106,12 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
 
     Workloads with ``needs_world = True`` (the fleet driver) receive
     the booted world instead of the prey app's context.
+
+    ``world`` warm-starts the campaign on an already-booted (typically
+    snapshot-restored) world; the knob arguments are ignored in that
+    case.  A restored mid-campaign world resumes with its armed fault
+    engine's trigger cursor and PRNG intact unless a fresh plan is
+    armed here.
     """
     if callable(workload):
         fn, name = workload, getattr(workload, "__name__", "custom")
@@ -117,16 +123,19 @@ def run_chaos(workload, seed=0, faults=None, recovery=True, observe=True,
             raise ValueError(f"unknown workload {workload!r} (known: {known})")
     plan = FaultPlan.parse(DEFAULT_PLAN if faults is None else faults)
 
-    world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
-                           cache_pages=cache_pages,
-                           async_delegation=write_behind,
-                           write_behind_depth=write_behind_depth,
-                           binder_ring=binder_ring,
-                           binder_ring_depth=binder_ring_depth,
-                           cvms=cvms, placement=placement)
-    running = world.install_and_launch(ChaosApp())
-    running.run()
-    ctx = running.ctx
+    if world is None:
+        world = AnceptionWorld(ring_depth=ring_depth, read_cache=read_cache,
+                               cache_pages=cache_pages,
+                               async_delegation=write_behind,
+                               write_behind_depth=write_behind_depth,
+                               binder_ring=binder_ring,
+                               binder_ring_depth=binder_ring_depth,
+                               cvms=cvms, placement=placement)
+        running = world.install_and_launch(ChaosApp())
+        running.run()
+        ctx = running.ctx
+    else:
+        ctx = world.zygote.launched[-1].ctx
     target = world if getattr(fn, "needs_world", False) else ctx
     if recovery:
         world.anception.recovery = RecoveryPolicy.chaos_default()

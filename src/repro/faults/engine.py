@@ -31,6 +31,8 @@ def maybe_engine(clock):
 class FaultEngine:
     """Resolves a :class:`FaultPlan` against one run's call stream."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, plan=None, seed=0):
         self.plan = FaultPlan.parse(plan) if not isinstance(plan, FaultPlan) \
             else plan

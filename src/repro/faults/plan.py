@@ -66,6 +66,8 @@ _ALL_KEYS = _TRIGGER_KEYS + _FILTER_KEYS + _EFFECT_KEYS
 class FaultRule:
     """One injection site plus its trigger, filters, and effect knobs."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, site, probability=None, nth=None, every=None,
                  after=None, times=None, call=None, kernel=None,
                  errno_name=None, delay_us=None):
@@ -184,6 +186,8 @@ class FaultRule:
 
 class FaultPlan:
     """An ordered set of fault rules, resolved per occurrence in order."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, rules=()):
         self.rules = list(rules)

@@ -36,6 +36,8 @@ class SharedPages:
     (no window) — which is safe because the host is trusted.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, physical, frames, guest_window):
         self.physical = physical
         self.frames = list(frames)
@@ -119,6 +121,8 @@ class SharedPages:
 
 class LguestHypervisor:
     """Deprivileged-container virtualization for one machine."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, machine, guest_mb=64):
         self.machine = machine

@@ -20,6 +20,8 @@ from repro.perf.costs import PAGE_SIZE
 class NullDevice:
     """/dev/null."""
 
+    __snapshot__ = "auto"
+
     def read(self, open_file, length):
         return b""
 
@@ -32,6 +34,8 @@ class NullDevice:
 
 class ZeroDevice:
     """/dev/zero."""
+
+    __snapshot__ = "auto"
 
     def read(self, open_file, length):
         return b"\x00" * length
@@ -57,6 +61,8 @@ class FramebufferDevice:
     grants the caller read/write over kernel frames of the kernel that owns
     this device.  The effect object is interpreted by the exploit harness.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel, width=1280, height=800):
         self.kernel = kernel
@@ -108,6 +114,8 @@ class InputDevice:
     an input device.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self):
         self._queue = []
 
@@ -133,6 +141,8 @@ class InputDevice:
 
 class LogDevice:
     """``/dev/log/main``: the logcat ring buffer backing store."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, capacity=4096):
         self.capacity = capacity

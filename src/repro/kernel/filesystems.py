@@ -186,6 +186,8 @@ class ProcMemDevice:
     reach host-resident app pages — it only ever sees proxy memory.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, target_task):
         self.kernel = kernel
         self.target = target_task
@@ -356,7 +358,7 @@ class ProcFS(Filesystem):
             lines = ["sk       Eth Pid    Groups   Rmem     Wmem     Dump     Locks"]
             for sock in self.kernel.network.netlink_sockets():
                 lines.append(
-                    f"{id(sock) & 0xffffffff:08x} {sock.protocol:<3d} "
+                    f"{sock.sock_id & 0xffffffff:08x} {sock.protocol:<3d} "
                     f"{sock.owner_pid:<6d} 00000000 0        0        "
                     f"(null)   2"
                 )

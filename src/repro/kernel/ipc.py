@@ -21,6 +21,8 @@ SIGSEGV = 11
 class Pipe:
     """An anonymous pipe; read end and write end share the buffer."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, capacity=65536):
         self.capacity = capacity
         self._buffer = bytearray()
@@ -47,6 +49,8 @@ class Pipe:
 
 class PipeEnd:
     """One end of a pipe, pluggable into the fd table."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, pipe, writable):
         self.pipe = pipe

@@ -79,6 +79,8 @@ class KernelControl:
     access through the kernel's own VFS.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, attacker_task=None):
         self.kernel = kernel
         self.attacker_task = attacker_task
@@ -142,6 +144,8 @@ class KernelControl:
 
 class Kernel:
     """One kernel instance (host or guest)."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, label, allocator, clock, internet, costs=DEFAULT_COSTS,
                  frame_window=None, data_fs=None):
@@ -1055,6 +1059,8 @@ class Kernel:
 class _SocketFile:
     """Adapter placing a socket in the fd table."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, socket):
         self.socket = socket
 
@@ -1086,6 +1092,8 @@ class _SocketFile:
 class _PipeFile:
     """Adapter placing a pipe end in the fd table."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, end):
         self.end = end
 
@@ -1111,6 +1119,8 @@ class Machine:
     ``total_mb`` defaults to the paper's 1 GB tablet.  The hypervisor later
     carves the CVM window out of this machine's allocator.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, clock=None, internet=None, total_mb=1024,
                  costs=DEFAULT_COSTS):

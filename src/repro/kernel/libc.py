@@ -16,6 +16,8 @@ from repro.kernel.net import AF_INET, SOCK_STREAM
 class Libc:
     """Syscall veneer bound to one task on one kernel."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, task):
         self.kernel = kernel
         self.task = task

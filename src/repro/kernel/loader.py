@@ -58,6 +58,8 @@ def parse_pseudo_elf(data):
 class LoadedImage:
     """Result of loading a binary into an address space."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, path, base_address, metadata, text_pages):
         self.path = path
         self.base_address = base_address

@@ -48,6 +48,8 @@ def page_count(nbytes):
 class Window:
     """A half-open frame range [start, stop) an accessor may touch."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("start", "stop")
 
     def __init__(self, start, stop):
@@ -73,6 +75,8 @@ class PhysicalMemory:
     names the accessor's window so the hypervisor invariant is checked at
     the lowest level rather than trusted to callers.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, num_frames):
         self.num_frames = num_frames
@@ -155,6 +159,8 @@ class FrameAllocator:
     a quarter-million frames and the CVM carve-out happens at every boot.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, physical, window, label):
         self.physical = physical
         self.window = window
@@ -212,6 +218,8 @@ class FrameAllocator:
 class PageMapping:
     """One virtual page -> physical frame binding."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("frame", "prot", "flags", "pinned")
 
     def __init__(self, frame, prot, flags=0, pinned=False):
@@ -228,6 +236,8 @@ class AddressSpace:
     ``brk`` heap growing above them, and an mmap area allocated top-down
     from ``mmap_base``.
     """
+
+    __snapshot__ = "auto"
 
     MMAP_BASE_PAGE = 0x40000  # 1 GiB / PAGE_SIZE: top of the mmap area
     BRK_BASE_PAGE = 0x08000

@@ -41,8 +41,14 @@ pre-CVE-2009-2692 kernel; sendfile() on them jumps through NULL."""
 class Socket:
     """One socket endpoint (device-like object living in an fd)."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, stack, family, type_, protocol, owner_pid):
         self.stack = stack
+        self.sock_id = stack.alloc_sock_id()
+        """Stack-local allocation number, the stable identity /proc/net
+        renders (a CPython ``id()`` would differ run-to-run and across a
+        snapshot restore)."""
         self.family = family
         self.type = type_
         self.protocol = protocol
@@ -111,6 +117,8 @@ class Socket:
 class Connection:
     """A client<->server byte stream over the simulated internet."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, address, server):
         self.address = address
         self.server = server
@@ -146,6 +154,8 @@ class Internet:
     ``handle_data(conn, data) -> reply bytes``.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self):
         self._servers = {}
         self.connection_log = []
@@ -173,11 +183,14 @@ class NetworkStack:
     vulnerable message handler lives).
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, kernel, internet, label):
         self.kernel = kernel
         self.internet = internet
         self.label = label
         self._sockets = []
+        self._sock_seq = 0
         self._netlink_listeners = {}
         self._unix_listeners = {}
         self._unix_services = {}
@@ -187,6 +200,10 @@ class NetworkStack:
         the CVM's stack: "the CVM's external connectivity can be
         controlled from the host by firewall rules" (Section III-D)."""
         self.blocked_connections = []
+
+    def alloc_sock_id(self):
+        self._sock_seq += 1
+        return self._sock_seq
 
     def create_socket(self, family, type_, protocol, owner_pid):
         if family not in (AF_UNIX, AF_INET, AF_NETLINK, PF_BLUETOOTH):

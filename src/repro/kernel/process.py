@@ -27,6 +27,8 @@ class Credentials:
     is what lets Anception's launch-time UID pin detect changes cheaply.
     """
 
+    __snapshot__ = "auto"
+
     __slots__ = ("uid", "gid", "euid", "egid", "groups")
 
     def __init__(self, uid, gid=None, euid=None, egid=None, groups=()):
@@ -83,6 +85,8 @@ class Task:
     * ``proxy`` / ``proxied_for`` — links between a host task and its CVM
       proxy counterpart.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel, pid, name, credentials, parent=None):
         self.kernel = kernel
@@ -152,6 +156,8 @@ class Task:
 
 class PidTable:
     """Allocates PIDs and resolves pid -> Task for one kernel."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, first_pid=1):
         self._next_pid = first_pid

@@ -31,6 +31,8 @@ IPC_RMID = 0
 class ShmSegment:
     """One shared-memory segment: frames + attach bookkeeping."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, shmid, key, size, owner_uid, frames):
         self.shmid = shmid
         self.key = key
@@ -47,6 +49,8 @@ class ShmSegment:
 
 class ShmRegistry:
     """Per-kernel SysV shared-memory state."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, kernel):
         self.kernel = kernel

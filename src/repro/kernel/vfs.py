@@ -50,6 +50,8 @@ class Inode:
     raise the appropriate errno.
     """
 
+    __snapshot__ = "auto"
+
     _next_ino = [1]
 
     def __init__(self, kind, mode, uid=0, gid=0):
@@ -123,6 +125,8 @@ class Filesystem:
     writes through the VFS fail with EROFS regardless of mode bits.
     """
 
+    __snapshot__ = "auto"
+
     def __init__(self, name, readonly=False):
         self.name = name
         self.readonly = readonly
@@ -145,6 +149,8 @@ class Filesystem:
 
 class VFS:
     """Mount table + path resolution + syscall-facing file operations."""
+
+    __snapshot__ = "auto"
 
     MAX_SYMLINK_DEPTH = 8
 
@@ -362,6 +368,8 @@ class VFS:
 class StatResult:
     """A small stat buffer (subset of ``struct stat``)."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("st_ino", "st_mode", "st_uid", "st_gid", "st_size", "st_nlink")
 
     def __init__(self, st_ino, st_mode, st_uid, st_gid, st_size, st_nlink):
@@ -381,6 +389,8 @@ class StatResult:
 
 class OpenFile:
     """An open file description (shared across dup'ed descriptors)."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, inode, path, flags):
         self.inode = inode

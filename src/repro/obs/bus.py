@@ -75,6 +75,8 @@ class ChargeRecord:
     exporters — working unchanged.
     """
 
+    __snapshot__ = "auto"
+
     __slots__ = ("name", "begin_ns", "dur_ns", "seq")
 
     type = "charge"
@@ -192,6 +194,8 @@ class Capture:
 class TraceBus:
     """Publish/subscribe hub for one machine's telemetry."""
 
+    __snapshot__ = "auto"
+
     SINK_FAILURE_LIMIT = 3
     """Consecutive-failure budget before a raising sink is dropped."""
 
@@ -202,6 +206,9 @@ class TraceBus:
         self._seq = 0
         self._sinks = []
         self._sink_failures = {}
+        """Consecutive failures per sink, keyed by the sink itself (the
+        old ``id(sink)`` keys would go stale across a snapshot restore,
+        which reassigns every CPython object id)."""
         self.sink_errors = 0
         """Total ``obs_sink_errors``: exceptions swallowed from sinks."""
         self.dropped_sinks = 0
@@ -230,7 +237,7 @@ class TraceBus:
     def unsubscribe(self, sink):
         if sink in self._sinks:
             self._sinks.remove(sink)
-        self._sink_failures.pop(id(sink), None)
+        self._sink_failures.pop(sink, None)
 
     # -- capture windows -----------------------------------------------------
 
@@ -336,8 +343,8 @@ class TraceBus:
                 sink(record)
             except Exception:
                 self.sink_errors += 1
-                failures = self._sink_failures.get(id(sink), 0) + 1
-                self._sink_failures[id(sink)] = failures
+                failures = self._sink_failures.get(sink, 0) + 1
+                self._sink_failures[sink] = failures
                 if failures >= self.SINK_FAILURE_LIMIT:
                     if dead is None:
                         dead = []
@@ -373,6 +380,8 @@ class LogcatSink:
     lines.  Attach with ``bus.subscribe(LogcatSink(kernel.log_device))``;
     span records become ``trace:`` lines tagged ``kernel``.
     """
+
+    __snapshot__ = "auto"
 
     TAG = "kernel"
 

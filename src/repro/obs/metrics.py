@@ -13,6 +13,8 @@ from repro.clock import NSEC_PER_USEC
 class Counter:
     """A monotonically increasing counter, partitioned by label values."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, name, label_names=()):
         self.name = name
         self.label_names = tuple(label_names)
@@ -51,6 +53,8 @@ DEFAULT_RING_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 class Histogram:
     """Fixed-bucket histogram (cumulative counts, Prometheus-style)."""
+
+    __snapshot__ = "auto"
 
     def __init__(self, name, buckets, unit=""):
         self.name = name
@@ -114,6 +118,8 @@ class Histogram:
 
 class MetricsRegistry:
     """The standard metric set, updated from bus records."""
+
+    __snapshot__ = "auto"
 
     def __init__(self):
         self.syscalls_total = Counter(

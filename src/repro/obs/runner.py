@@ -218,7 +218,7 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
                ring_depth=None, read_cache=False, cache_pages=1024,
                write_behind=False, write_behind_depth=None,
                binder_ring=False, binder_ring_depth=None,
-               cvms=1, placement=None):
+               cvms=1, placement=None, world=None):
     """Boot an Anception world, run ``workload`` under the bus.
 
     ``observe=False`` runs the identical stream with no capture active —
@@ -235,18 +235,26 @@ def run_traced(workload, seed=0, observe=True, logcat=True,
     Workloads that set ``needs_world = True`` (the fleet driver) are
     called with the booted world instead of a single app context: they
     install and run their own population of apps.
+
+    ``world`` warm-starts the run on an already-booted (typically
+    snapshot-restored) world instead of paying a fresh boot; the knob
+    arguments are ignored in that case — the world carries its own
+    configuration.
     """
     fn = TRACE_WORKLOADS.get(workload)
     if fn is None:
         known = ", ".join(sorted(TRACE_WORKLOADS))
         raise ValueError(f"unknown workload {workload!r} (known: {known})")
-    world, ctx = boot_obs_world(
-        ring_depth=ring_depth, read_cache=read_cache,
-        cache_pages=cache_pages, write_behind=write_behind,
-        write_behind_depth=write_behind_depth, binder_ring=binder_ring,
-        binder_ring_depth=binder_ring_depth, cvms=cvms,
-        placement=placement,
-    )
+    if world is None:
+        world, ctx = boot_obs_world(
+            ring_depth=ring_depth, read_cache=read_cache,
+            cache_pages=cache_pages, write_behind=write_behind,
+            write_behind_depth=write_behind_depth, binder_ring=binder_ring,
+            binder_ring_depth=binder_ring_depth, cvms=cvms,
+            placement=placement,
+        )
+    else:
+        ctx = world.zygote.launched[-1].ctx
     target = world if getattr(fn, "needs_world", False) else ctx
     metrics = MetricsRegistry()
     records = []

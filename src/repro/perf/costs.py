@@ -52,6 +52,8 @@ class CostModel:
     cheaper model, but benchmarks always use the defaults.
     """
 
+    __snapshot__ = "auto"
+
     # --- native kernel costs -------------------------------------------
     syscall_base_ns: int = _us(0.76)
     """Trap + dispatch + trivial handler; equals the native getpid cost."""

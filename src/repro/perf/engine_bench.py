@@ -43,7 +43,7 @@ from repro.errors import SyscallError
 from repro.obs.bus import TraceBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prof import WallProfiler
-from repro.obs.runner import TRACE_WORKLOADS, boot_obs_world
+from repro.obs.runner import TRACE_WORKLOADS, boot_obs_world, run_traced
 
 
 SCHEMA = "anception-bench-engine/1"
@@ -156,6 +156,39 @@ def bench_workload(workload, inner=DEFAULT_INNER, runs=DEFAULT_RUNS,
     }
 
 
+def bench_warm_boot():
+    """Wall-clock cold-boot vs snapshot-restore comparison.
+
+    Host-time-only telemetry for the warm-start story.  It is neither
+    gated nor copied into the committed baseline — wall clock is
+    machine-dependent, and simulated behavior across the snapshot
+    boundary is covered by the snapshot-determinism test layer, not by
+    this number.
+    """
+    from repro.world import _World
+
+    # The cold path a snapshot replaces is boot PLUS the warmup run
+    # that filled the caches and windows — matching the CLI's
+    # ``snapshot --warmup`` semantics.
+    t0 = time.perf_counter_ns()
+    world, _ctx = boot_obs_world(read_cache=True, write_behind=True)
+    run_traced("write4k", seed=0, world=world)
+    cold_ns = time.perf_counter_ns() - t0
+    t0 = time.perf_counter_ns()
+    blob = world.snapshot()
+    snapshot_ns = time.perf_counter_ns() - t0
+    t0 = time.perf_counter_ns()
+    _World.restore(blob)
+    restore_ns = time.perf_counter_ns() - t0
+    return {
+        "cold_boot_ms": round(cold_ns / 1e6, 3),
+        "snapshot_ms": round(snapshot_ns / 1e6, 3),
+        "restore_ms": round(restore_ns / 1e6, 3),
+        "blob_bytes": len(blob),
+        "speedup": round(cold_ns / restore_ns, 2) if restore_ns else 0.0,
+    }
+
+
 def run_engine_bench(workloads=ENGINE_WORKLOADS, inner=None, runs=None):
     """The full ``BENCH_engine.json`` document for the gated workloads."""
     inner = inner or int(os.environ.get("ANCEPTION_ENGINE_INNER",
@@ -170,6 +203,7 @@ def run_engine_bench(workloads=ENGINE_WORKLOADS, inner=None, runs=None):
             "read_cache": True,
             "write_behind": True,
         },
+        "warm_boot": bench_warm_boot(),
         "workloads": {
             workload: bench_workload(workload, inner=inner, runs=runs)
             for workload in workloads

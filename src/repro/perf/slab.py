@@ -53,6 +53,8 @@ def zeros(length):
 class Slab:
     """One pooled ``bytearray`` plus the live views exported over it."""
 
+    __snapshot__ = "auto"
+
     __slots__ = ("buf", "views")
 
     def __init__(self, size):
@@ -75,6 +77,8 @@ class SlabPool:
     that stashed a view past its window gets ``ValueError: operation
     forbidden on released memoryview object`` instead of aliased garbage.
     """
+
+    __snapshot__ = "auto"
 
     def __init__(self, slab_bytes=DEFAULT_SLAB_BYTES,
                  max_free=DEFAULT_MAX_FREE):

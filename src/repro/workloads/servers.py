@@ -60,6 +60,8 @@ def tls_open(key, envelope):
 class BankServer:
     """The bank's backend: authenticates and serves balances."""
 
+    __snapshot__ = "auto"
+
     def __init__(self):
         self.accounts = {"alice": "hunter2", "bob": "swordfish"}
         self.balances = {"alice": 1_523_42, "bob": 87_19}
@@ -68,7 +70,10 @@ class BankServer:
         self.raw_log = []
 
     def handle_connect(self, conn):
-        self.sessions[id(conn)] = None
+        # Keyed by the connection object itself (identity semantics, but
+        # stable across pickling) rather than id(), which a world
+        # snapshot restore would invalidate.
+        self.sessions[conn] = None
 
     def handle_data(self, conn, data):
         """One request/response round; all payloads are TLS envelopes."""
@@ -77,9 +82,9 @@ class BankServer:
             # Handshake: client sends its nonce in the clear (like a
             # ClientHello); both sides derive the session key.
             nonce = data.split(b"|", 1)[1]
-            self.sessions[id(conn)] = derive_session_key(BANK_CA_CERT, nonce)
+            self.sessions[conn] = derive_session_key(BANK_CA_CERT, nonce)
             return b"HELLO-OK"
-        key = self.sessions.get(id(conn))
+        key = self.sessions.get(conn)
         if key is None:
             return b"ERR|no-session"
         try:

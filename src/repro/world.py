@@ -27,6 +27,8 @@ from repro.kernel.libc import Libc
 class _World:
     """Common plumbing for all configurations."""
 
+    __snapshot__ = "auto"
+
     def __init__(self, machine, system, anception=None, kernel=None):
         self.machine = machine
         self.system = system
@@ -34,6 +36,30 @@ class _World:
         self._app_kernel = kernel if kernel is not None else machine.kernel
         self.installer = Installer(self._app_kernel, system)
         self.zygote = Zygote(self._app_kernel, self.installer, anception)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self, meta=None):
+        """Serialize this world into a versioned, digest-checked blob.
+
+        See :mod:`repro.core.snapshot` for the format and the
+        determinism contract (two snapshots of the same world are
+        byte-identical; restore ≡ boot behaviorally).
+        """
+        from repro.core.snapshot import snapshot_world
+
+        return snapshot_world(self, meta=meta)
+
+    @staticmethod
+    def restore(blob):
+        """Reconstruct a world from :meth:`snapshot` output.
+
+        All-or-nothing: raises :class:`~repro.errors.SnapshotError` on
+        corrupted, truncated, or version-mismatched blobs.
+        """
+        from repro.core.snapshot import restore_world
+
+        return restore_world(blob)
 
     # -- conveniences --------------------------------------------------------
 

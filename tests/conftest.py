@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.android.app import App, AppManifest
+from repro.core.snapshot import allow_app_modules
 from repro.world import AnceptionWorld, NativeWorld
+
+# Test apps are defined in tests.* modules; snapshots of worlds that
+# launched them need those modules resolvable on restore.
+allow_app_modules("tests.")
 
 
 class ScratchApp(App):
@@ -67,6 +72,25 @@ def tri_worlds():
         "write-behind": AnceptionWorld(async_delegation=True,
                                        binder_ring=True),
     }
+
+
+@pytest.fixture
+def quad_worlds(tri_worlds):
+    """The three classic modes plus a snapshot/resume world.
+
+    The fourth mode replays each script's first half on a fully-async
+    Anception world, snapshots mid-script, restores into a fresh world
+    object, and finishes there — pinning restore≡boot against the same
+    catalogue the other modes already agree on.  The async knobs stay
+    on so snapshots catch staged write-behind and binder windows.
+    """
+    from tests.differential.harness import SnapshotResume
+
+    worlds = dict(tri_worlds)
+    worlds["snapshot-resume"] = SnapshotResume(
+        AnceptionWorld(async_delegation=True, binder_ring=True)
+    )
+    return worlds
 
 
 @pytest.fixture(autouse=True)

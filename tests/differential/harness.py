@@ -44,11 +44,22 @@ class H:
 _HANDLE_RETURNING = {"open", "socket", "shmget", "shmat", "dup"}
 
 
-def run_script(ctx, script):
-    """Execute ``script`` through ``ctx.libc``; return normalized outcomes."""
-    handles = {}
-    outcomes = []
-    for step, op in enumerate(script):
+def run_script(ctx, script, start=0, stop=None, handles=None,
+               outcomes=None):
+    """Execute ``script`` through ``ctx.libc``; return normalized outcomes.
+
+    ``start``/``stop`` bound the executed slice while keeping step
+    numbering absolute, and ``handles``/``outcomes`` carry state across
+    calls — together they let a caller split one script across a
+    snapshot/restore boundary: run ``[0, split)`` on the original
+    world, restore, then run ``[split, end)`` on the restored context
+    with the same handle table (handles are plain kernel-assigned
+    integers, so they stay valid across the boundary).
+    """
+    handles = {} if handles is None else handles
+    outcomes = [] if outcomes is None else outcomes
+    end = len(script) if stop is None else stop
+    for step, op in enumerate(script[start:end], start):
         name, args = op[0], op[1:]
         real_args = []
         for arg in args:
@@ -134,18 +145,63 @@ def data_kernel(world):
     return world.kernel
 
 
+class SnapshotResume:
+    """A ``run_modes`` world spec that splits the script over a restore.
+
+    The harness runs ``script[:split]`` on ``world``, snapshots it,
+    restores the blob into a brand-new world object, and finishes
+    ``script[split:]`` there — one more "mode" whose outcome stream and
+    final tree must equal every other's.  This is the restore≡boot pin:
+    a snapshot boundary dropped at an arbitrary point mid-script must be
+    invisible to the app.  ``split=None`` halves the script.
+    """
+
+    def __init__(self, world, split=None):
+        self.world = world
+        self.split = split
+
+
+def _run_snapshot_resume(spec, script, app_factory):
+    """One mode's ``(outcomes, tree)`` with a mid-script restore."""
+    from repro.world import _World
+
+    world = spec.world
+    running = world.install_and_launch(app_factory())
+    running.run()
+    ctx = running.ctx
+    split = len(script) // 2 if spec.split is None else spec.split
+    handles = {}
+    outcomes = []
+    run_script(ctx, script, stop=split, handles=handles,
+               outcomes=outcomes)
+    restored = _World.restore(world.snapshot())
+    rctx = restored.zygote.launched[-1].ctx
+    run_script(rctx, script, start=split, handles=handles,
+               outcomes=outcomes)
+    anception = getattr(restored, "anception", None)
+    if anception is not None:
+        anception.async_fence(rctx.libc.task)
+    tree = vfs_tree(data_kernel(restored), rctx.data_dir)
+    return outcomes, tree
+
+
 def run_modes(worlds, script, app_factory):
     """Run ``script`` in every world of ``worlds``; return all halves.
 
     ``worlds`` maps label -> world (e.g. native / anception /
-    write-behind); the result maps the same labels to
-    ``(outcomes, final_tree)`` for the same app package.  Scripts that
-    end with buffered write-behind state still compare equal: the final
-    step of every script should fence or close its descriptors, and the
-    tree walk reads the delegated kernel *after* the stream returned.
+    write-behind / a :class:`SnapshotResume` spec); the result maps the
+    same labels to ``(outcomes, final_tree)`` for the same app package.
+    Scripts that end with buffered write-behind state still compare
+    equal: the final step of every script should fence or close its
+    descriptors, and the tree walk reads the delegated kernel *after*
+    the stream returned.
     """
     halves = {}
     for label, world in worlds.items():
+        if isinstance(world, SnapshotResume):
+            halves[label] = _run_snapshot_resume(world, script,
+                                                 app_factory)
+            continue
         running = world.install_and_launch(app_factory())
         running.run()
         ctx = running.ctx

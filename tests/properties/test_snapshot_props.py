@@ -1,0 +1,160 @@
+"""Property pins for snapshot/restore: the boundary is invisible.
+
+Hypothesis generates op scripts and a snapshot point; running the
+script straight through must equal running its prefix, snapshotting,
+restoring into a fresh world object, and finishing there — same
+outcome stream, same errnos, same final tree.  A second group pins the
+blob format: any corruption (bit flips, truncation) raises a typed
+:class:`SnapshotError`, never a partial world, and restore composes
+idempotently.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.app import App, AppManifest
+from repro.core.snapshot import restore_world, world_digest
+from repro.errors import SnapshotError
+from repro.world import AnceptionWorld, _World
+
+from tests.differential.harness import (
+    H,
+    P,
+    data_kernel,
+    run_script,
+    vfs_tree,
+)
+
+
+class _PropApp(App):
+    manifest = AppManifest(
+        "com.props.snapshot",
+        initial_data={"seed.txt": b"prop-seed"},
+    )
+
+    def main(self, ctx):
+        return {"ok": True}
+
+
+# Every op references the single file handle opened at step 0, so any
+# generated sequence is a valid script — including reads past EOF and
+# operations racing a staged write-behind window.
+_op = st.one_of(
+    st.tuples(st.just("write"), st.binary(min_size=0, max_size=48)),
+    st.tuples(st.just("read"), st.integers(1, 48)),
+    st.tuples(st.just("pwrite"), st.binary(min_size=1, max_size=32),
+              st.integers(0, 64)),
+    st.tuples(st.just("pread"), st.integers(1, 32), st.integers(0, 64)),
+    st.tuples(st.just("lseek"), st.integers(0, 64), st.just(0)),
+    st.tuples(st.just("ftruncate"), st.integers(0, 96)),
+    st.tuples(st.just("fsync")),
+    st.tuples(st.just("fdatasync")),
+)
+
+_scripts = st.lists(_op, min_size=1, max_size=16)
+
+
+def _build(ops):
+    script = [("open", P("prop.bin"), 0o102, 0o600)]
+    script.extend((name, H(0), *args) for name, *args in ops)
+    script.append(("close", H(0)))
+    return script
+
+
+def _world():
+    return AnceptionWorld(async_delegation=True, binder_ring=True)
+
+
+def _straight(script):
+    world = _world()
+    running = world.install_and_launch(_PropApp())
+    running.run()
+    outcomes = run_script(running.ctx, script)
+    world.anception.async_fence(running.ctx.libc.task)
+    return outcomes, vfs_tree(data_kernel(world), running.ctx.data_dir)
+
+
+def _resumed(script, split):
+    world = _world()
+    running = world.install_and_launch(_PropApp())
+    running.run()
+    handles, outcomes = {}, []
+    run_script(running.ctx, script, stop=split, handles=handles,
+               outcomes=outcomes)
+    restored = _World.restore(world.snapshot())
+    rctx = restored.zygote.launched[-1].ctx
+    run_script(rctx, script, start=split, handles=handles,
+               outcomes=outcomes)
+    restored.anception.async_fence(rctx.libc.task)
+    return outcomes, vfs_tree(data_kernel(restored), rctx.data_dir)
+
+
+class TestBoundaryInvisibility:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_scripts, data=st.data())
+    def test_snapshot_at_random_point_changes_nothing(self, ops, data):
+        script = _build(ops)
+        split = data.draw(st.integers(1, len(script) - 1),
+                          label="split")
+        assert _resumed(script, split) == _straight(script)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=_scripts)
+    def test_double_restore_is_idempotent(self, ops):
+        script = _build(ops)
+        world = _world()
+        running = world.install_and_launch(_PropApp())
+        running.run()
+        run_script(running.ctx, script)
+        world.anception.async_fence(running.ctx.libc.task)
+        once = _World.restore(world.snapshot())
+        twice = _World.restore(once.snapshot())
+        assert world_digest(once) == world_digest(world)
+        assert world_digest(twice) == world_digest(world)
+
+
+@pytest.fixture(scope="module")
+def blob():
+    world = _world()
+    running = world.install_and_launch(_PropApp())
+    running.run()
+    run_script(running.ctx, _build([("write", b"x" * 32), ("fsync",)]))
+    return world.snapshot()
+
+
+class TestCorruption:
+    # Byte offsets 10-11 are the reserved flags field: the only header
+    # bytes a reader legitimately ignores.
+    _FLAGS = {10, 11}
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_flip_outside_flags_raises(self, blob, data):
+        index = data.draw(
+            st.integers(0, len(blob) - 1).filter(
+                lambda i: i not in self._FLAGS),
+            label="index",
+        )
+        mask = data.draw(st.integers(1, 255), label="mask")
+        mutated = bytearray(blob)
+        mutated[index] ^= mask
+        with pytest.raises(SnapshotError):
+            restore_world(bytes(mutated))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_any_truncation_raises(self, blob, data):
+        length = data.draw(st.integers(0, len(blob) - 1), label="length")
+        with pytest.raises(SnapshotError):
+            restore_world(blob[:length])
+
+    @settings(max_examples=20, deadline=None)
+    @given(tail=st.binary(min_size=1, max_size=64))
+    def test_any_extension_raises(self, blob, tail):
+        with pytest.raises(SnapshotError):
+            restore_world(blob + tail)
+
+    def test_unmutated_blob_still_restores(self, blob):
+        # The corruption properties are meaningful only if the pristine
+        # blob restores.
+        assert isinstance(restore_world(blob), AnceptionWorld)

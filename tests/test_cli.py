@@ -39,7 +39,7 @@ class TestCli:
             "vuln-study", "attack-surface", "loc", "tcb", "profiledroid",
             "interactive", "alternatives", "trace", "metrics", "chaos",
             "bench-smoke", "profile", "report", "bench-engine",
-            "bench-fleet",
+            "bench-fleet", "snapshot", "resume",
         }
 
     def test_trace_command_chrome(self, capsys):

@@ -120,7 +120,7 @@ class TestBankServer:
         conn = Conn()
         server.handle_connect(conn)
         server.handle_data(conn, b"HELLO|nonce-0001")
-        key = server.sessions[id(conn)]
+        key = server.sessions[conn]
         import json
 
         reply = server.handle_data(conn, tls_seal(key, json.dumps(
